@@ -1,0 +1,47 @@
+"""Ablation: Dysta's eta hyperparameter (Algorithm 2, line 11).
+
+eta weights the slack + waiting-penalty terms against the remaining-time
+term: eta -> 0 degrades Dysta toward pure (predictor-powered) SRPT, large
+eta toward deadline-driven scheduling.  The paper describes eta as the
+tunable ANTT <-> violation-rate trade-off knob; this bench verifies the knob
+actually turns in that direction.
+"""
+
+from repro.bench.figures import render_series
+from repro.bench.harness import run_single
+
+from _config import N_PROFILE, N_REQUESTS, SEEDS, once
+
+ETAS = (0.0, 0.02, 0.1, 0.5, 2.0)
+
+
+def bench_ablation_eta_tradeoff(benchmark):
+    def run():
+        out = {}
+        for eta in ETAS:
+            out[eta] = run_single(
+                "dysta", "attnn",
+                n_requests=N_REQUESTS, seeds=SEEDS, n_profile_samples=N_PROFILE,
+                scheduler_kwargs={"eta": eta},
+            )
+        return out
+
+    sweep = once(benchmark, run)
+
+    print()
+    print(render_series(
+        "Dysta eta ablation (multi-AttNN @30/s)", "eta", list(sweep),
+        {
+            "ANTT": [res.antt_mean for res in sweep.values()],
+            "violation %": [res.violation_rate_pct for res in sweep.values()],
+        },
+        float_fmt="{:.2f}",
+    ))
+
+    # eta = 0 (no deadline awareness) must violate more than the default.
+    assert sweep[0.0].violation_rate_mean >= sweep[0.02].violation_rate_mean
+    # Large eta buys violations at an ANTT premium vs the SRPT end.
+    assert sweep[2.0].antt_mean > sweep[0.02].antt_mean
+    # Every setting keeps ANTT finite and sane.
+    for eta, res in sweep.items():
+        assert res.antt_mean < 100, eta

@@ -1,0 +1,67 @@
+"""Ablation: FP16 hardware score path (paper Sec 5.2.2).
+
+The hardware scheduler computes scores in half precision to save resources
+(Fig 16).  This bench quantizes Dysta's entire score path to FP16 and
+verifies the scheduling metrics are indistinguishable from FP32 — the
+justification for the Opt_FP16 design point — and reports the decision
+latency of the hardware path next to the layer times it hides under.
+"""
+
+import numpy as np
+
+from repro.bench.figures import render_table
+from repro.bench.harness import run_single
+from repro.core.lut import ModelInfoLUT
+from repro.hw.timing import SchedulerTiming
+from repro.profiling.profiler import benchmark_suite
+
+from _config import N_PROFILE, N_REQUESTS, SEEDS, once
+
+
+def bench_ablation_fp16_score_path(benchmark):
+    def run():
+        out = {}
+        for dtype in ("fp32", "fp16"):
+            out[dtype] = run_single(
+                "dysta", "attnn",
+                n_requests=N_REQUESTS, seeds=SEEDS, n_profile_samples=N_PROFILE,
+                scheduler_kwargs={"score_dtype": dtype},
+            )
+        return out
+
+    results = once(benchmark, run)
+
+    print()
+    print(render_table(
+        "Dysta score precision ablation (multi-AttNN @30/s)",
+        ["ANTT", "Violation %"],
+        {d: [r.antt_mean, r.violation_rate_pct] for d, r in results.items()},
+        float_fmt="{:.3f}",
+    ))
+
+    # Decision-latency context: how much layer time the decision hides under.
+    timing = SchedulerTiming()
+    traces = benchmark_suite("attnn", n_samples=N_PROFILE, seed=0)
+    lut = ModelInfoLUT(traces)
+    min_layer = min(
+        float(np.min(lut.avg_layer_sparsities(k) * 0 + traces[k].avg_layer_latencies.min()))
+        for k in traces
+    )
+    print()
+    print(render_table(
+        "hardware decision latency vs fastest layer",
+        ["value"],
+        {
+            "decision @ queue=64 (us)": [1e6 * timing.decision_latency(64)],
+            "fastest avg layer (us)": [1e6 * min_layer],
+            "overhead ratio": [timing.relative_overhead(64, min_layer)],
+        },
+        float_fmt="{:.3f}",
+    ))
+
+    fp32, fp16 = results["fp32"], results["fp16"]
+    # FP16 scores change metrics by < 2% relative / < 0.5pp absolute.
+    assert abs(fp16.antt_mean - fp32.antt_mean) <= 0.02 * fp32.antt_mean + 0.05
+    assert abs(fp16.violation_rate_mean - fp32.violation_rate_mean) <= 0.005
+    # The decision path hides under even the fastest layer.
+    assert timing.relative_overhead(64, min_layer) < 0.05

@@ -1,0 +1,49 @@
+"""Ablation: sparsity-coefficient strategy inside the full Dysta scheduler.
+
+Table 4 evaluates the predictor in isolation; this bench closes the loop and
+runs each strategy end-to-end, confirming the paper's choice of last-one is
+safe: the scheduling metrics are insensitive enough that the cheapest
+hardware strategy wins.
+"""
+
+from repro.bench.figures import render_table
+from repro.bench.harness import run_single
+from repro.core.predictor import PredictorStrategy
+
+from _config import N_PROFILE, N_REQUESTS, SEEDS, once
+
+
+def bench_ablation_predictor_strategy(benchmark):
+    def run():
+        out = {}
+        for strategy in PredictorStrategy:
+            out[strategy.value] = run_single(
+                "dysta", "attnn",
+                n_requests=N_REQUESTS, seeds=SEEDS, n_profile_samples=N_PROFILE,
+                scheduler_kwargs={"strategy": strategy},
+            )
+        out["no_predictor"] = run_single(
+            "dysta_nosparse", "attnn",
+            n_requests=N_REQUESTS, seeds=SEEDS, n_profile_samples=N_PROFILE,
+        )
+        return out
+
+    results = once(benchmark, run)
+
+    print()
+    print(render_table(
+        "Dysta predictor-strategy ablation (multi-AttNN @30/s)",
+        ["ANTT", "Violation %"],
+        {n: [r.antt_mean, r.violation_rate_pct] for n, r in results.items()},
+        float_fmt="{:.2f}",
+    ))
+
+    base = results["no_predictor"]
+    for strategy in PredictorStrategy:
+        res = results[strategy.value]
+        # Any monitoring strategy must not regress materially vs no monitor.
+        assert res.antt_mean <= base.antt_mean * 1.05, strategy
+        assert res.violation_rate_mean <= base.violation_rate_mean + 0.01, strategy
+    # The shipped last-one strategy stays within noise of the best.
+    best_antt = min(r.antt_mean for r in results.values())
+    assert results["last_one"].antt_mean <= best_antt * 1.1

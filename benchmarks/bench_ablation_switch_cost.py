@@ -1,0 +1,78 @@
+"""Ablation: model-switch (weight reload) cost.
+
+The paper's time-shared setting treats preemption at layer boundaries as
+free; real deployments pay a weight-reload penalty when the resident model
+changes.  Dysta's waiting-time penalty term explicitly discourages excessive
+preemption (Sec 4.2.2), so its advantage should *survive* a non-zero switch
+cost — this bench quantifies that.
+"""
+
+from repro.bench.figures import render_series
+from repro.core.lut import ModelInfoLUT
+from repro.profiling.profiler import benchmark_suite
+from repro.schedulers.base import make_scheduler
+from repro.sim.engine import simulate
+from repro.sim.workload import WorkloadSpec, generate_workload
+
+import numpy as np
+
+from _config import N_PROFILE, N_REQUESTS, SEEDS, once
+
+#: Switch costs in seconds (0 = paper setting; 2 ms ~ a full CNN weight
+#: reload over a 16 B/cycle @ 200 MHz membus).
+SWITCH_COSTS = (0.0, 0.0005, 0.002)
+SCHEDULERS = ("fcfs", "sjf", "dysta", "dysta_switchaware")
+
+
+def bench_ablation_switch_cost(benchmark):
+    def run():
+        traces = benchmark_suite("cnn", n_samples=N_PROFILE, seed=0)
+        lut = ModelInfoLUT(traces)
+        out = {}
+        for cost in SWITCH_COSTS:
+            per_sched = {}
+            for name in SCHEDULERS:
+                kwargs = {"switch_cost": cost} if name == "dysta_switchaware" else {}
+                antts, viols = [], []
+                for seed in SEEDS:
+                    spec = WorkloadSpec(3.0, n_requests=N_REQUESTS,
+                                        slo_multiplier=10.0, seed=seed)
+                    reqs = generate_workload(traces, spec)
+                    res = simulate(reqs, make_scheduler(name, lut, **kwargs),
+                                   switch_cost=cost)
+                    antts.append(res.antt)
+                    viols.append(res.violation_rate)
+                per_sched[name] = (float(np.mean(antts)), float(np.mean(viols)))
+            out[cost] = per_sched
+        return out
+
+    sweep = once(benchmark, run)
+
+    costs = list(sweep)
+    print()
+    print(render_series(
+        "ANTT vs switch cost (multi-CNN @3/s)", "cost_s", costs,
+        {s: [sweep[c][s][0] for c in costs] for s in SCHEDULERS},
+        float_fmt="{:.2f}",
+    ))
+    print()
+    print(render_series(
+        "violation rate vs switch cost", "cost_s", costs,
+        {s: [100 * sweep[c][s][1] for c in costs] for s in SCHEDULERS},
+        float_fmt="{:.1f}",
+    ))
+
+    for cost in costs:
+        # Dysta's advantage over FCFS survives every switch cost.
+        assert sweep[cost]["dysta"][0] < sweep[cost]["fcfs"][0]
+        assert sweep[cost]["dysta"][1] <= sweep[cost]["fcfs"][1] + 0.01
+    # Dysta degrades gracefully: metrics stay the right order of magnitude
+    # even at the heaviest reload cost.
+    assert sweep[costs[-1]]["dysta"][0] < 3 * sweep[0.0]["dysta"][0]
+    # Modeling the reload cost in the score (dysta_switchaware) does not
+    # regress at the heaviest cost point.
+    heavy = costs[-1]
+    assert sweep[heavy]["dysta_switchaware"][0] <= sweep[heavy]["dysta"][0] * 1.1
+    assert (
+        sweep[heavy]["dysta_switchaware"][1] <= sweep[heavy]["dysta"][1] + 0.01
+    )

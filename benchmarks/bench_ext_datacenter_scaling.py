@@ -1,0 +1,78 @@
+"""Extension: data-center accelerator-pool scaling.
+
+The paper evaluates a single time-shared accelerator; its data-center
+scenario (Table 3) naturally extends to a pool of NPUs behind one request
+queue.  This bench scales the pool at a proportionally scaled arrival rate
+and verifies (i) near-linear capacity scaling and (ii) that Dysta's ordering
+over the baselines is preserved on pools.
+"""
+
+import numpy as np
+
+from repro.bench.figures import render_series
+from repro.core.lut import ModelInfoLUT
+from repro.profiling.profiler import benchmark_suite
+from repro.schedulers.base import make_scheduler
+from repro.sim.multi import simulate_multi
+from repro.sim.workload import WorkloadSpec, generate_workload
+
+from _config import N_PROFILE, N_REQUESTS, SEEDS, once
+
+POOL_SIZES = (1, 2, 4)
+SCHEDULERS = ("fcfs", "sjf", "dysta")
+PER_NPU_RATE = 25.0  # slightly below single-NPU capacity
+
+
+def bench_ext_datacenter_pool_scaling(benchmark):
+    def run():
+        traces = benchmark_suite("attnn", n_samples=N_PROFILE, seed=0)
+        lut = ModelInfoLUT(traces)
+        out = {}
+        for k in POOL_SIZES:
+            per_sched = {}
+            for name in SCHEDULERS:
+                antts, viols, stps = [], [], []
+                for seed in SEEDS:
+                    spec = WorkloadSpec(PER_NPU_RATE * k, n_requests=N_REQUESTS,
+                                        slo_multiplier=10.0, seed=seed)
+                    reqs = generate_workload(traces, spec)
+                    res = simulate_multi(reqs, make_scheduler(name, lut),
+                                         num_accelerators=k)
+                    antts.append(res.antt)
+                    viols.append(res.violation_rate)
+                    stps.append(res.stp)
+                per_sched[name] = (
+                    float(np.mean(antts)), float(np.mean(viols)), float(np.mean(stps))
+                )
+            out[k] = per_sched
+        return out
+
+    sweep = once(benchmark, run)
+
+    ks = list(sweep)
+    print()
+    print(render_series(
+        f"pool scaling, ANTT ({PER_NPU_RATE:g} req/s per NPU)", "npus", ks,
+        {s: [sweep[k][s][0] for k in ks] for s in SCHEDULERS},
+        float_fmt="{:.2f}",
+    ))
+    print()
+    print(render_series(
+        "pool scaling, STP (inf/s)", "npus", ks,
+        {s: [sweep[k][s][2] for k in ks] for s in SCHEDULERS},
+        float_fmt="{:.1f}",
+    ))
+
+    # Throughput scales ~linearly with the pool at fixed per-NPU load.
+    for name in SCHEDULERS:
+        stp1 = sweep[1][name][2]
+        stp4 = sweep[4][name][2]
+        assert stp4 > 3.0 * stp1, name
+    # Pooling *helps* tail behaviour (statistical multiplexing): ANTT at k=4
+    # is no worse than at k=1 for the smart policies.
+    for name in ("sjf", "dysta"):
+        assert sweep[4][name][0] <= sweep[1][name][0] * 1.2, name
+    # Dysta still leads FCFS on pools.
+    for k in ks:
+        assert sweep[k]["dysta"][0] < sweep[k]["fcfs"][0]
+        assert sweep[k]["dysta"][1] <= sweep[k]["fcfs"][1] + 0.01

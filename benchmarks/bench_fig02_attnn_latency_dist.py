@@ -1,0 +1,53 @@
+"""Figure 2: impact of dynamic sparsity on language-model latency.
+
+The paper profiles sparse BERT over SQuAD on the Sanger accelerator and plots
+the normalized latency distribution of the last and second-last layers,
+observing a 0.6x-1.8x spread.  This bench regenerates those distributions.
+"""
+
+import numpy as np
+
+from repro.bench.figures import render_table
+from repro.bench.viz import ascii_histogram
+from repro.models.registry import build_model
+from repro.profiling.profiler import profile_model
+from repro.sparsity.patterns import DENSE
+
+from _config import N_PROFILE, once
+
+
+def _histogram_row(values, bins):
+    hist, _ = np.histogram(values, bins=bins, density=True)
+    return [float(h) for h in hist]
+
+
+def bench_fig02_bert_layer_latency_distribution(benchmark):
+    def run():
+        trace = profile_model(build_model("bert"), DENSE, n_samples=N_PROFILE, seed=0)
+        out = {}
+        for label, idx in (("second_last", -2), ("last", -1)):
+            lat = trace.latencies[:, idx]
+            out[label] = lat / lat.mean()
+        return out
+
+    normalized = once(benchmark, run)
+
+    bins = np.linspace(0.5, 2.0, 11)
+    columns = [f"[{bins[i]:.2f},{bins[i+1]:.2f})" for i in range(len(bins) - 1)]
+    rows = {
+        f"{label} layer": _histogram_row(values, bins)
+        for label, values in normalized.items()
+    }
+    print()
+    print(render_table("Fig 2: BERT normalized layer latency (density)",
+                       columns, rows, float_fmt="{:.2f}"))
+    for label, values in normalized.items():
+        print()
+        print(ascii_histogram(values, bins=14, width=40,
+                              title=f"Fig 2 histogram: {label} layer"))
+
+    for label, values in normalized.items():
+        # Paper: normalized latency varies from ~0.6 to ~1.8.
+        assert values.min() < 0.85, f"{label}: no fast tail"
+        assert values.max() > 1.25, f"{label}: no slow tail"
+        assert 0.99 < values.mean() < 1.01

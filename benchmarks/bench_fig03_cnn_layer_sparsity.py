@@ -1,0 +1,44 @@
+"""Figure 3: activation-sparsity ratios of the last six layers of ResNet-50
+and VGG-16, profiled over in-distribution + low-light inputs.
+
+The paper observes per-layer sparsities mostly spanning ~10%-45% (ResNet-50)
+and ~30%-70% (VGG-16) once ExDark/DarkFace images are included.
+"""
+
+import numpy as np
+
+from repro.bench.figures import render_table
+from repro.models.registry import build_model
+from repro.profiling.profiler import DEFAULT_CNN_PATTERNS, profile_model
+
+from _config import N_PROFILE, once
+
+
+def bench_fig03_layer_sparsity_ranges(benchmark):
+    def run():
+        out = {}
+        for name in ("resnet50", "vgg16"):
+            model = build_model(name)
+            trace = profile_model(
+                model, DEFAULT_CNN_PATTERNS[0], n_samples=N_PROFILE, seed=0
+            )
+            # Last six *compute* layers, as in the paper's profiling.
+            out[name] = trace.sparsities[:, -6:]
+        return out
+
+    sparsities = once(benchmark, run)
+
+    columns = [f"L-{6 - i}" for i in range(6)]
+    rows = {}
+    for name, sp in sparsities.items():
+        rows[f"{name} p10"] = [float(v) for v in np.percentile(sp, 10, axis=0)]
+        rows[f"{name} p90"] = [float(v) for v in np.percentile(sp, 90, axis=0)]
+    print()
+    print(render_table("Fig 3: last-six-layer activation sparsity", columns, rows))
+
+    for name, sp in sparsities.items():
+        spread = np.percentile(sp, 90, axis=0) - np.percentile(sp, 10, axis=0)
+        # Large per-layer variance across inputs (paper: low-light images
+        # introduce a wide sparsity range).
+        assert spread.max() > 0.10, f"{name}: sparsity spread too narrow"
+        assert 0.05 < sp.mean() < 0.9

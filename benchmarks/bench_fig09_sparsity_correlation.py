@@ -1,0 +1,48 @@
+"""Figure 9: Pearson correlation of layer sparsities in BERT and GPT-2.
+
+The paper's key predictor-design observation: per-input layer sparsities are
+highly linearly correlated across layers, justifying a cheap linear sparse
+latency predictor fed by a single monitored layer.
+"""
+
+import numpy as np
+
+from repro.bench.figures import render_table
+from repro.models.registry import build_model
+from repro.profiling.profiler import profile_model
+from repro.sparsity.dynamic import correlation_matrix
+from repro.sparsity.patterns import DENSE
+
+from _config import N_PROFILE, once
+
+
+def bench_fig09_layer_sparsity_correlation(benchmark):
+    def run():
+        out = {}
+        for name in ("bert", "gpt2"):
+            trace = profile_model(build_model(name), DENSE, n_samples=N_PROFILE, seed=0)
+            # Correlations of the 12 attention-score layers (one per block),
+            # matching the paper's 12x12 heatmaps.
+            score_cols = [
+                j for j, layer_name in enumerate(trace.layer_names)
+                if layer_name.endswith("_attn_score")
+            ]
+            out[name] = correlation_matrix(trace.sparsities[:, score_cols])
+        return out
+
+    matrices = once(benchmark, run)
+
+    rows = {}
+    for name, corr in matrices.items():
+        off_diag = corr[np.triu_indices_from(corr, k=1)]
+        rows[name] = [
+            float(off_diag.mean()), float(off_diag.min()), float(off_diag.max())
+        ]
+    print()
+    print(render_table("Fig 9: off-diagonal layer-sparsity correlation",
+                       ["mean", "min", "max"], rows))
+
+    for name, corr in matrices.items():
+        off_diag = corr[np.triu_indices_from(corr, k=1)]
+        assert off_diag.mean() > 0.85, f"{name}: correlation too weak for Fig 9"
+        assert (np.diag(corr) > 0.999).all()

@@ -1,0 +1,57 @@
+"""Figure 12: the ANTT / SLO-violation trade-off scatter.
+
+Multi-AttNN at 30 & 40 samples/s and multi-CNN at 3 & 4 samples/s.  Dysta
+must sit in the lower-left corner (Pareto-dominant or tied) in every panel.
+"""
+
+from repro.bench.figures import render_table
+from repro.bench.viz import ascii_scatter
+from repro.bench.harness import PAPER_SCHEDULERS, run_comparison
+
+from _config import N_PROFILE, N_REQUESTS, SEEDS, once
+
+PANELS = (("attnn", 30.0), ("attnn", 40.0), ("cnn", 3.0), ("cnn", 4.0))
+
+
+def bench_fig12_tradeoff_scatter(benchmark):
+    def run():
+        return {
+            (family, rate): run_comparison(
+                family,
+                schedulers=PAPER_SCHEDULERS,
+                arrival_rate=rate,
+                n_requests=N_REQUESTS,
+                seeds=SEEDS,
+                n_profile_samples=N_PROFILE,
+            )
+            for family, rate in PANELS
+        }
+
+    panels = once(benchmark, run)
+
+    for (family, rate), results in panels.items():
+        print()
+        print(render_table(
+            f"Fig 12 panel: {family} @ {rate:g}/s (x=violation%, y=ANTT)",
+            ["Violation %", "ANTT"],
+            {n: [r.violation_rate_pct, r.antt_mean] for n, r in results.items()},
+            float_fmt="{:.2f}",
+        ))
+        print()
+        print(ascii_scatter(
+            {n: (r.violation_rate_pct, r.antt_mean) for n, r in results.items()},
+            title=f"Fig 12 scatter: {family} @ {rate:g}/s",
+            x_label="violation %", y_label="ANTT",
+        ))
+
+    for (family, rate), results in panels.items():
+        dysta = results["dysta"]
+        for name, res in results.items():
+            if name in ("dysta", "oracle"):
+                continue
+            # Nothing may dominate Dysta on both axes.
+            dominates = (
+                res.antt_mean < dysta.antt_mean * 0.98
+                and res.violation_rate_mean < dysta.violation_rate_mean - 0.005
+            )
+            assert not dominates, f"{name} dominates dysta in {family}@{rate}"

@@ -1,0 +1,54 @@
+"""Figure 13: optimization breakdown.
+
+Compares PREMA (SOTA baseline), Dysta-w/o-sparse (static score level only)
+and full Dysta, separating the gain of the static score-based scheduling
+from the gain of the dynamic sparsity-aware hardware level.
+"""
+
+from repro.bench.figures import render_table
+from repro.bench.harness import run_comparison
+
+from _config import N_PROFILE, N_REQUESTS, SEEDS, once
+
+LINEUP = ("prema", "dysta_nosparse", "dysta")
+
+
+def bench_fig13_optimization_breakdown(benchmark):
+    def run():
+        return {
+            family: run_comparison(
+                family,
+                schedulers=LINEUP,
+                arrival_rate=rate,
+                n_requests=N_REQUESTS,
+                seeds=SEEDS,
+                n_profile_samples=N_PROFILE,
+            )
+            for family, rate in (("attnn", 30.0), ("cnn", 3.0))
+        }
+
+    breakdown = once(benchmark, run)
+
+    for family, results in breakdown.items():
+        print()
+        print(render_table(
+            f"Fig 13 ({family}): optimization breakdown",
+            ["ANTT", "Violation %"],
+            {n: [r.antt_mean, r.violation_rate_pct] for n, r in results.items()},
+            float_fmt="{:.2f}",
+        ))
+
+    for family, results in breakdown.items():
+        prema = results["prema"]
+        static_only = results["dysta_nosparse"]
+        full = results["dysta"]
+        # Static score level already beats PREMA on violations (the paper's
+        # first breakdown step).
+        assert static_only.violation_rate_mean < prema.violation_rate_mean, family
+        # Adding the dynamic sparse predictor must not regress either metric
+        # and completes the full-Dysta result.
+        assert full.antt_mean <= static_only.antt_mean * 1.02, family
+        assert (
+            full.violation_rate_mean <= static_only.violation_rate_mean + 0.005
+        ), family
+        assert full.antt_mean <= prema.antt_mean, family

@@ -1,0 +1,67 @@
+"""Figure 14: robustness across latency SLO multipliers (10x - 150x).
+
+Both metrics must decline as the SLO relaxes; Dysta must stay at (or near)
+the bottom of both curves at every multiplier, for both families and both
+arrival rates.
+"""
+
+from repro.bench.figures import render_series
+from repro.bench.viz import ascii_line_chart
+from repro.bench.harness import run_comparison
+
+from _config import FULL, N_PROFILE, N_REQUESTS, SEEDS, SLO_MULTIPLIERS, once
+
+SCHEDULERS = ("fcfs", "sjf", "prema", "planaria", "oracle", "dysta")
+PANELS = (
+    (("attnn", 30.0), ("attnn", 40.0), ("cnn", 3.0), ("cnn", 4.0))
+    if FULL
+    else (("attnn", 30.0), ("cnn", 3.0))
+)
+
+
+def bench_fig14_slo_multiplier_sweep(benchmark):
+    def run():
+        out = {}
+        for family, rate in PANELS:
+            per_slo = {}
+            for mult in SLO_MULTIPLIERS:
+                per_slo[mult] = run_comparison(
+                    family,
+                    schedulers=SCHEDULERS,
+                    arrival_rate=rate,
+                    slo_multiplier=float(mult),
+                    n_requests=N_REQUESTS,
+                    seeds=SEEDS,
+                    n_profile_samples=N_PROFILE,
+                )
+            out[(family, rate)] = per_slo
+        return out
+
+    sweeps = once(benchmark, run)
+
+    for (family, rate), per_slo in sweeps.items():
+        x = list(per_slo)
+        viol = {s: [per_slo[m][s].violation_rate_pct for m in x] for s in SCHEDULERS}
+        antt = {s: [per_slo[m][s].antt_mean for m in x] for s in SCHEDULERS}
+        print()
+        print(render_series(f"Fig 14 {family}@{rate:g}/s: violation %", "Mslo", x, viol,
+                            float_fmt="{:.1f}"))
+        print()
+        print(render_series(f"Fig 14 {family}@{rate:g}/s: ANTT", "Mslo", x, antt,
+                            float_fmt="{:.2f}"))
+        print()
+        print(ascii_line_chart(x, viol,
+                               title=f"Fig 14 {family}@{rate:g}/s violation-%"))
+
+    for (family, rate), per_slo in sweeps.items():
+        mults = sorted(per_slo)
+        for sched in SCHEDULERS:
+            viols = [per_slo[m][sched].violation_rate_mean for m in mults]
+            # Violations decline as the SLO relaxes (weak monotonicity).
+            assert viols[-1] <= viols[0] + 0.02, (family, sched)
+        for mult in mults:
+            results = per_slo[mult]
+            best_viol = min(r.violation_rate_mean for r in results.values())
+            assert results["dysta"].violation_rate_mean <= best_viol + 0.02, (
+                family, mult,
+            )

@@ -1,0 +1,75 @@
+"""Figure 15: robustness across arrival rates.
+
+Violation rate and ANTT rise with traffic; system throughput (STP) rises to
+hardware capacity and is scheduler-independent; Dysta keeps outperforming at
+every rate, with the gap growing under heavier traffic.
+"""
+
+from repro.bench.figures import render_series
+from repro.bench.harness import run_comparison
+
+from _config import ATTNN_RATES, CNN_RATES, N_PROFILE, N_REQUESTS, SEEDS, once
+
+SCHEDULERS = ("fcfs", "sjf", "prema", "planaria", "oracle", "dysta")
+
+
+def _sweep(family, rates):
+    return {
+        rate: run_comparison(
+            family,
+            schedulers=SCHEDULERS,
+            arrival_rate=float(rate),
+            n_requests=N_REQUESTS,
+            seeds=SEEDS,
+            n_profile_samples=N_PROFILE,
+        )
+        for rate in rates
+    }
+
+
+def _print_panel(family, sweep):
+    rates = list(sweep)
+    for metric, fmt, getter in (
+        ("violation %", "{:.1f}", lambda r: r.violation_rate_pct),
+        ("STP (inf/s)", "{:.2f}", lambda r: r.stp_mean),
+        ("ANTT", "{:.2f}", lambda r: r.antt_mean),
+    ):
+        series = {s: [getter(sweep[x][s]) for x in rates] for s in SCHEDULERS}
+        print()
+        print(render_series(f"Fig 15 {family}: {metric}", "rate", rates, series,
+                            float_fmt=fmt))
+
+
+def _check_panel(family, sweep, capacity_range):
+    rates = sorted(sweep)
+    # Violations grow with traffic for every scheduler.
+    for sched in SCHEDULERS:
+        viols = [sweep[r][sched].violation_rate_mean for r in rates]
+        assert viols[-1] >= viols[0] - 0.02, (family, sched)
+    # STP is scheduler-independent and saturates near hardware capacity.
+    for rate in rates:
+        stps = [res.stp_mean for res in sweep[rate].values()]
+        assert max(stps) / min(stps) < 1.15, (family, rate)
+    top_stp = max(res.stp_mean for res in sweep[rates[-1]].values())
+    lo, hi = capacity_range
+    assert lo < top_stp < hi, f"{family}: saturation STP {top_stp}"
+    # Dysta leads (or ties) the violation curve at the heaviest traffic.
+    heavy = sweep[rates[-1]]
+    best = min(
+        res.violation_rate_mean for name, res in heavy.items() if name != "oracle"
+    )
+    assert heavy["dysta"].violation_rate_mean <= best + 0.02
+
+
+def bench_fig15_attnn_rate_sweep(benchmark):
+    sweep = once(benchmark, lambda: _sweep("attnn", ATTNN_RATES))
+    _print_panel("multi-AttNN", sweep)
+    # Paper Fig 15(a): STP saturates around ~27 inf/s.
+    _check_panel("attnn", sweep, capacity_range=(20.0, 36.0))
+
+
+def bench_fig15_cnn_rate_sweep(benchmark):
+    sweep = once(benchmark, lambda: _sweep("cnn", CNN_RATES))
+    _print_panel("multi-CNN", sweep)
+    # Paper Fig 15(b): STP saturates around ~3.3 inf/s.
+    _check_panel("cnn", sweep, capacity_range=(2.5, 4.5))

@@ -1,0 +1,32 @@
+"""Figure 16: hardware-scheduler resource usage under the two optimizations
+(reconfigurable compute unit sharing; FP16), at FIFO depths 512 and 64."""
+
+from repro.bench.figures import render_table
+from repro.hw.report import normalized_usage
+
+from _config import once
+
+
+def bench_fig16_resource_optimizations(benchmark):
+    usage = once(
+        benchmark, lambda: {depth: normalized_usage(depth) for depth in (512, 64)}
+    )
+
+    for depth, table in usage.items():
+        print()
+        print(render_table(
+            f"Fig 16: normalized resource usage (FIFO depth {depth})",
+            ["LUT", "FF", "DSP"],
+            {name: [row["LUT"], row["FF"], row["DSP"]] for name, row in table.items()},
+        ))
+
+    for depth, table in usage.items():
+        base = table["Non_Opt_FP32"]
+        assert all(v == 1.0 for v in base.values())
+        for metric in ("LUT", "FF", "DSP"):
+            # Each optimization strictly reduces every resource type, at both
+            # FIFO depths (the paper's "similar reduction trend").
+            assert table["Opt_FP32"][metric] < 1.0, (depth, metric)
+            assert table["Opt_FP16"][metric] < table["Opt_FP32"][metric], (depth, metric)
+        # The reconfigurable unit alone saves >40% of LUTs.
+        assert table["Opt_FP32"]["LUT"] < 0.6

@@ -1,0 +1,60 @@
+"""Performance benchmarks of the simulation infrastructure itself.
+
+Unlike the experiment benches (which reproduce paper figures and run once),
+these measure wall-clock throughput of the hot paths with real statistical
+rounds — regression guards for the simulator.
+"""
+
+from repro.core.lut import ModelInfoLUT
+from repro.models.registry import build_model
+from repro.profiling.profiler import benchmark_suite, profile_model
+from repro.schedulers.base import make_scheduler
+from repro.sim.engine import simulate
+from repro.sim.workload import WorkloadSpec, generate_workload
+from repro.sparsity.patterns import DENSE
+
+
+def _fresh_workload(traces, n=200, seed=0):
+    spec = WorkloadSpec(30.0, n_requests=n, slo_multiplier=10.0, seed=seed)
+    return generate_workload(traces, spec)
+
+
+def bench_perf_profiling_throughput(benchmark):
+    """Phase-1 speed: profile BERT x 200 samples (vectorized cost model)."""
+    model = build_model("bert")
+
+    def run():
+        return profile_model(model, DENSE, n_samples=200, seed=1)
+
+    trace = benchmark(run)
+    assert trace.num_samples == 200
+
+
+def bench_perf_engine_dysta(benchmark):
+    """Phase-2 speed: Dysta on 200 requests (~14k scheduling decisions)."""
+    traces = benchmark_suite("attnn", n_samples=100, seed=0)
+    lut = ModelInfoLUT(traces)
+
+    def setup():
+        return (_fresh_workload(traces), make_scheduler("dysta", lut)), {}
+
+    def run(requests, scheduler):
+        return simulate(requests, scheduler)
+
+    result = benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)
+    assert len(result.requests) == 200
+
+
+def bench_perf_engine_fcfs(benchmark):
+    """Phase-2 baseline speed: FCFS has the cheapest select path."""
+    traces = benchmark_suite("attnn", n_samples=100, seed=0)
+    lut = ModelInfoLUT(traces)
+
+    def setup():
+        return (_fresh_workload(traces), make_scheduler("fcfs", lut)), {}
+
+    def run(requests, scheduler):
+        return simulate(requests, scheduler)
+
+    result = benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)
+    assert len(result.requests) == 200

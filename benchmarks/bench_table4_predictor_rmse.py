@@ -1,0 +1,41 @@
+"""Table 4: RMSE of the sparse latency predictor under the three sparsity-
+coefficient strategies (average-all / last-N / last-one) on BERT and GPT-2.
+
+Paper finding: average-all and last-one perform comparably and beat last-N;
+last-one is chosen for hardware cheapness.
+"""
+
+from repro.bench.figures import render_table
+from repro.core.lut import ModelInfoLUT
+from repro.core.predictor import rmse_by_strategy
+from repro.profiling.profiler import benchmark_suite
+
+from _config import N_PROFILE, once
+
+
+def bench_table4_predictor_rmse(benchmark):
+    def run():
+        traces = benchmark_suite("attnn", n_samples=N_PROFILE, seed=0)
+        lut = ModelInfoLUT(traces)
+        subset = {k: traces[k] for k in ("bert/dense", "gpt2/dense")}
+        return rmse_by_strategy(lut, subset)
+
+    table = once(benchmark, run)
+
+    print()
+    print(render_table(
+        "Table 4: predictor RMSE (normalized remaining latency)",
+        ["Average-All", "Last-N", "Last-One"],
+        {
+            key.split("/")[0]: [row["average_all"], row["last_n"], row["last_one"]]
+            for key, row in table.items()
+        },
+        float_fmt="{:.5f}",
+    ))
+
+    for key, row in table.items():
+        # Paper ordering: last-N is the weakest strategy.
+        assert row["average_all"] < row["last_n"], key
+        assert row["last_one"] < row["last_n"], key
+        # average-all and last-one comparable (same order of magnitude).
+        assert row["average_all"] / row["last_one"] > 0.3, key

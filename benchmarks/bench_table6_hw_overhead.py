@@ -1,0 +1,31 @@
+"""Table 6: resource overhead of the Dysta scheduler relative to Eyeriss-V2
+(Opt_FP16 design, FIFO depth 64, Zynq ZU7EV targets)."""
+
+from repro.bench.figures import render_table
+from repro.hw.report import overhead_table
+
+from _config import once
+
+
+def bench_table6_scheduler_overhead(benchmark):
+    table = once(benchmark, overhead_table)
+
+    print()
+    rows = {}
+    for name, (luts, dsps, ram_kb) in table.items():
+        if name == "Total Overhead":
+            rows[name] = [f"{100 * luts:.2f}%", f"{100 * dsps:.2f}%", f"{100 * ram_kb:.2f}%"]
+        else:
+            rows[name] = [f"{luts:.0f}", f"{dsps:.0f}", f"{ram_kb:.2f} KB"]
+    print(render_table("Table 6: Dysta scheduler overhead", ["LUTs", "DSPs", "RAM"], rows))
+
+    luts, dsps, ram = table["Total Overhead"]
+    # Paper: 0.55% LUTs, 1.5% DSPs, 0.35% RAM — all well under 2%.
+    assert luts < 0.02
+    assert dsps < 0.02
+    assert ram < 0.02
+    # Scheduler scale matches the paper's 553 LUT / 3 DSP / 0.5 KB report.
+    sched_luts, sched_dsps, sched_ram = table["Scheduler"]
+    assert 400 <= sched_luts <= 800
+    assert sched_dsps == 3
+    assert 0.3 <= sched_ram <= 0.8

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Quickstart: profile the sparse multi-DNN benchmark, generate a workload,
+schedule it with Dysta, and compare against classic baselines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ModelInfoLUT,
+    WorkloadSpec,
+    benchmark_suite,
+    generate_workload,
+    make_scheduler,
+    simulate,
+)
+
+def main() -> None:
+    # Phase 1 (paper Fig 7): "hardware simulation" — profile every sparse
+    # model over its dataset on the target accelerator.  Results are
+    # per-layer (latency, sparsity) traces, cached across calls.
+    traces = benchmark_suite("attnn", n_samples=200, seed=0)
+    print(f"profiled {len(traces)} (model, pattern) pairs:")
+    for key, trace in sorted(traces.items()):
+        print(f"  {key:12s} avg latency {1e3 * trace.avg_total_latency:6.2f} ms "
+              f"({trace.num_samples} samples x {trace.num_layers} layers)")
+
+    # The static scheduler's model-info LUT (Algorithm 1).
+    lut = ModelInfoLUT(traces)
+
+    # Phase 2: scheduling evaluation.  30 requests/s Poisson traffic, SLO =
+    # 10x each request's isolated latency — the paper's Table 5 setup.
+    spec = WorkloadSpec(arrival_rate=30.0, n_requests=500, slo_multiplier=10.0,
+                        seed=1)
+
+    print(f"\n{'scheduler':12s} {'ANTT':>8s} {'violations':>12s} {'STP':>8s}")
+    for name in ("fcfs", "sjf", "prema", "planaria", "dysta"):
+        requests = generate_workload(traces, spec)  # same stream per policy
+        result = simulate(requests, make_scheduler(name, lut))
+        print(f"{name:12s} {result.antt:8.2f} {100 * result.violation_rate:11.1f}% "
+              f"{result.stp:8.2f}")
+
+if __name__ == "__main__":
+    main()

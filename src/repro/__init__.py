@@ -1,0 +1,65 @@
+"""Sparse-DySta reproduction: sparsity-aware dynamic & static scheduling for
+sparse multi-DNN workloads (Fan et al., MICRO 2023).
+
+Typical usage — profile the benchmark, generate a workload, schedule it::
+
+    from repro import (
+        ModelInfoLUT, WorkloadSpec, benchmark_suite, generate_workload,
+        make_scheduler, simulate,
+    )
+
+    traces = benchmark_suite("attnn", n_samples=200, seed=0)
+    lut = ModelInfoLUT(traces)
+    requests = generate_workload(traces, WorkloadSpec(arrival_rate=30.0,
+                                                      n_requests=500, seed=1))
+    result = simulate(requests, make_scheduler("dysta", lut))
+    print(result.antt, result.violation_rate)
+"""
+
+from repro.errors import (
+    HardwareModelError,
+    ModelError,
+    ProfilingError,
+    ReproError,
+    SchedulingError,
+    SparsityError,
+)
+from repro.models import ModelGraph, build_model, list_models
+from repro.sparsity import SparsityPattern, WeightSparsityConfig
+from repro.accel import EyerissV2, Sanger
+from repro.profiling import TraceSet, benchmark_suite, profile_model
+from repro.core import DystaScheduler, ModelInfoLUT, PredictorStrategy, SparseLatencyPredictor
+from repro.schedulers import available_schedulers, make_scheduler
+from repro.sim import SimResult, WorkloadSpec, generate_workload, simulate
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "SparsityError",
+    "ProfilingError",
+    "SchedulingError",
+    "HardwareModelError",
+    "ModelGraph",
+    "build_model",
+    "list_models",
+    "SparsityPattern",
+    "WeightSparsityConfig",
+    "EyerissV2",
+    "Sanger",
+    "TraceSet",
+    "benchmark_suite",
+    "profile_model",
+    "DystaScheduler",
+    "ModelInfoLUT",
+    "PredictorStrategy",
+    "SparseLatencyPredictor",
+    "available_schedulers",
+    "make_scheduler",
+    "SimResult",
+    "WorkloadSpec",
+    "generate_workload",
+    "simulate",
+    "__version__",
+]

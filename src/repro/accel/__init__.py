@@ -1,0 +1,8 @@
+"""Accelerator performance models: Eyeriss-V2 (sparse CNNs) and Sanger
+(sparse attention), per paper Sec 3.3.2."""
+
+from repro.accel.base import Accelerator, LayerCost
+from repro.accel.eyeriss import EyerissV2
+from repro.accel.sanger import Sanger
+
+__all__ = ["Accelerator", "LayerCost", "EyerissV2", "Sanger"]

@@ -1,0 +1,83 @@
+"""Common accelerator interface.
+
+An accelerator model maps ``(layer, weight-sparsity config, activation
+sparsity)`` to a latency.  This is the contract the profiling phase consumes:
+the scheduler never sees the accelerator directly, only the per-layer latency
+and sparsity traces it produced (paper Fig 7).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ProfilingError
+from repro.models.graph import Layer, ModelGraph
+from repro.sparsity.patterns import WeightSparsityConfig
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Cost breakdown of one layer execution."""
+
+    compute_cycles: float
+    memory_cycles: float
+    overhead_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        # Compute and memory are double-buffered/overlapped; the slower one
+        # bounds the layer, plus a fixed dispatch overhead.
+        return max(self.compute_cycles, self.memory_cycles) + self.overhead_cycles
+
+
+class Accelerator(abc.ABC):
+    """Analytic accelerator performance model."""
+
+    #: Human-readable accelerator name.
+    name: str = "accelerator"
+    #: Clock frequency in Hz.
+    clock_hz: float = 200e6
+
+    @abc.abstractmethod
+    def layer_cost(
+        self, layer: Layer, weights: WeightSparsityConfig, activation_sparsity: float
+    ) -> LayerCost:
+        """Cycle-level cost of one layer under the given sparsity."""
+
+    def layer_latency(
+        self, layer: Layer, weights: WeightSparsityConfig, activation_sparsity: float
+    ) -> float:
+        """Latency of one layer in seconds."""
+        return self.layer_cost(layer, weights, activation_sparsity).total_cycles / self.clock_hz
+
+    def model_latencies(
+        self,
+        model: ModelGraph,
+        weights: WeightSparsityConfig,
+        activation_sparsities: np.ndarray,
+    ) -> np.ndarray:
+        """Per-layer latencies for a batch of sparsity samples.
+
+        Args:
+            activation_sparsities: ``(n_samples, num_layers)`` matrix.
+
+        Returns:
+            ``(n_samples, num_layers)`` latency matrix in seconds.
+        """
+        sparsities = np.asarray(activation_sparsities, dtype=float)
+        if sparsities.ndim != 2 or sparsities.shape[1] != model.num_layers:
+            raise ProfilingError(
+                f"expected sparsity matrix of shape (n, {model.num_layers}), "
+                f"got {sparsities.shape}"
+            )
+        out = np.empty_like(sparsities)
+        for j, layer in enumerate(model.layers):
+            # Latency is monotone in sparsity; evaluate per unique-ish value
+            # would over-engineer: direct evaluation is vectorized per layer.
+            out[:, j] = [
+                self.layer_latency(layer, weights, float(s)) for s in sparsities[:, j]
+            ]
+        return out

@@ -1,0 +1,118 @@
+"""Analytic Eyeriss-V2 performance model for sparse CNNs.
+
+Eyeriss-V2 (Chen et al., JETCAS'19) processes convolutions on a PE array with
+a hierarchical-mesh NoC and supports *both* weight and activation sparsity by
+skipping ineffectual MACs on CSC-compressed operands.  We model a layer's
+execution as the max of a compute phase and a (double-buffered)
+weight-streaming phase:
+
+* compute cycles = effectual MACs / (effective PE throughput x utilization),
+  where effectual MACs follow from the weight pattern x activation sparsity
+  interplay (:func:`repro.sparsity.patterns.valid_mac_fraction`) and
+  utilization is pattern-dependent (random point-wise sparsity load-imbalances
+  the array; structured patterns keep it busy);
+* memory cycles = compressed weight bytes / off-chip bandwidth;
+* a fixed per-layer dispatch overhead.
+
+Calibration: ``effective_pe_throughput`` is the sustained MACs/cycle of the
+FPGA implementation the paper evaluates against (place-and-route derate and
+NoC stalls included).  It is set so the multi-CNN workload saturates at
+~3.3 inf/s, matching the paper's Fig 15(b) STP curve; all scheduling results
+depend only on this relative scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.base import Accelerator, LayerCost
+from repro.errors import ProfilingError
+from repro.models.graph import Layer, LayerKind, ModelGraph
+from repro.sparsity.patterns import (
+    WeightSparsityConfig,
+    pattern_overlap_gain,
+    pattern_pe_utilization,
+)
+
+
+@dataclass
+class EyerissV2(Accelerator):
+    """Eyeriss-V2 cost model (paper Sec 3.3.2, FPGA variant at 200 MHz)."""
+
+    name: str = "eyeriss_v2"
+    clock_hz: float = 200e6
+    #: Sustained MACs/cycle after place-and-route derate and NoC stalls.
+    effective_pe_throughput: float = 48.0
+    #: Off-chip bandwidth in bytes/cycle for streaming compressed weights.
+    bytes_per_cycle: float = 16.0
+    #: Bytes per (8-bit) weight including CSC index overhead.
+    weight_bytes: float = 1.25
+    #: Fixed per-layer dispatch/configuration overhead in cycles.
+    layer_overhead_cycles: float = 2000.0
+    #: Depthwise convolutions have poor input reuse on the array.
+    depthwise_utilization_factor: float = 0.55
+    #: Replace the constant base utilization with the per-layer-shape
+    #: row-stationary mapping model (repro.accel.eyeriss_detail).  Off by
+    #: default: the constant model is what the capacity calibration targets.
+    detailed_mapping: bool = False
+
+    def _utilization(self, layer: Layer, weights: WeightSparsityConfig) -> float:
+        util = pattern_pe_utilization(weights.pattern)
+        if layer.kind is LayerKind.DWCONV:
+            util *= self.depthwise_utilization_factor
+        if self.detailed_mapping:
+            from repro.accel.eyeriss_detail import rs_layer_utilization  # noqa: PLC0415
+
+            util *= rs_layer_utilization(layer)
+        return util
+
+    def _layer_cycles(
+        self, layer: Layer, weights: WeightSparsityConfig, activation_sparsity
+    ):
+        """Total cycles; ``activation_sparsity`` may be a scalar or ndarray."""
+        w_density = 1.0 - weights.effective_rate
+        gain = pattern_overlap_gain(weights)
+        a_density = np.minimum(1.0, (1.0 - activation_sparsity) * (1.0 + gain))
+        util = self._utilization(layer, weights)
+        compute = layer.macs * w_density * a_density / (
+            self.effective_pe_throughput * util
+        )
+        memory = layer.params * w_density * self.weight_bytes / self.bytes_per_cycle
+        return compute, memory
+
+    def layer_cost(
+        self, layer: Layer, weights: WeightSparsityConfig, activation_sparsity: float
+    ) -> LayerCost:
+        if layer.kind not in (LayerKind.CONV, LayerKind.DWCONV, LayerKind.FC):
+            raise ProfilingError(f"Eyeriss-V2 model cannot execute layer kind {layer.kind}")
+        if not 0.0 <= activation_sparsity <= 1.0:
+            raise ProfilingError(
+                f"activation sparsity must be in [0, 1], got {activation_sparsity}"
+            )
+        compute, memory = self._layer_cycles(layer, weights, activation_sparsity)
+        return LayerCost(
+            compute_cycles=float(compute),
+            memory_cycles=float(memory),
+            overhead_cycles=self.layer_overhead_cycles,
+        )
+
+    def model_latencies(
+        self,
+        model: ModelGraph,
+        weights: WeightSparsityConfig,
+        activation_sparsities: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized per-layer latencies, seconds, shape (n, num_layers)."""
+        s = np.asarray(activation_sparsities, dtype=float)
+        if s.ndim != 2 or s.shape[1] != model.num_layers:
+            raise ProfilingError(
+                f"expected sparsity matrix of shape (n, {model.num_layers}), got {s.shape}"
+            )
+        out = np.empty_like(s)
+        for j, layer in enumerate(model.layers):
+            compute, memory = self._layer_cycles(layer, weights, s[:, j])
+            cycles = np.maximum(compute, memory) + self.layer_overhead_cycles
+            out[:, j] = cycles / self.clock_hz
+        return out

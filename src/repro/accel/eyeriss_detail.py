@@ -1,0 +1,97 @@
+"""Row-stationary dataflow mapping model for Eyeriss-V2.
+
+The analytic :class:`repro.accel.eyeriss.EyerissV2` model uses a constant
+base PE utilization.  This module computes the *mapping* utilization of the
+row-stationary (RS) dataflow per layer shape — how full the physical PE array
+is once a convolution's filter rows and output rows are spatially mapped —
+so the cost model can be layer-shape aware:
+
+* each logical RS processing set occupies ``R`` PE rows (filter height) by
+  ``E'`` PE columns (a strip of output rows, up to the array width);
+* sets are replicated vertically ``floor(rows / R)`` times across different
+  filters/channels;
+* the leftover ``rows mod R`` PE rows idle — the classic RS fragmentation
+  (e.g. a 7x7 stem on a 12-row array strands 5 rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProfilingError
+from repro.models.graph import Layer
+
+#: Eyeriss-V2 organizes 16 clusters of 12 PEs; the effective RS mapping grid
+#: per cluster group is modeled as a 12 x 14 array (as in Eyeriss-v1's
+#: mapping studies, which the third-party implementations follow).
+DEFAULT_ARRAY_ROWS = 12
+DEFAULT_ARRAY_COLS = 14
+
+
+@dataclass(frozen=True)
+class RowStationaryMapping:
+    """Spatial mapping of one conv layer on the PE array."""
+
+    filter_rows_mapped: int
+    replication: int
+    cols_used: int
+    array_rows: int
+    array_cols: int
+    passes_per_set: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of PEs doing useful work under this mapping."""
+        used = self.filter_rows_mapped * self.replication * self.cols_used
+        return used / (self.array_rows * self.array_cols * self.passes_per_set)
+
+
+def map_conv_rs(
+    kernel: int,
+    out_hw: int,
+    array_rows: int = DEFAULT_ARRAY_ROWS,
+    array_cols: int = DEFAULT_ARRAY_COLS,
+) -> RowStationaryMapping:
+    """Map a (kernel x kernel, out_hw x out_hw) convolution row-stationary."""
+    if kernel <= 0 or out_hw <= 0:
+        raise ProfilingError("kernel and output size must be positive")
+    if array_rows <= 0 or array_cols <= 0:
+        raise ProfilingError("array dimensions must be positive")
+    if kernel <= array_rows:
+        replication = array_rows // kernel
+        rows_mapped = kernel
+        passes = 1
+    else:
+        # Filter taller than the array: fold over multiple passes.
+        passes = -(-kernel // array_rows)  # ceil
+        rows_mapped = array_rows
+        replication = 1
+    cols_used = min(out_hw, array_cols)
+    return RowStationaryMapping(
+        filter_rows_mapped=rows_mapped,
+        replication=replication,
+        cols_used=cols_used,
+        array_rows=array_rows,
+        array_cols=array_cols,
+        passes_per_set=passes,
+    )
+
+
+def rs_layer_utilization(
+    layer: Layer,
+    array_rows: int = DEFAULT_ARRAY_ROWS,
+    array_cols: int = DEFAULT_ARRAY_COLS,
+) -> float:
+    """Mapping utilization for a layer with shape metadata (1.0 if unknown).
+
+    Only the spatial-fragmentation component is modeled here; the sparsity
+    load-balance component comes from the weight pattern
+    (:func:`repro.sparsity.patterns.pattern_pe_utilization`).
+    """
+    from repro.models.graph import LayerKind  # local import avoids cycles
+
+    if not layer.has_shape or layer.kind is LayerKind.FC:
+        # FC layers map as 1-D dot products across the array, not RS grids.
+        return 1.0
+    mapping = map_conv_rs(layer.kernel, layer.out_hw, array_rows, array_cols)
+    return max(mapping.utilization, 0.05)

@@ -1,0 +1,97 @@
+"""Analytic Sanger performance model for sparse attention NNs.
+
+Sanger (Lu et al., MICRO'21) prunes attention matrices dynamically via a
+low-precision prediction + binary threshold, then executes the surviving
+score/context computations on a reconfigurable array with *load-balanced*
+pack-and-split dataflow.  Consequences captured by this model:
+
+* ``ATTN_SCORE`` / ``ATTN_CONTEXT`` layers scale with attention *density*
+  (1 - dynamic sparsity) divided by a load-balance efficiency (<1);
+* projections (QKV/out) and FFN matmuls shrink with *token-level* cascade
+  pruning (SpAtten-style): a fraction ``token_prune_share`` of the dynamic
+  sparsity translates into skipped rows of the dense matmuls.  Together these
+  give the whole-model 0.6x-1.8x latency dynamicity of paper Fig 2 and the
+  "90% sparsity -> 1 ms vs 30% -> 4 ms" behaviour of Fig 1(c);
+* a per-layer overhead covers the sparsity-prediction pass and dispatch.
+
+Calibration: ``peak_macs_per_second`` is set so the multi-AttNN workload
+saturates at ~27 inf/s, matching the paper's Fig 15(a) STP curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.base import Accelerator, LayerCost
+from repro.errors import ProfilingError
+from repro.models.graph import Layer, LayerKind, ModelGraph
+from repro.sparsity.patterns import WeightSparsityConfig
+
+_ATTENTION_KINDS = (LayerKind.ATTN_SCORE, LayerKind.ATTN_CONTEXT)
+_DENSE_KINDS = (LayerKind.ATTN_QKV, LayerKind.ATTN_OUT, LayerKind.FFN, LayerKind.FC)
+
+
+@dataclass
+class Sanger(Accelerator):
+    """Sanger cost model (paper Sec 3.3.2)."""
+
+    name: str = "sanger"
+    clock_hz: float = 1e9
+    #: Sustained dense matmul throughput (MACs/s) of the PE array.
+    peak_macs_per_second: float = 0.74e12
+    #: Pack-and-split load-balance efficiency on sparse attention.
+    load_balance_efficiency: float = 0.85
+    #: Share of dynamic sparsity that cascades into token pruning of the
+    #: dense projections and FFNs (SpAtten-style).
+    token_prune_share: float = 0.6
+    #: Per-layer overhead (sparsity prediction + dispatch) in cycles.
+    layer_overhead_cycles: float = 5000.0
+
+    @property
+    def _macs_per_cycle(self) -> float:
+        return self.peak_macs_per_second / self.clock_hz
+
+    def _layer_cycles(self, layer: Layer, activation_sparsity):
+        """Compute cycles; ``activation_sparsity`` may be scalar or ndarray."""
+        s = np.asarray(activation_sparsity, dtype=float)
+        if layer.kind in _ATTENTION_KINDS:
+            effectual = layer.macs * (1.0 - s) / self.load_balance_efficiency
+        elif layer.kind in _DENSE_KINDS:
+            effectual = layer.macs * (1.0 - self.token_prune_share * s)
+        else:
+            raise ProfilingError(f"Sanger model cannot execute layer kind {layer.kind}")
+        return effectual / self._macs_per_cycle
+
+    def layer_cost(
+        self, layer: Layer, weights: WeightSparsityConfig, activation_sparsity: float
+    ) -> LayerCost:
+        if not 0.0 <= activation_sparsity <= 1.0:
+            raise ProfilingError(
+                f"activation sparsity must be in [0, 1], got {activation_sparsity}"
+            )
+        compute = self._layer_cycles(layer, activation_sparsity)
+        return LayerCost(
+            compute_cycles=float(compute),
+            memory_cycles=0.0,
+            overhead_cycles=self.layer_overhead_cycles,
+        )
+
+    def model_latencies(
+        self,
+        model: ModelGraph,
+        weights: WeightSparsityConfig,
+        activation_sparsities: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized per-layer latencies, seconds, shape (n, num_layers)."""
+        s = np.asarray(activation_sparsities, dtype=float)
+        if s.ndim != 2 or s.shape[1] != model.num_layers:
+            raise ProfilingError(
+                f"expected sparsity matrix of shape (n, {model.num_layers}), got {s.shape}"
+            )
+        out = np.empty_like(s)
+        for j, layer in enumerate(model.layers):
+            cycles = self._layer_cycles(layer, s[:, j]) + self.layer_overhead_cycles
+            out[:, j] = cycles / self.clock_hz
+        return out

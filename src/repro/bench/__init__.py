@@ -1,0 +1,19 @@
+"""Experiment harness and ASCII figure/table rendering for the paper's
+evaluation section."""
+
+from repro.bench.harness import (
+    ExperimentResult,
+    PAPER_SCHEDULERS,
+    run_comparison,
+    run_single,
+)
+from repro.bench.figures import render_series, render_table
+
+__all__ = [
+    "ExperimentResult",
+    "PAPER_SCHEDULERS",
+    "run_comparison",
+    "run_single",
+    "render_series",
+    "render_table",
+]

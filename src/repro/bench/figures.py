@@ -1,0 +1,63 @@
+"""ASCII rendering of the paper's tables and figure series.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that output consistent and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.errors import ReproError
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Mapping[str, Sequence[object]],
+    *,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render a right-aligned ASCII table with a left row-label column."""
+    if not rows:
+        raise ReproError(f"table {title!r} has no rows")
+    widths = [max(len(c), 10) for c in columns]
+    label_w = max([len(title)] + [len(k) for k in rows])
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    lines = []
+    header = title.ljust(label_w) + " | " + " | ".join(
+        c.rjust(w) for c, w in zip(columns, widths)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, values in rows.items():
+        if len(values) != len(columns):
+            raise ReproError(
+                f"row {label!r}: {len(values)} values for {len(columns)} columns"
+            )
+        cells = " | ".join(fmt(v).rjust(w) for v, w in zip(values, widths))
+        lines.append(label.ljust(label_w) + " | " + cells)
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render figure data as one row per series over swept x values."""
+    columns = [f"{x_label}={x:g}" for x in x_values]
+    rows = {}
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ReproError(f"series {name!r} length mismatch with x values")
+        rows[name] = list(ys)
+    return render_table(title, columns, rows, float_fmt=float_fmt)

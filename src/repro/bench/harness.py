@@ -1,0 +1,129 @@
+"""Experiment harness: run scheduler comparisons over seeds and grids.
+
+All of Sec 6's experiments reduce to the same recipe: profile the family's
+benchmark (cached), build the LUT, generate a seeded Poisson workload, run
+each scheduler, aggregate metrics over seeds.  The paper uses 1000 requests
+and 5 seeds; benchmarks default to a lighter configuration that preserves
+every qualitative conclusion and can be scaled back up via arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.lut import ModelInfoLUT
+from repro.errors import SchedulingError
+from repro.profiling.profiler import benchmark_suite
+from repro.schedulers.base import make_scheduler
+from repro.sim.engine import simulate
+from repro.sim.workload import WorkloadSpec, generate_workload
+
+#: Scheduler line-up of Table 5 / Figs 12-15, in the paper's display order.
+PAPER_SCHEDULERS: Tuple[str, ...] = (
+    "fcfs",
+    "sjf",
+    "sdrm3",
+    "prema",
+    "planaria",
+    "oracle",
+    "dysta",
+)
+
+#: Paper arrival-rate operating points (samples/s) per family (Sec 6.2).
+BASE_ARRIVAL_RATE = {"attnn": 30.0, "cnn": 3.0}
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated metrics of one (scheduler, workload-config) cell."""
+
+    scheduler: str
+    family: str
+    arrival_rate: float
+    slo_multiplier: float
+    antt_mean: float
+    violation_rate_mean: float
+    stp_mean: float
+    antt_std: float = 0.0
+    violation_rate_std: float = 0.0
+    seeds: Tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def violation_rate_pct(self) -> float:
+        return 100.0 * self.violation_rate_mean
+
+
+def run_single(
+    scheduler_name: str,
+    family: str,
+    *,
+    arrival_rate: Optional[float] = None,
+    slo_multiplier: float = 10.0,
+    n_requests: int = 300,
+    seeds: Sequence[int] = (0, 1),
+    n_profile_samples: int = 300,
+    scheduler_kwargs: Optional[dict] = None,
+    traces: Optional[dict] = None,
+    engine_kwargs: Optional[dict] = None,
+) -> ExperimentResult:
+    """Run one scheduler on one workload configuration, averaged over seeds.
+
+    Args:
+        traces: Pre-profiled trace suite (e.g. from a
+            :class:`~repro.profiling.store.TraceStore`); profiled on the fly
+            when omitted.
+        engine_kwargs: Extra :func:`~repro.sim.engine.simulate` options
+            (``switch_cost``, ``block_size``).
+    """
+    if family not in BASE_ARRIVAL_RATE:
+        raise SchedulingError(f"family must be one of {sorted(BASE_ARRIVAL_RATE)}")
+    if not seeds:
+        raise SchedulingError("at least one seed is required")
+    rate = arrival_rate if arrival_rate is not None else BASE_ARRIVAL_RATE[family]
+    if traces is None:
+        traces = benchmark_suite(family, n_samples=n_profile_samples, seed=0)
+    lut = ModelInfoLUT(traces)
+    antts: List[float] = []
+    viols: List[float] = []
+    stps: List[float] = []
+    for seed in seeds:
+        spec = WorkloadSpec(
+            arrival_rate=rate,
+            n_requests=n_requests,
+            slo_multiplier=slo_multiplier,
+            seed=seed,
+        )
+        requests = generate_workload(traces, spec)
+        scheduler = make_scheduler(scheduler_name, lut, **(scheduler_kwargs or {}))
+        result = simulate(requests, scheduler, **(engine_kwargs or {}))
+        antts.append(result.antt)
+        viols.append(result.violation_rate)
+        stps.append(result.stp)
+    return ExperimentResult(
+        scheduler=scheduler_name,
+        family=family,
+        arrival_rate=rate,
+        slo_multiplier=slo_multiplier,
+        antt_mean=float(np.mean(antts)),
+        violation_rate_mean=float(np.mean(viols)),
+        stp_mean=float(np.mean(stps)),
+        antt_std=float(np.std(antts)),
+        violation_rate_std=float(np.std(viols)),
+        seeds=tuple(seeds),
+    )
+
+
+def run_comparison(
+    family: str,
+    schedulers: Iterable[str] = PAPER_SCHEDULERS,
+    **kwargs,
+) -> Dict[str, ExperimentResult]:
+    """Run several schedulers on the same workload configuration.
+
+    Workloads are regenerated per scheduler from identical seeds, so every
+    policy sees the exact same request stream.
+    """
+    return {name: run_single(name, family, **kwargs) for name in schedulers}

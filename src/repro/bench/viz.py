@@ -1,0 +1,124 @@
+"""ASCII visualization: histograms, line charts and scatter plots for the
+benchmark output.
+
+The paper's figures are plots; the benchmarks print their data as tables
+plus these lightweight renderings, so a terminal run shows the *shape* of
+each figure (distribution spread, curve crossings, Pareto corners) at a
+glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+_BARS = " .:-=+*#%@"
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 20,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal-bar histogram of a 1-D sample."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ReproError("histogram of an empty sample")
+    if bins <= 0 or width <= 0:
+        raise ReproError("bins and width must be positive")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = [title] if title else []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"{edges[i]:>10.3g} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def ascii_line_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Multi-series line chart; one letter per series, collisions show '*'."""
+    if not series:
+        raise ReproError("line chart needs at least one series")
+    if height < 3:
+        raise ReproError("chart height must be >= 3")
+    xs = list(x_values)
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ReproError(f"series {name!r} length mismatch with x values")
+    all_y = np.array([y for ys in series.values() for y in ys], dtype=float)
+    lo, hi = float(all_y.min()), float(all_y.max())
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * len(xs) for _ in range(height)]
+    markers = {}
+    for idx, (name, ys) in enumerate(sorted(series.items())):
+        marker = chr(ord("a") + idx % 26)
+        markers[name] = marker
+        for col, y in enumerate(ys):
+            row = height - 1 - int(round((float(y) - lo) / (hi - lo) * (height - 1)))
+            cell = grid[row][col]
+            grid[row][col] = marker if cell == " " else "*"
+    lines = [title] if title else []
+    for r, row in enumerate(grid):
+        level = hi - (hi - lo) * r / (height - 1)
+        lines.append(f"{level:>10.3g} | " + " ".join(row))
+    lines.append(" " * 13 + "-" * (2 * len(xs) - 1))
+    lines.append(" " * 13 + " ".join(f"{x:g}"[0] for x in xs))
+    legend = "  ".join(f"{m}={n}" for n, m in sorted(markers.items(), key=lambda kv: kv[1]))
+    lines.append(f"x: {', '.join(f'{x:g}' for x in xs)}")
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    points: Dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Labelled scatter plot: each entry is one (x, y) point (Fig 12 style)."""
+    if not points:
+        raise ReproError("scatter needs at least one point")
+    if width < 10 or height < 5:
+        raise ReproError("scatter canvas too small")
+    names = sorted(points)
+    xs = np.array([points[n][0] for n in names], dtype=float)
+    ys = np.array([points[n][1] for n in names], dtype=float)
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = {}
+    for idx, name in enumerate(names):
+        marker = chr(ord("A") + idx % 26)
+        markers[name] = marker
+        col = int(round((xs[idx] - x_lo) / (x_hi - x_lo) * (width - 1)))
+        row = height - 1 - int(round((ys[idx] - y_lo) / (y_hi - y_lo) * (height - 1)))
+        cell = grid[row][col]
+        grid[row][col] = marker if cell == " " else "*"
+    lines = [title] if title else []
+    lines.append(f"{y_label} ({y_lo:.3g} .. {y_hi:.3g})")
+    for row in grid:
+        lines.append("| " + "".join(row))
+    lines.append("+" + "-" * (width + 1))
+    lines.append(f"{x_label} ({x_lo:.3g} .. {x_hi:.3g})")
+    legend = "  ".join(f"{markers[n]}={n}" for n in names)
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

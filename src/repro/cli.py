@@ -1,0 +1,285 @@
+"""Command-line interface: profile the benchmark, run scheduling
+experiments, and print the hardware-cost reports without writing code.
+
+Installed as the ``repro`` console script::
+
+    repro profile --family attnn --out traces/        # Phase-1 CSVs
+    repro schedule --family cnn --scheduler dysta      # one policy
+    repro compare --family attnn --rate 30             # Table-5-style table
+    repro predictor-rmse                               # Table-4-style table
+    repro hw-report                                    # Fig 16 + Table 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench.figures import render_table
+from repro.bench.harness import BASE_ARRIVAL_RATE, PAPER_SCHEDULERS, run_comparison, run_single
+from repro.core.lut import ModelInfoLUT
+from repro.core.predictor import rmse_by_strategy
+from repro.errors import ReproError
+from repro.hw.report import normalized_usage, overhead_table
+from repro.profiling.profiler import benchmark_suite
+from repro.profiling.store import TraceStore
+from repro.schedulers.base import available_schedulers, make_scheduler
+from repro.sim.analysis import (
+    jains_fairness,
+    per_class_breakdown,
+    turnaround_percentile,
+    waiting_time_stats,
+)
+from repro.sim.engine import simulate
+from repro.sim.workload import WorkloadSpec, generate_workload
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--family", choices=("attnn", "cnn"), default="attnn",
+                        help="benchmark model family")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="arrival rate in requests/s (default: paper's)")
+    parser.add_argument("--requests", type=int, default=500,
+                        help="number of requests per run")
+    parser.add_argument("--slo", type=float, default=10.0,
+                        help="latency SLO multiplier")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2],
+                        help="workload seeds to average over")
+    parser.add_argument("--samples", type=int, default=300,
+                        help="profiling samples per (model, pattern)")
+    parser.add_argument("--traces", default=None,
+                        help="trace-store directory to load instead of profiling")
+    parser.add_argument("--block-size", type=int, default=1,
+                        help="scheduling granularity in layers")
+    parser.add_argument("--switch-cost", type=float, default=0.0,
+                        help="weight-reload cost per model switch, seconds")
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    traces = benchmark_suite(args.family, n_samples=args.samples, seed=args.seed)
+    store = TraceStore(Path(args.out))
+    for key, trace in sorted(traces.items()):
+        path = store.save(trace)
+        print(f"wrote {path} ({trace.num_samples} samples x {trace.num_layers} layers,"
+              f" avg latency {1e3 * trace.avg_total_latency:.2f} ms)")
+    print(f"indexed {len(store)} trace sets under {store.root}")
+    return 0
+
+
+def _load_traces(args: argparse.Namespace):
+    """Traces from a store directory if given, else profiled on the fly."""
+    if getattr(args, "traces", None):
+        return TraceStore(Path(args.traces)).load_suite()
+    return benchmark_suite(args.family, n_samples=args.samples, seed=0)
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    result = run_single(
+        args.scheduler,
+        args.family,
+        arrival_rate=args.rate,
+        slo_multiplier=args.slo,
+        n_requests=args.requests,
+        seeds=tuple(args.seeds),
+        n_profile_samples=args.samples,
+        traces=_load_traces(args) if args.traces else None,
+        engine_kwargs={"block_size": args.block_size,
+                       "switch_cost": args.switch_cost},
+    )
+    print(f"scheduler       : {result.scheduler}")
+    print(f"family          : {result.family} @ {result.arrival_rate:g} req/s, "
+          f"SLO {result.slo_multiplier:g}x")
+    print(f"ANTT            : {result.antt_mean:.3f} (std {result.antt_std:.3f})")
+    print(f"violation rate  : {result.violation_rate_pct:.2f}% "
+          f"(std {100 * result.violation_rate_std:.2f}%)")
+    print(f"throughput (STP): {result.stp_mean:.3f} inf/s")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    results = run_comparison(
+        args.family,
+        schedulers=tuple(args.schedulers),
+        arrival_rate=args.rate,
+        slo_multiplier=args.slo,
+        n_requests=args.requests,
+        seeds=tuple(args.seeds),
+        n_profile_samples=args.samples,
+        traces=_load_traces(args) if args.traces else None,
+        engine_kwargs={"block_size": args.block_size,
+                       "switch_cost": args.switch_cost},
+    )
+    rate = args.rate if args.rate is not None else BASE_ARRIVAL_RATE[args.family]
+    print(render_table(
+        f"{args.family} @ {rate:g} req/s, SLO {args.slo:g}x",
+        ["ANTT", "Violation %", "STP"],
+        {
+            name: [res.antt_mean, res.violation_rate_pct, res.stp_mean]
+            for name, res in results.items()
+        },
+        float_fmt="{:.2f}",
+    ))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """One detailed run: tail latency, fairness and per-class breakdown."""
+    traces = _load_traces(args)
+    lut = ModelInfoLUT(traces)
+    rate = args.rate if args.rate is not None else BASE_ARRIVAL_RATE[args.family]
+    spec = WorkloadSpec(arrival_rate=rate, n_requests=args.requests,
+                        slo_multiplier=args.slo, seed=args.seeds[0])
+    requests = generate_workload(traces, spec)
+    result = simulate(requests, make_scheduler(args.scheduler, lut),
+                      block_size=args.block_size, switch_cost=args.switch_cost)
+    reqs = result.requests
+    waits = waiting_time_stats(reqs)
+    print(f"scheduler {args.scheduler} on {args.family} @ {rate:g} req/s")
+    print(f"  ANTT {result.antt:.3f}  violations {100 * result.violation_rate:.2f}%  "
+          f"STP {result.stp:.3f}")
+    print(f"  normalized turnaround p50 {turnaround_percentile(reqs, 50):.2f}  "
+          f"p95 {turnaround_percentile(reqs, 95):.2f}  "
+          f"p99 {turnaround_percentile(reqs, 99):.2f}")
+    print(f"  Jain fairness {jains_fairness(reqs):.3f}  "
+          f"preemptions {result.num_preemptions}")
+    print(f"  queueing delay mean {1e3 * waits['mean_wait']:.2f} ms  "
+          f"p95 {1e3 * waits['p95_wait']:.2f} ms  "
+          f"max {1e3 * waits['max_wait']:.2f} ms")
+    print()
+    print(render_table(
+        "per-(model, pattern) class",
+        ["count", "ANTT", "viol %", "p99"],
+        {
+            key: [s.count, s.antt, 100 * s.violation_rate, s.p99_turnaround]
+            for key, s in per_class_breakdown(reqs).items()
+        },
+        float_fmt="{:.2f}",
+    ))
+    return 0
+
+
+def _cmd_predictor_rmse(args: argparse.Namespace) -> int:
+    traces = benchmark_suite("attnn", n_samples=args.samples, seed=0)
+    lut = ModelInfoLUT(traces)
+    table = rmse_by_strategy(lut, traces)
+    print(render_table(
+        "sparse latency predictor RMSE (normalized)",
+        ["Average-All", "Last-N", "Last-One"],
+        {
+            key: [row["average_all"], row["last_n"], row["last_one"]]
+            for key, row in table.items()
+        },
+        float_fmt="{:.5f}",
+    ))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import list_experiments, run_experiment
+
+    if args.list:
+        for name, desc in list_experiments().items():
+            print(f"{name:8s} {desc}")
+        return 0
+    if not args.name:
+        print("error: provide an experiment id or --list", file=sys.stderr)
+        return 1
+    bundle = run_experiment(args.name, scale=args.scale)
+    print(f"== {bundle.experiment}: {bundle.description} "
+          f"({bundle.scale.n_requests} requests x {len(bundle.scale.seeds)} seeds)")
+    print()
+    print(bundle.rendered)
+    return 0
+
+
+def _cmd_hw_report(args: argparse.Namespace) -> int:
+    for depth in args.depths:
+        usage = normalized_usage(depth)
+        print(render_table(
+            f"normalized resource usage (FIFO depth {depth})",
+            ["LUT", "FF", "DSP"],
+            {n: [r["LUT"], r["FF"], r["DSP"]] for n, r in usage.items()},
+        ))
+        print()
+    rows = {}
+    for name, (luts, dsps, ram_kb) in overhead_table().items():
+        if name == "Total Overhead":
+            rows[name] = [f"{100 * luts:.2f}%", f"{100 * dsps:.2f}%",
+                          f"{100 * ram_kb:.2f}%"]
+        else:
+            rows[name] = [f"{luts:.0f}", f"{dsps:.0f}", f"{ram_kb:.2f} KB"]
+    print(render_table("Dysta scheduler overhead", ["LUTs", "DSPs", "RAM"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the `repro` argument parser (one sub-command per workflow)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sparse-DySta reproduction: profiling, scheduling and "
+                    "hardware-cost experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_profile = sub.add_parser("profile", help="run Phase-1 profiling, save CSVs")
+    p_profile.add_argument("--family", choices=("attnn", "cnn"), default="attnn")
+    p_profile.add_argument("--samples", type=int, default=300)
+    p_profile.add_argument("--seed", type=int, default=0)
+    p_profile.add_argument("--out", default="traces",
+                           help="output directory for trace CSVs")
+    p_profile.set_defaults(func=_cmd_profile)
+
+    p_sched = sub.add_parser("schedule", help="run one scheduler on a workload")
+    _add_workload_args(p_sched)
+    p_sched.add_argument("--scheduler", default="dysta",
+                         choices=available_schedulers())
+    p_sched.set_defaults(func=_cmd_schedule)
+
+    p_cmp = sub.add_parser("compare", help="compare schedulers on one workload")
+    _add_workload_args(p_cmp)
+    p_cmp.add_argument("--schedulers", nargs="+", default=list(PAPER_SCHEDULERS))
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_analyze = sub.add_parser("analyze",
+                               help="tail latency, fairness and class breakdown")
+    _add_workload_args(p_analyze)
+    p_analyze.add_argument("--scheduler", default="dysta",
+                           choices=available_schedulers())
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_rmse = sub.add_parser("predictor-rmse",
+                            help="sparse latency predictor RMSE table")
+    p_rmse.add_argument("--samples", type=int, default=300)
+    p_rmse.set_defaults(func=_cmd_predictor_rmse)
+
+    p_hw = sub.add_parser("hw-report", help="hardware scheduler cost reports")
+    p_hw.add_argument("--depths", type=int, nargs="+", default=[512, 64])
+    p_hw.set_defaults(func=_cmd_hw_report)
+
+    p_exp = sub.add_parser("experiment",
+                           help="run one paper experiment by id (table5, fig14...)")
+    p_exp.add_argument("name", nargs="?", default=None)
+    p_exp.add_argument("--scale", choices=("quick", "default", "full"),
+                       default="default")
+    p_exp.add_argument("--list", action="store_true",
+                       help="list available experiment ids")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""The paper's primary contribution: the Dysta bi-level scheduler, its
+model-info LUT and the sparse latency predictor."""
+
+from repro.core.lut import ModelInfoLUT
+from repro.core.predictor import PredictorStrategy, SparseLatencyPredictor, predictor_rmse
+from repro.core.dysta import DystaScheduler
+
+__all__ = [
+    "ModelInfoLUT",
+    "PredictorStrategy",
+    "SparseLatencyPredictor",
+    "predictor_rmse",
+    "DystaScheduler",
+]

@@ -1,0 +1,204 @@
+"""Dysta: bi-level dynamic and static scheduler (paper Sec 4).
+
+**Static level (Algorithm 1, software).**  On arrival of request
+``<Model, Pattern, input, SLO>`` the static scheduler reads the (model,
+pattern) LUT entry, estimates latency from the pattern-aware average, and
+assigns an initial score ``Score = Lat + beta * T_slack`` that orders
+requests before any runtime information exists.
+
+**Dynamic level (Algorithm 2, hardware).**  Whenever a layer completes, the
+hardware monitor reveals that layer's measured sparsity; the sparse latency
+predictor (Algorithm 3) refines the request's remaining-time estimate, and
+every queued request is re-scored:
+
+    Score_i = T_remain_i + eta * (T_slack_i + T_penalty_i)
+    T_slack_i = SLO_i - t - T_remain_i
+    T_penalty_i = (T_wait_i / T_isol_i) / |Q|
+
+The request with the *lowest* score runs next.  The remaining-time term
+favours short jobs (ANTT), the slack term favours tight deadlines (SLO
+violations), and the waiting-time penalty discourages excessive preemption —
+the currently-running request has zero waiting time, hence the lowest
+penalty.
+
+``DystaScheduler(predictor=None)`` (registry name ``dysta_nosparse``) is the
+Fig 13 ablation: the dynamic hardware monitor and sparsity support are
+disabled, so remaining times fall back to the static LUT averages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.lut import ModelInfoLUT
+from repro.core.predictor import PredictorStrategy, SparseLatencyPredictor
+from repro.schedulers.base import Scheduler, register_scheduler
+from repro.sim.request import Request
+
+
+class DystaScheduler(Scheduler):
+    """Dysta bi-level scheduler (full version when sparsity-aware).
+
+    Args:
+        lut: Offline model-information LUT (populated by the static level).
+        beta: Static-score slack weight (Algorithm 1, line 7).
+        eta: Dynamic-score weight of slack + penalty (Algorithm 2, line 11).
+        sparsity_aware: Enable the hardware monitor + sparse latency
+            predictor.  Disabled reproduces the Dysta-w/o-sparse ablation.
+        strategy: Sparsity-coefficient strategy (paper ships last-one).
+        score_dtype: "fp32" or "fp16" — the hardware scheduler computes
+            scores in FP16 (Sec 5.2.2); quantizing here verifies that the
+            reduced precision does not change scheduling decisions.
+    """
+
+    name = "dysta"
+
+    def __init__(
+        self,
+        lut: ModelInfoLUT,
+        beta: float = 0.5,
+        eta: float = 0.02,
+        sparsity_aware: bool = True,
+        strategy: PredictorStrategy = PredictorStrategy.LAST_ONE,
+        alpha: float = 1.0,
+        score_dtype: str = "fp32",
+    ):
+        super().__init__(lut)
+        if score_dtype not in ("fp32", "fp16"):
+            raise ValueError(f"score_dtype must be fp32|fp16, got {score_dtype!r}")
+        self.beta = beta
+        self.eta = eta
+        self.sparsity_aware = sparsity_aware
+        self.score_dtype = score_dtype
+        self.predictor: Optional[SparseLatencyPredictor] = (
+            SparseLatencyPredictor(lut, strategy, alpha=alpha) if sparsity_aware else None
+        )
+
+    def _quantize(self, value: float) -> float:
+        """Round a score-path value to the configured hardware precision."""
+        if self.score_dtype == "fp16":
+            import numpy as np  # noqa: PLC0415
+
+            return float(np.float16(value))
+        return value
+
+    # -- static level (Algorithm 1) ----------------------------------------
+
+    def static_score(self, request: Request, now: float) -> float:
+        """Initial score assigned before execution: Lat + beta * T_slack."""
+        lat = self.estimated_isolated(request)
+        slack = request.slo - lat
+        return lat + self.beta * slack
+
+    def on_arrival(self, request: Request, now: float) -> None:
+        # The static level computes the initial score and forwards the model
+        # info to the hardware level; the LUT is shared state here.
+        self.static_score(request, now)
+
+    # -- dynamic level (Algorithm 2) ----------------------------------------
+
+    def remaining_estimate(self, request: Request) -> float:
+        """b_T_Remain: sparsity-refined when monitoring is enabled."""
+        if self.predictor is None or request.next_layer == 0:
+            return self.estimated_remaining(request)
+        return self.predictor.predict_remaining(
+            request.key, request.next_layer, request.monitored_sparsities
+        )
+
+    def dynamic_score(self, request: Request, now: float, queue_len: int) -> float:
+        remaining = self._quantize(self.remaining_estimate(request))
+        isolated = max(self.estimated_isolated(request), 1e-12)
+        # A request whose deadline already passed cannot be saved; clamping
+        # its (very negative) slack keeps hopeless jobs from monopolizing the
+        # accelerator and wrecking every other request's turnaround.
+        slack = max(request.deadline - now - remaining, -isolated)
+        wait = max(now - request.last_run_end, 0.0)
+        penalty = (wait / isolated) / max(queue_len, 1)
+        return self._quantize(remaining + self.eta * (slack + penalty))
+
+    def select(self, queue: Sequence[Request], now: float) -> Request:
+        n_queue = len(queue)
+        return min(queue, key=lambda r: (self.dynamic_score(r, now, n_queue), r.rid))
+
+
+@register_scheduler("dysta")
+class _DystaFull(DystaScheduler):
+    """Registry entry for the full sparsity-aware Dysta."""
+
+    def __init__(self, lut: ModelInfoLUT, **kwargs):
+        kwargs.setdefault("sparsity_aware", True)
+        super().__init__(lut, **kwargs)
+
+
+@register_scheduler("dysta_nosparse")
+class _DystaNoSparse(DystaScheduler):
+    """Fig 13 ablation: static scoring only, no sparsity monitor."""
+
+    def __init__(self, lut: ModelInfoLUT, **kwargs):
+        kwargs["sparsity_aware"] = False
+        super().__init__(lut, **kwargs)
+
+
+@register_scheduler("dysta_switchaware")
+class DystaSwitchAware(DystaScheduler):
+    """Dysta extended with an explicit weight-reload cost term.
+
+    When the deployment charges a model-switch cost (engine ``switch_cost``),
+    the dynamic score can account for it directly: every candidate that is
+    not the currently-resident request carries the reload cost on top of its
+    remaining time.  The waiting-time penalty already damps preemption
+    statistically; this term makes the damping proportional to the actual
+    hardware cost.
+    """
+
+    def __init__(self, lut: ModelInfoLUT, switch_cost: float = 0.0, **kwargs):
+        super().__init__(lut, **kwargs)
+        if switch_cost < 0:
+            raise ValueError(f"switch cost must be >= 0, got {switch_cost}")
+        self.switch_cost = switch_cost
+        self._resident: Optional[int] = None
+
+    def reset(self) -> None:
+        self._resident = None
+
+    def dynamic_score(self, request: Request, now: float, queue_len: int) -> float:
+        score = super().dynamic_score(request, now, queue_len)
+        if self._resident is not None and request.rid != self._resident:
+            score += self.switch_cost
+        return score
+
+    def select(self, queue: Sequence[Request], now: float) -> Request:
+        chosen = super().select(queue, now)
+        self._resident = chosen.rid
+        return chosen
+
+
+@register_scheduler("dysta_static")
+class DystaStaticOnly(Scheduler):
+    """Pure Algorithm-1 scheduling: the arrival-time score is final.
+
+    The strictest reading of the static level: ``Score = Lat + beta*T_slack``
+    is computed once when the request arrives and never revised — no
+    progress-based remaining-time updates, no slack decay, no waiting
+    penalty.  `dysta_nosparse` (which re-evaluates the dynamic formula from
+    LUT averages) sits between this and full Dysta; having both brackets the
+    contribution of the dynamic level.
+    """
+
+    def __init__(self, lut: ModelInfoLUT, beta: float = 0.5):
+        super().__init__(lut)
+        self.beta = beta
+        self.reset()
+
+    def reset(self) -> None:
+        self._scores: dict = {}
+
+    def on_arrival(self, request: Request, now: float) -> None:
+        lat = self.estimated_isolated(request)
+        self._scores[request.rid] = lat + self.beta * (request.slo - lat)
+
+    def on_complete(self, request: Request, now: float) -> None:
+        self._scores.pop(request.rid, None)
+
+    def select(self, queue: Sequence[Request], now: float) -> Request:
+        return min(queue, key=lambda r: (self._scores.get(r.rid, 0.0), r.rid))

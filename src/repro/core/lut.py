@@ -1,0 +1,121 @@
+"""Model-information lookup table (paper Sec 4.1, Fig 8).
+
+The static scheduler populates a LUT with per-(model, sparsity-pattern)
+information: the sparsity pattern, the average per-layer sparsity and the
+average latency on the target hardware, all "obtained by profiling
+representative requests offline".  Both Dysta levels — and every baseline
+scheduler that needs a latency estimate — read from this LUT, never from a
+request's ground-truth trace (that privilege is the Oracle's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.profiling.trace import TraceSet
+
+
+@dataclass(frozen=True)
+class LUTEntry:
+    """Offline-profiled averages of one (model, pattern) pair."""
+
+    avg_total_latency: float
+    avg_layer_latencies: np.ndarray
+    avg_layer_sparsities: np.ndarray
+    #: suffix[j] = expected latency of layers j..L-1 (suffix[L] = 0).
+    remaining_suffix: np.ndarray
+    network_avg_sparsity: float
+    #: Slope of (normalized latency) vs (normalized density): the paper's
+    #: alpha — "how effectively sparsity can deliver real latency reduction"
+    #: on the target hardware — calibrated from the offline profile.
+    density_slope: float
+
+
+def _calibrate_density_slope(trace: TraceSet) -> float:
+    """Regress normalized isolated latency on normalized network density.
+
+    The sparse latency predictor multiplies the average latency by a sparsity
+    coefficient gamma (Algorithm 3).  How much a density excursion actually
+    moves latency depends on the hardware: an accelerator that fully skips
+    every zero has slope ~1; one that only partially exploits sparsity (e.g.
+    token-cascade pruning of dense matmuls) has slope < 1.  The paper's alpha
+    term captures exactly this ("the value of alpha depends on the underlying
+    hardware"); we calibrate it from the same offline profile that fills the
+    LUT, per (model, pattern) pair.
+    """
+    density = 1.0 - trace.sparsities.mean(axis=1)
+    mean_density = float(density.mean())
+    latency = trace.isolated_latencies
+    x = density / mean_density - 1.0 if mean_density > 0 else density * 0.0
+    y = latency / float(latency.mean()) - 1.0
+    var = float(np.dot(x, x))
+    if var < 1e-12:
+        return 1.0  # no density variation observed: fall back to unit slope
+    slope = float(np.dot(x, y) / var)
+    # Clamp to a sane physical range (latency rises with density).
+    return min(max(slope, 0.0), 2.0)
+
+
+class ModelInfoLUT:
+    """Per-(model, pattern) offline averages, keyed by ``"model/pattern"``."""
+
+    def __init__(self, traces: Mapping[str, TraceSet]):
+        if not traces:
+            raise SchedulingError("LUT requires at least one profiled trace set")
+        self._entries: Dict[str, LUTEntry] = {}
+        for key, trace in traces.items():
+            layer_lat = trace.avg_layer_latencies
+            suffix = np.concatenate([np.cumsum(layer_lat[::-1])[::-1], [0.0]])
+            self._entries[key] = LUTEntry(
+                avg_total_latency=trace.avg_total_latency,
+                avg_layer_latencies=layer_lat,
+                avg_layer_sparsities=trace.avg_layer_sparsities,
+                remaining_suffix=suffix,
+                network_avg_sparsity=float(trace.avg_layer_sparsities.mean()),
+                density_slope=_calibrate_density_slope(trace),
+            )
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def _entry(self, key: str) -> LUTEntry:
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise SchedulingError(f"no LUT entry for {key!r}") from None
+
+    def avg_total_latency(self, key: str) -> float:
+        """Average isolated latency of the (model, pattern) pair."""
+        return self._entry(key).avg_total_latency
+
+    def static_remaining(self, key: str, next_layer: int) -> float:
+        """Expected latency of layers ``next_layer..L-1`` (offline averages)."""
+        entry = self._entry(key)
+        if not 0 <= next_layer <= len(entry.avg_layer_latencies):
+            raise SchedulingError(
+                f"{key}: layer index {next_layer} outside "
+                f"[0, {len(entry.avg_layer_latencies)}]"
+            )
+        return float(entry.remaining_suffix[next_layer])
+
+    def avg_layer_sparsities(self, key: str) -> np.ndarray:
+        return self._entry(key).avg_layer_sparsities
+
+    def network_avg_sparsity(self, key: str) -> float:
+        """Network-level (layer-mean) average sparsity."""
+        return self._entry(key).network_avg_sparsity
+
+    def density_slope(self, key: str) -> float:
+        """Calibrated latency-vs-density slope (the paper's alpha term)."""
+        return self._entry(key).density_slope
+
+    def num_layers(self, key: str) -> int:
+        return int(len(self._entry(key).avg_layer_latencies))

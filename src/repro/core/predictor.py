@@ -1,0 +1,205 @@
+"""Sparse latency predictor (paper Sec 5.1, Algorithm 3, Table 4).
+
+Layer sparsities of one input are highly linearly correlated (Fig 9), so a
+cheap *linear* model suffices: monitor the executed layers' sparsity, form a
+sparsity coefficient ``gamma`` relative to the offline averages, and scale
+the LUT's average remaining latency:
+
+    Lat_sparse = alpha * gamma * Lat_avg_remaining
+
+``gamma`` is the "linear rate between monitored and average layer
+sparsities"; since latency scales with *density* (1 - sparsity), gamma is
+implemented as a density ratio — the sign-correct reading of Algorithm 3.
+
+Three monitoring strategies are compared (Table 4):
+
+* **average-all** — average density over every executed layer, normalized by
+  the LUT average density over the same layers;
+* **last-one** — the last executed layer's density over that layer's LUT
+  average (what the hardware implements: one register, one multiply);
+* **last-N** — the hardware-friendly variant the paper evaluated and
+  rejected: an N-deep shift register averages the last N *raw* sparsities,
+  normalized by the single network-average density stored in the LUT.
+  Skipping the per-layer normalization biases gamma whenever the last-N
+  window's average sparsity differs from the network mean, which is why
+  last-N trails both alternatives in Table 4.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.lut import ModelInfoLUT
+from repro.errors import SchedulingError
+from repro.profiling.trace import TraceSet
+
+_MIN_DENSITY = 1e-3
+
+
+class PredictorStrategy(enum.Enum):
+    """Sparsity-coefficient monitoring strategies of Table 4."""
+
+    AVERAGE_ALL = "average_all"
+    LAST_N = "last_n"
+    LAST_ONE = "last_one"
+
+
+@dataclass
+class SparseLatencyPredictor:
+    """Linear sparse-latency predictor over LUT averages (Algorithm 3).
+
+    Attributes:
+        lut: Offline model-information LUT.
+        strategy: Sparsity-coefficient monitoring strategy.
+        alpha: Hardware effectiveness of sparsity (paper sets 1 for
+            accelerators exploiting both weight and activation sparsity).
+        n: Window size for the last-N strategy (paper grid-searched N=3).
+    """
+
+    lut: ModelInfoLUT
+    strategy: PredictorStrategy = PredictorStrategy.LAST_ONE
+    alpha: float = 1.0
+    n: int = 3
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise SchedulingError(f"alpha must be positive, got {self.alpha}")
+        if self.n <= 0:
+            raise SchedulingError(f"last-N window must be positive, got {self.n}")
+
+    def sparsity_coefficient(self, key: str, monitored: Sequence[float]) -> float:
+        """gamma: monitored density relative to the offline average density.
+
+        Args:
+            key: (model, pattern) LUT key.
+            monitored: Sparsities of the executed layers, in execution order.
+
+        Returns:
+            1.0 when nothing has executed yet (fall back to the LUT average).
+        """
+        j = len(monitored)
+        if j == 0:
+            return 1.0
+        avg = self.lut.avg_layer_sparsities(key)
+        if j > len(avg):
+            raise SchedulingError(
+                f"{key}: monitored {j} layers but the model has {len(avg)}"
+            )
+        if self.strategy is PredictorStrategy.AVERAGE_ALL:
+            mon_density = 1.0 - float(np.mean(monitored))
+            avg_density = 1.0 - float(np.mean(avg[:j]))
+        elif self.strategy is PredictorStrategy.LAST_ONE:
+            mon_density = 1.0 - monitored[-1]
+            avg_density = 1.0 - float(avg[j - 1])
+        else:  # LAST_N: raw window average over the network-average density
+            window = monitored[max(0, j - self.n):]
+            mon_density = 1.0 - float(np.mean(window))
+            avg_density = 1.0 - self.lut.network_avg_sparsity(key)
+        return max(mon_density, _MIN_DENSITY) / max(avg_density, _MIN_DENSITY)
+
+    def effective_gamma(self, key: str, monitored: Sequence[float]) -> float:
+        """gamma after the hardware-effectiveness correction.
+
+        The raw density ratio is mapped through the LUT's calibrated
+        latency-vs-density slope (the paper's alpha: how effectively sparsity
+        turns into latency reduction on the target hardware):
+        ``gamma_eff = 1 + slope * (gamma_raw - 1)``.
+        """
+        raw = self.sparsity_coefficient(key, monitored)
+        slope = self.lut.density_slope(key)
+        return max(1.0 + slope * (raw - 1.0), _MIN_DENSITY)
+
+    def predict_remaining(
+        self, key: str, next_layer: int, monitored: Sequence[float]
+    ) -> float:
+        """Estimated remaining latency b_T_Remain from layer ``next_layer`` on."""
+        gamma = self.effective_gamma(key, monitored)
+        return self.alpha * gamma * self.lut.static_remaining(key, next_layer)
+
+    def predict_total(self, key: str, monitored: Sequence[float]) -> float:
+        """Estimated end-to-end latency given the executed layers' monitor data."""
+        j = len(monitored)
+        executed_avg = self.lut.static_remaining(key, 0) - self.lut.static_remaining(key, j)
+        gamma = self.effective_gamma(key, monitored)
+        return self.alpha * gamma * (executed_avg + self.lut.static_remaining(key, j))
+
+
+def predictor_rmse(
+    predictor: SparseLatencyPredictor,
+    trace: TraceSet,
+    *,
+    normalize: bool = True,
+) -> float:
+    """Table 4 evaluation: RMSE of remaining-latency prediction.
+
+    For every profiled sample and every layer boundary j (one monitor event
+    per executed layer), predict the remaining latency and compare with the
+    trace's measured remaining latency.  With ``normalize`` the errors are
+    expressed relative to the model's average total latency, making values
+    comparable across models as in Table 4.
+    """
+    key = trace.key
+    if key not in predictor.lut:
+        raise SchedulingError(f"trace {key!r} is not part of the predictor's LUT")
+    lat = trace.latencies
+    sp = trace.sparsities
+    n_samples, n_layers = lat.shape
+    if n_layers < 2:
+        raise SchedulingError("trace too short to evaluate the predictor")
+    scale = trace.avg_total_latency if normalize else 1.0
+    avg_sp = predictor.lut.avg_layer_sparsities(key)
+
+    # Vectorized replica of predict_remaining at every boundary j = 1..L-1.
+    # gamma per (sample, boundary):
+    if predictor.strategy is PredictorStrategy.AVERAGE_ALL:
+        cum_sp = np.cumsum(sp, axis=1)[:, :-1]  # sum over executed layers
+        counts = np.arange(1, n_layers)
+        mon_density = 1.0 - cum_sp / counts
+        avg_density = 1.0 - np.cumsum(avg_sp)[:-1] / counts
+        avg_density = np.broadcast_to(avg_density, mon_density.shape)
+    elif predictor.strategy is PredictorStrategy.LAST_ONE:
+        mon_density = 1.0 - sp[:, :-1]
+        avg_density = np.broadcast_to(1.0 - avg_sp[:-1], mon_density.shape)
+    else:  # LAST_N over the network-average density
+        cum = np.concatenate([np.zeros((n_samples, 1)), np.cumsum(sp, axis=1)], axis=1)
+        j_idx = np.arange(1, n_layers)
+        lo = np.maximum(0, j_idx - predictor.n)
+        window = (cum[:, j_idx] - cum[:, lo]) / (j_idx - lo)
+        mon_density = 1.0 - window
+        net_density = 1.0 - predictor.lut.network_avg_sparsity(key)
+        avg_density = np.full_like(mon_density, net_density)
+    gamma = np.maximum(mon_density, _MIN_DENSITY) / np.maximum(avg_density, _MIN_DENSITY)
+    slope = predictor.lut.density_slope(key)
+    gamma = np.maximum(1.0 + slope * (gamma - 1.0), _MIN_DENSITY)
+
+    rem_avg = np.array(
+        [predictor.lut.static_remaining(key, j) for j in range(1, n_layers)]
+    )
+    predicted = predictor.alpha * gamma * rem_avg
+    total = lat.sum(axis=1, keepdims=True)
+    rem_actual = total - np.cumsum(lat, axis=1)[:, :-1]
+    err = (predicted - rem_actual) / scale
+    return math.sqrt(float(np.mean(err * err)))
+
+
+def rmse_by_strategy(
+    lut: ModelInfoLUT,
+    traces: Dict[str, TraceSet],
+    *,
+    alpha: float = 1.0,
+    n: int = 3,
+) -> Dict[str, Dict[str, float]]:
+    """RMSE of all three strategies on every trace (Table 4 rows x columns)."""
+    table: Dict[str, Dict[str, float]] = {}
+    for key, trace in sorted(traces.items()):
+        row = {}
+        for strategy in PredictorStrategy:
+            predictor = SparseLatencyPredictor(lut, strategy, alpha=alpha, n=n)
+            row[strategy.value] = predictor_rmse(predictor, trace)
+        table[key] = row
+    return table

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ModelError(ReproError):
+    """Malformed model graph or unknown model name."""
+
+
+class SparsityError(ReproError):
+    """Invalid sparsity configuration (rate out of range, bad pattern...)."""
+
+
+class ProfilingError(ReproError):
+    """Trace generation or trace-file parsing failed."""
+
+
+class SchedulingError(ReproError):
+    """Scheduler engine invariant violated or unknown scheduler name."""
+
+
+class HardwareModelError(ReproError):
+    """Invalid hardware-resource model configuration."""

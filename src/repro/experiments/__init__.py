@@ -1,0 +1,27 @@
+"""Named, paper-indexed experiments as library functions.
+
+Every table/figure of the paper's evaluation is runnable programmatically:
+
+    from repro.experiments import run_experiment, list_experiments
+    result = run_experiment("table5", scale="quick")
+    print(result.rendered)
+
+The pytest benchmarks under ``benchmarks/`` are the *assertion* layer (they
+encode the reproduction claims); this package is the *access* layer for
+scripts, notebooks and the ``repro experiment`` CLI command.  Both are thin
+compositions of the same harness/report primitives.
+"""
+
+from repro.experiments.registry import (
+    ExperimentResultBundle,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.config import ExperimentScale
+
+__all__ = [
+    "ExperimentResultBundle",
+    "ExperimentScale",
+    "list_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,58 @@
+"""Experiment scale presets (quick / default / full-paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ReproError
+
+_PRESETS = {
+    # (requests, seeds, profile samples, sweep density)
+    "quick": (150, (0,), 150, "coarse"),
+    "default": (500, (0, 1, 2), 300, "coarse"),
+    "full": (1000, (0, 1, 2, 3, 4), 500, "fine"),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big an experiment run should be.
+
+    The paper's scale is ``full`` (1000 requests, 5 seeds); ``default``
+    preserves every qualitative conclusion in a fraction of the time and
+    ``quick`` is for smoke runs.
+    """
+
+    n_requests: int
+    seeds: Tuple[int, ...]
+    n_profile_samples: int
+    sweep: str  # "coarse" | "fine"
+
+    @classmethod
+    def preset(cls, name: str) -> "ExperimentScale":
+        try:
+            requests, seeds, samples, sweep = _PRESETS[name]
+        except KeyError:
+            raise ReproError(
+                f"unknown scale {name!r}; presets: {sorted(_PRESETS)}"
+            ) from None
+        return cls(requests, seeds, samples, sweep)
+
+    @property
+    def slo_multipliers(self) -> Tuple[float, ...]:
+        return (10, 30, 50, 70, 90, 110, 130, 150) if self.sweep == "fine" else (
+            10, 50, 100, 150,
+        )
+
+    @property
+    def attnn_rates(self) -> Tuple[float, ...]:
+        return (10, 15, 20, 25, 30, 35, 40) if self.sweep == "fine" else (10, 20, 30, 40)
+
+    @property
+    def cnn_rates(self) -> Tuple[float, ...]:
+        return (
+            (2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0, 5.5, 6.0)
+            if self.sweep == "fine"
+            else (2.0, 3.0, 4.0, 6.0)
+        )

@@ -1,0 +1,60 @@
+"""Hardware-side experiments: Table 4 (predictor), Fig 16 and Table 6."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bench.figures import render_table
+from repro.core.lut import ModelInfoLUT
+from repro.core.predictor import rmse_by_strategy
+from repro.experiments.config import ExperimentScale
+from repro.hw.report import normalized_usage, overhead_table
+from repro.profiling.profiler import benchmark_suite
+
+
+def table4(scale: ExperimentScale) -> Tuple[List[str], Dict]:
+    """Table 4: sparse-latency-predictor RMSE per strategy, BERT and GPT-2."""
+    traces = benchmark_suite("attnn", n_samples=scale.n_profile_samples, seed=0)
+    lut = ModelInfoLUT(traces)
+    subset = {k: traces[k] for k in ("bert/dense", "gpt2/dense")}
+    table = rmse_by_strategy(lut, subset)
+    rendered = render_table(
+        "Table 4: predictor RMSE (normalized remaining latency)",
+        ["Average-All", "Last-N", "Last-One"],
+        {
+            key.split("/")[0]: [row["average_all"], row["last_n"], row["last_one"]]
+            for key, row in table.items()
+        },
+        float_fmt="{:.5f}",
+    )
+    return [rendered], table
+
+
+def fig16(scale: ExperimentScale) -> Tuple[List[str], Dict]:
+    """Fig 16: normalized resource usage per optimization, depths 512 & 64."""
+    rendered = []
+    data = {}
+    for depth in (512, 64):
+        usage = normalized_usage(depth)
+        rendered.append(render_table(
+            f"Fig 16: normalized resource usage (FIFO depth {depth})",
+            ["LUT", "FF", "DSP"],
+            {n: [r["LUT"], r["FF"], r["DSP"]] for n, r in usage.items()},
+        ))
+        data[depth] = usage
+    return rendered, data
+
+
+def table6(scale: ExperimentScale) -> Tuple[List[str], Dict]:
+    """Table 6: scheduler resource overhead relative to Eyeriss-V2."""
+    table = overhead_table()
+    rows = {}
+    for name, (luts, dsps, ram_kb) in table.items():
+        if name == "Total Overhead":
+            rows[name] = [f"{100 * luts:.2f}%", f"{100 * dsps:.2f}%",
+                          f"{100 * ram_kb:.2f}%"]
+        else:
+            rows[name] = [f"{luts:.0f}", f"{dsps:.0f}", f"{ram_kb:.2f} KB"]
+    rendered = render_table("Table 6: Dysta scheduler overhead",
+                            ["LUTs", "DSPs", "RAM"], rows)
+    return [rendered], table

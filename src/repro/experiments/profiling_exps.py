@@ -1,0 +1,126 @@
+"""Profiling-study experiments: Figs 2/3/4/9 and Table 2."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.bench.figures import render_table
+from repro.bench.viz import ascii_histogram
+from repro.experiments.config import ExperimentScale
+from repro.models.registry import TABLE2_MODELS, build_model
+from repro.profiling.profiler import DEFAULT_CNN_PATTERNS, profile_model
+from repro.sparsity.datasets import activation_model_for
+from repro.sparsity.dynamic import correlation_matrix, relative_range
+from repro.sparsity.patterns import (
+    DENSE,
+    SparsityPattern,
+    WeightSparsityConfig,
+    valid_mac_fraction,
+)
+
+
+def fig2(scale: ExperimentScale) -> Tuple[List[str], Dict]:
+    """Fig 2: BERT normalized layer-latency distributions on SQuAD."""
+    trace = profile_model(build_model("bert"), DENSE,
+                          n_samples=scale.n_profile_samples, seed=0)
+    rendered = []
+    data = {}
+    for label, idx in (("second_last", -2), ("last", -1)):
+        lat = trace.latencies[:, idx]
+        normalized = lat / lat.mean()
+        data[label] = {
+            "min": float(normalized.min()),
+            "max": float(normalized.max()),
+            "std": float(normalized.std()),
+        }
+        rendered.append(ascii_histogram(
+            normalized, bins=14, width=40,
+            title=f"Fig 2: BERT {label} layer, normalized latency",
+        ))
+    return rendered, data
+
+
+def fig3(scale: ExperimentScale) -> Tuple[List[str], Dict]:
+    """Fig 3: last-six-layer activation sparsity of ResNet-50 / VGG-16."""
+    rows = {}
+    data = {}
+    for name in ("resnet50", "vgg16"):
+        trace = profile_model(build_model(name), DEFAULT_CNN_PATTERNS[0],
+                              n_samples=scale.n_profile_samples, seed=0)
+        tail = trace.sparsities[:, -6:]
+        rows[f"{name} p10"] = [float(v) for v in np.percentile(tail, 10, axis=0)]
+        rows[f"{name} p90"] = [float(v) for v in np.percentile(tail, 90, axis=0)]
+        data[name] = {
+            "mean": float(tail.mean()),
+            "spread": float(
+                (np.percentile(tail, 90, axis=0) - np.percentile(tail, 10, axis=0)).max()
+            ),
+        }
+    table = render_table("Fig 3: last-six-layer activation sparsity",
+                         [f"L-{6 - i}" for i in range(6)], rows)
+    return [table], data
+
+
+def fig4(scale: ExperimentScale) -> Tuple[List[str], Dict]:
+    """Fig 4: valid-MAC distributions, random vs channel at equal rates."""
+    rows = {}
+    data = {}
+    for name, rate in (("resnet50", 0.95), ("mobilenet", 0.80)):
+        model = build_model(name)
+        sampler = activation_model_for(model, "imagenet")
+        samples = sampler.sample(min(scale.n_profile_samples, 200),
+                                 np.random.default_rng(0))
+        macs = np.array([layer.macs for layer in model.layers], dtype=float)
+        per_pattern = {}
+        for pattern in (SparsityPattern.RANDOM, SparsityPattern.CHANNEL):
+            cfg = WeightSparsityConfig(pattern, rate=rate)
+            fracs = np.array([
+                [valid_mac_fraction(cfg, float(s)) for s in row] for row in samples
+            ])
+            per_pattern[pattern.value] = fracs @ macs
+        base = per_pattern["random"].mean()
+        for pattern, values in per_pattern.items():
+            normalized = values / base
+            rows[f"{name}/{pattern}"] = [
+                float(normalized.mean()), float(normalized.std()),
+            ]
+        data[name] = float(per_pattern["channel"].mean() / base)
+    table = render_table("Fig 4: normalized valid MACs (vs random mean)",
+                         ["mean", "std"], rows)
+    return [table], data
+
+
+def fig9(scale: ExperimentScale) -> Tuple[List[str], Dict]:
+    """Fig 9: layer-sparsity Pearson correlation in BERT and GPT-2."""
+    rows = {}
+    data = {}
+    for name in ("bert", "gpt2"):
+        trace = profile_model(build_model(name), DENSE,
+                              n_samples=scale.n_profile_samples, seed=0)
+        cols = [j for j, lname in enumerate(trace.layer_names)
+                if lname.endswith("_attn_score")]
+        corr = correlation_matrix(trace.sparsities[:, cols])
+        off = corr[np.triu_indices_from(corr, k=1)]
+        rows[name] = [float(off.mean()), float(off.min()), float(off.max())]
+        data[name] = float(off.mean())
+    table = render_table("Fig 9: off-diagonal layer-sparsity correlation",
+                         ["mean", "min", "max"], rows)
+    return [table], data
+
+
+def table2(scale: ExperimentScale) -> Tuple[List[str], Dict]:
+    """Table 2: relative range of network sparsity (Table 2 model line-up)."""
+    ranges = {}
+    for name in TABLE2_MODELS:
+        trace = profile_model(build_model(name), DEFAULT_CNN_PATTERNS[0],
+                              n_samples=scale.n_profile_samples, seed=0)
+        ranges[name] = relative_range(trace.network_sparsities)
+    table = render_table(
+        "Table 2: relative range of network sparsity",
+        ["relative_range_pct"],
+        {name: [100.0 * value] for name, value in sorted(ranges.items())},
+        float_fmt="{:.1f}",
+    )
+    return [table], ranges

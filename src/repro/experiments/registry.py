@@ -1,0 +1,67 @@
+"""Experiment registry: id -> runner, plus the result bundle type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import ReproError
+from repro.experiments import hardware_exps, profiling_exps, scheduling_exps
+from repro.experiments.config import ExperimentScale
+
+_RunnerOutput = Tuple[List[str], Dict]
+
+_EXPERIMENTS: Dict[str, Tuple[Callable[[ExperimentScale], _RunnerOutput], str]] = {
+    "fig2": (profiling_exps.fig2, "BERT layer-latency distributions (dynamic sparsity)"),
+    "fig3": (profiling_exps.fig3, "CNN last-six-layer activation sparsity"),
+    "fig4": (profiling_exps.fig4, "valid MACs per weight-sparsity pattern"),
+    "fig9": (profiling_exps.fig9, "layer-sparsity correlation (BERT/GPT-2)"),
+    "table2": (profiling_exps.table2, "relative range of network sparsity"),
+    "table4": (hardware_exps.table4, "sparse latency predictor RMSE"),
+    "table5": (scheduling_exps.table5, "end-to-end scheduler comparison"),
+    "fig12": (scheduling_exps.fig12, "ANTT / violation trade-off scatter"),
+    "fig13": (scheduling_exps.fig13, "optimization breakdown"),
+    "fig14": (scheduling_exps.fig14, "robustness across latency SLOs"),
+    "fig15": (scheduling_exps.fig15, "robustness across arrival rates"),
+    "fig16": (hardware_exps.fig16, "hardware resource optimizations"),
+    "table6": (hardware_exps.table6, "scheduler resource overhead"),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentResultBundle:
+    """Output of one experiment run."""
+
+    experiment: str
+    description: str
+    scale: ExperimentScale
+    rendered: str
+    data: Dict
+
+
+def list_experiments() -> Dict[str, str]:
+    """Experiment id -> one-line description, in paper order."""
+    return {name: desc for name, (_, desc) in _EXPERIMENTS.items()}
+
+
+def run_experiment(name: str, scale: str = "default") -> ExperimentResultBundle:
+    """Run one paper experiment by id ("table5", "fig14", ...).
+
+    Args:
+        scale: "quick" | "default" | "full" (paper scale).
+    """
+    try:
+        runner, description = _EXPERIMENTS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {name!r}; available: {sorted(_EXPERIMENTS)}"
+        ) from None
+    preset = ExperimentScale.preset(scale)
+    rendered_parts, data = runner(preset)
+    return ExperimentResultBundle(
+        experiment=name,
+        description=description,
+        scale=preset,
+        rendered="\n\n".join(rendered_parts),
+        data=data,
+    )

@@ -1,0 +1,134 @@
+"""Scheduling experiments: Table 5 and Figs 12/13/14/15."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bench.figures import render_series, render_table
+from repro.bench.viz import ascii_scatter
+from repro.bench.harness import PAPER_SCHEDULERS, run_comparison
+from repro.experiments.config import ExperimentScale
+
+
+def _comparison(family, scale, schedulers=PAPER_SCHEDULERS, **kwargs):
+    return run_comparison(
+        family,
+        schedulers=schedulers,
+        n_requests=scale.n_requests,
+        seeds=scale.seeds,
+        n_profile_samples=scale.n_profile_samples,
+        **kwargs,
+    )
+
+
+def table5(scale: ExperimentScale) -> Tuple[List[str], Dict]:
+    """Table 5: ANTT + violation rate for both workload families."""
+    rendered = []
+    data = {}
+    for family, rate in (("attnn", 30.0), ("cnn", 3.0)):
+        results = _comparison(family, scale, arrival_rate=rate)
+        rendered.append(render_table(
+            f"Table 5 ({family} @ {rate:g}/s): ANTT / violation rate",
+            ["ANTT", "Violation %"],
+            {n: [r.antt_mean, r.violation_rate_pct] for n, r in results.items()},
+            float_fmt="{:.2f}",
+        ))
+        data[family] = {
+            n: (r.antt_mean, r.violation_rate_mean) for n, r in results.items()
+        }
+    return rendered, data
+
+
+def fig12(scale: ExperimentScale) -> Tuple[List[str], Dict]:
+    """Fig 12: the ANTT/violation trade-off scatter, four panels."""
+    rendered = []
+    data = {}
+    for family, rate in (("attnn", 30.0), ("attnn", 40.0), ("cnn", 3.0), ("cnn", 4.0)):
+        results = _comparison(family, scale, arrival_rate=rate)
+        rendered.append(ascii_scatter(
+            {n: (r.violation_rate_pct, r.antt_mean) for n, r in results.items()},
+            title=f"Fig 12: {family} @ {rate:g}/s",
+            x_label="violation %", y_label="ANTT",
+        ))
+        data[(family, rate)] = {
+            n: (r.violation_rate_mean, r.antt_mean) for n, r in results.items()
+        }
+    return rendered, data
+
+
+def fig13(scale: ExperimentScale) -> Tuple[List[str], Dict]:
+    """Fig 13: optimization breakdown (PREMA / static-only / full Dysta)."""
+    lineup = ("prema", "dysta_static", "dysta_nosparse", "dysta")
+    rendered = []
+    data = {}
+    for family, rate in (("attnn", 30.0), ("cnn", 3.0)):
+        results = _comparison(family, scale, schedulers=lineup, arrival_rate=rate)
+        rendered.append(render_table(
+            f"Fig 13 ({family}): optimization breakdown",
+            ["ANTT", "Violation %"],
+            {n: [r.antt_mean, r.violation_rate_pct] for n, r in results.items()},
+            float_fmt="{:.2f}",
+        ))
+        data[family] = {
+            n: (r.antt_mean, r.violation_rate_mean) for n, r in results.items()
+        }
+    return rendered, data
+
+
+_SWEEP_SCHEDULERS = ("fcfs", "sjf", "prema", "planaria", "oracle", "dysta")
+
+
+def fig14(scale: ExperimentScale) -> Tuple[List[str], Dict]:
+    """Fig 14: robustness across latency SLO multipliers."""
+    rendered = []
+    data = {}
+    for family, rate in (("attnn", 30.0), ("cnn", 3.0)):
+        per_slo = {
+            mult: _comparison(family, scale, schedulers=_SWEEP_SCHEDULERS,
+                              arrival_rate=rate, slo_multiplier=float(mult))
+            for mult in scale.slo_multipliers
+        }
+        x = list(per_slo)
+        rendered.append(render_series(
+            f"Fig 14 {family}@{rate:g}/s: violation %", "Mslo", x,
+            {s: [per_slo[m][s].violation_rate_pct for m in x]
+             for s in _SWEEP_SCHEDULERS},
+            float_fmt="{:.1f}",
+        ))
+        rendered.append(render_series(
+            f"Fig 14 {family}@{rate:g}/s: ANTT", "Mslo", x,
+            {s: [per_slo[m][s].antt_mean for m in x] for s in _SWEEP_SCHEDULERS},
+            float_fmt="{:.2f}",
+        ))
+        data[family] = {
+            m: {s: per_slo[m][s].violation_rate_mean for s in _SWEEP_SCHEDULERS}
+            for m in x
+        }
+    return rendered, data
+
+
+def fig15(scale: ExperimentScale) -> Tuple[List[str], Dict]:
+    """Fig 15: robustness across arrival rates (violations, STP, ANTT)."""
+    rendered = []
+    data = {}
+    for family, rates in (("attnn", scale.attnn_rates), ("cnn", scale.cnn_rates)):
+        sweep = {
+            rate: _comparison(family, scale, schedulers=_SWEEP_SCHEDULERS,
+                              arrival_rate=float(rate))
+            for rate in rates
+        }
+        x = list(sweep)
+        for metric, fmt, getter in (
+            ("violation %", "{:.1f}", lambda r: r.violation_rate_pct),
+            ("STP (inf/s)", "{:.2f}", lambda r: r.stp_mean),
+            ("ANTT", "{:.2f}", lambda r: r.antt_mean),
+        ):
+            rendered.append(render_series(
+                f"Fig 15 {family}: {metric}", "rate", x,
+                {s: [getter(sweep[r][s]) for r in x] for s in _SWEEP_SCHEDULERS},
+                float_fmt=fmt,
+            ))
+        data[family] = {
+            r: {s: sweep[r][s].stp_mean for s in _SWEEP_SCHEDULERS} for r in x
+        }
+    return rendered, data

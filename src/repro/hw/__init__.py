@@ -1,0 +1,30 @@
+"""FPGA resource model of the Dysta hardware scheduler (paper Sec 5.2,
+Fig 16 and Table 6)."""
+
+from repro.hw.components import DataType, ResourceCost, primitive_cost
+from repro.hw.scheduler_rtl import (
+    DesignVariant,
+    SchedulerDesign,
+    build_design,
+)
+from repro.hw.report import (
+    EYERISS_V2_RESOURCES,
+    normalized_usage,
+    overhead_table,
+    resource_table,
+)
+from repro.hw.timing import SchedulerTiming
+
+__all__ = [
+    "SchedulerTiming",
+    "DataType",
+    "ResourceCost",
+    "primitive_cost",
+    "DesignVariant",
+    "SchedulerDesign",
+    "build_design",
+    "EYERISS_V2_RESOURCES",
+    "normalized_usage",
+    "overhead_table",
+    "resource_table",
+]

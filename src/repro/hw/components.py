@@ -1,0 +1,114 @@
+"""FPGA primitive resource costs.
+
+Per-primitive LUT/FF/DSP figures follow Xilinx 7-series / UltraScale floating
+point operator characterizations (pipelined, moderate latency settings) at the
+granularity the paper's Fig 16 needs: the *relative* savings of sharing a
+reconfigurable compute unit and of moving from FP32 to FP16.  Dividers are
+implemented with DSP-assisted Newton-Raphson (hence their DSP footprint in
+the non-optimized design); muxes and control are fabric-only.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+
+
+class DataType(enum.Enum):
+    """Arithmetic word width of the hardware scheduler datapath."""
+
+    FP32 = "fp32"
+    FP16 = "fp16"
+
+    @property
+    def bits(self) -> int:
+        return 32 if self is DataType.FP32 else 16
+
+
+@dataclass(frozen=True)
+class ResourceCost:
+    """FPGA resource vector: LUTs, flip-flops, DSP slices, block-RAM bits."""
+
+    luts: float = 0.0
+    ffs: float = 0.0
+    dsps: float = 0.0
+    bram_bits: float = 0.0
+
+    def __add__(self, other: "ResourceCost") -> "ResourceCost":
+        return ResourceCost(
+            self.luts + other.luts,
+            self.ffs + other.ffs,
+            self.dsps + other.dsps,
+            self.bram_bits + other.bram_bits,
+        )
+
+    def scaled(self, factor: float) -> "ResourceCost":
+        if factor < 0:
+            raise HardwareModelError(f"negative scale factor {factor}")
+        return ResourceCost(
+            self.luts * factor,
+            self.ffs * factor,
+            self.dsps * factor,
+            self.bram_bits * factor,
+        )
+
+    @property
+    def bram_kilobytes(self) -> float:
+        return self.bram_bits / 8.0 / 1024.0
+
+
+ZERO_COST = ResourceCost()
+
+_ARITHMETIC = {
+    # (op, dtype) -> cost per instance
+    ("mult", DataType.FP32): ResourceCost(luts=135, ffs=230, dsps=3),
+    ("mult", DataType.FP16): ResourceCost(luts=60, ffs=110, dsps=1),
+    ("add", DataType.FP32): ResourceCost(luts=240, ffs=360, dsps=2),
+    ("add", DataType.FP16): ResourceCost(luts=100, ffs=150, dsps=0),
+    ("sub", DataType.FP32): ResourceCost(luts=240, ffs=360, dsps=2),
+    ("sub", DataType.FP16): ResourceCost(luts=100, ffs=150, dsps=0),
+    ("div", DataType.FP32): ResourceCost(luts=820, ffs=1150, dsps=4),
+    ("div", DataType.FP16): ResourceCost(luts=340, ffs=480, dsps=2),
+}
+
+
+def primitive_cost(op: str, dtype: DataType) -> ResourceCost:
+    """Resource cost of one arithmetic primitive."""
+    try:
+        return _ARITHMETIC[(op, dtype)]
+    except KeyError:
+        ops = sorted({o for o, _ in _ARITHMETIC})
+        raise HardwareModelError(f"unknown primitive {op!r}; available: {ops}") from None
+
+
+def mux_cost(dtype: DataType, ways: int = 2) -> ResourceCost:
+    """N-way word-wide multiplexer: ~bits/2 LUTs per 2-way stage."""
+    if ways < 2:
+        raise HardwareModelError(f"mux needs >= 2 ways, got {ways}")
+    stages = math.ceil(math.log2(ways))
+    return ResourceCost(luts=dtype.bits / 2 * stages)
+
+
+def fifo_cost(depth: int, width_bits: int) -> ResourceCost:
+    """FIFO: storage in (block/LUT) RAM bits + pointer/flag control logic."""
+    if depth <= 0 or width_bits <= 0:
+        raise HardwareModelError("FIFO depth and width must be positive")
+    addr_bits = max(1, math.ceil(math.log2(depth)))
+    control = ResourceCost(luts=14 + 2 * addr_bits, ffs=2 * addr_bits + 6)
+    return control + ResourceCost(bram_bits=depth * width_bits)
+
+
+def lut_memory_cost(entries: int, width_bits: int) -> ResourceCost:
+    """Distributed (LUT-RAM backed) lookup table: 64 bits per LUT."""
+    if entries <= 0 or width_bits <= 0:
+        raise HardwareModelError("LUT memory entries and width must be positive")
+    bits = entries * width_bits
+    return ResourceCost(luts=math.ceil(bits / 64.0), bram_bits=bits)
+
+
+def control_cost(dtype: DataType) -> ResourceCost:
+    """Controller FSM + zero-counting monitor + argmin scan logic."""
+    return ResourceCost(luts=70, ffs=90 + dtype.bits)

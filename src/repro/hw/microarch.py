@@ -1,0 +1,262 @@
+"""Functional, cycle-counted model of the Dysta hardware scheduler datapath.
+
+This module models what the SystemVerilog design of Sec 5.2 *does* (Figs 10
+and 11), complementing :mod:`repro.hw.scheduler_rtl` (what it *costs*) and
+:mod:`repro.hw.timing` (how long it takes):
+
+* request FIFOs track tag / score / SLO words;
+* LUT memories hold, per (model, pattern) entry, the offline averages —
+  including every division pre-computed as a reciprocal, which is exactly
+  how the Opt designs eliminate their dividers (Sec 5.2.2);
+* a reconfigurable compute unit executes the two dataflows of Fig 11:
+  (a) sparsity coefficient from the zero-counting monitor, and
+  (b) score update, with every arithmetic step rounded to the scheduler's
+  FP16 word and counted as one pipelined cycle;
+* the controller scans the queue, keeps the running argmin, and dispatches.
+
+The selection this model produces is tested for equivalence against the
+software :class:`repro.core.dysta.DystaScheduler` — the hardware is a
+faithful implementation of Algorithm 2/3, not a separate policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.lut import ModelInfoLUT
+from repro.errors import HardwareModelError
+from repro.sim.request import Request
+
+
+def fp16(value: float) -> float:
+    """Round to the scheduler's half-precision word."""
+    return float(np.float16(value))
+
+
+class HardwareFIFO:
+    """Bounded FIFO of (tag, payload) words."""
+
+    def __init__(self, depth: int):
+        if depth <= 0:
+            raise HardwareModelError(f"FIFO depth must be positive, got {depth}")
+        self.depth = depth
+        self._entries: List[Tuple[int, float]] = []
+
+    def push(self, tag: int, payload: float) -> None:
+        if len(self._entries) >= self.depth:
+            raise HardwareModelError("FIFO overflow: more requests than FIFO depth")
+        self._entries.append((tag, payload))
+
+    def pop_tag(self, tag: int) -> None:
+        for i, (t, _) in enumerate(self._entries):
+            if t == tag:
+                del self._entries[i]
+                return
+        raise HardwareModelError(f"tag {tag} not present in FIFO")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def tags(self) -> List[int]:
+        return [t for t, _ in self._entries]
+
+
+@dataclass
+class ModelInfoEntry:
+    """One LUT-memory entry: offline averages with pre-computed reciprocals.
+
+    All stored words are FP16, as cached by the hardware LUTs.
+    """
+
+    avg_total_latency: float
+    remaining_suffix: Tuple[float, ...]  # per-layer remaining avg latency
+    avg_density_reciprocal: Tuple[float, ...]  # 1/(1 - avg sparsity) per layer
+    isolated_reciprocal: float  # 1 / avg isolated latency
+    density_slope: float
+
+
+def build_lut_memories(lut: ModelInfoLUT) -> Dict[str, ModelInfoEntry]:
+    """Populate the hardware LUT memories from the software model-info LUT.
+
+    This is the static scheduler's "Model Info Update" path in Fig 8: every
+    divider operand is inverted offline so the datapath only multiplies.
+    """
+    entries = {}
+    for key in lut.keys:
+        layers = lut.num_layers(key)
+        avg_sp = lut.avg_layer_sparsities(key)
+        entries[key] = ModelInfoEntry(
+            avg_total_latency=fp16(lut.avg_total_latency(key)),
+            remaining_suffix=tuple(
+                fp16(lut.static_remaining(key, j)) for j in range(layers + 1)
+            ),
+            avg_density_reciprocal=tuple(
+                fp16(1.0 / max(1.0 - float(s), 1e-3)) for s in avg_sp
+            ),
+            isolated_reciprocal=fp16(1.0 / max(lut.avg_total_latency(key), 1e-9)),
+            density_slope=fp16(lut.density_slope(key)),
+        )
+    return entries
+
+
+@dataclass
+class ComputeUnitTrace:
+    """Cycle accounting of the reconfigurable compute unit."""
+
+    coef_ops: int = 0
+    score_ops: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        # Fully pipelined: one op issues per cycle.
+        return self.coef_ops + self.score_ops
+
+
+class ReconfigurableComputeUnit:
+    """The shared mult/add/sub unit of Fig 10 (right) with its two modes."""
+
+    def __init__(self) -> None:
+        self.trace = ComputeUnitTrace()
+
+    # -- Fig 11 (a)/(c): sparsity coefficient ------------------------------
+
+    def sparsity_coefficient(
+        self,
+        num_zeros: float,
+        shape_reciprocal: float,
+        avg_density_reciprocal: float,
+        density_slope: float,
+    ) -> float:
+        """gamma_eff from the monitor's zero count.
+
+        Dataflow: sparsity = num_zeros * (1/shape); density = 1 - sparsity;
+        gamma_raw = density * (1/avg_density); gamma_eff folds the
+        hardware-effectiveness slope: 1 + slope * (gamma_raw - 1).
+        """
+        sparsity = fp16(num_zeros * shape_reciprocal)  # Mult
+        density = fp16(1.0 - sparsity)  # Sub
+        gamma_raw = fp16(density * avg_density_reciprocal)  # Mult
+        delta = fp16(gamma_raw - 1.0)  # Sub
+        gamma_eff = fp16(1.0 + fp16(density_slope * delta))  # Mult + Add
+        self.trace.coef_ops += 6
+        return max(gamma_eff, 1e-3)
+
+    # -- Fig 11 (b)/(d): score update ---------------------------------------
+
+    def score(
+        self,
+        gamma_eff: float,
+        remaining_avg: float,
+        deadline: float,
+        now: float,
+        isolated: float,
+        isolated_reciprocal: float,
+        wait: float,
+        queue_reciprocal: float,
+        eta: float,
+    ) -> Tuple[float, float]:
+        """(score, predicted remaining) for one queued request."""
+        remaining = fp16(gamma_eff * remaining_avg)  # Mult
+        slack = fp16(fp16(deadline - now) - remaining)  # Sub, Sub
+        slack = max(slack, fp16(-isolated))  # bounded-urgency clamp
+        norm_wait = fp16(wait * isolated_reciprocal)  # Mult (recip offline)
+        penalty = fp16(norm_wait * queue_reciprocal)  # Mult (recip ROM)
+        weighted = fp16(eta * fp16(slack + penalty))  # Add, Mult
+        score = fp16(remaining + weighted)  # Add
+        self.trace.score_ops += 8
+        return score, remaining
+
+
+@dataclass
+class HardwareDystaScheduler:
+    """Controller + FIFOs + LUTs + compute unit: the full Fig 10 module.
+
+    Functional mirror of ``DystaScheduler`` (Algorithm 2) in FP16 hardware
+    arithmetic; `select` returns the dispatched request plus the decision's
+    cycle count.
+    """
+
+    lut: ModelInfoLUT
+    fifo_depth: int = 64
+    eta: float = 0.02
+    #: Reciprocal ROM for 1/|Q| (the Fig 11(b) Div folded into a lookup).
+    _queue_reciprocal_rom: Tuple[float, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.entries = build_lut_memories(self.lut)
+        self.tags = HardwareFIFO(self.fifo_depth)
+        self.unit = ReconfigurableComputeUnit()
+        self._queue_reciprocal_rom = tuple(
+            fp16(1.0 / max(q, 1)) for q in range(self.fifo_depth + 1)
+        )
+        self._gamma: Dict[int, float] = {}
+
+    # -- request / monitor interface -----------------------------------------
+
+    def enqueue(self, request: Request) -> None:
+        """Static scheduler forwards a request (Fig 8: Request/Info Sent)."""
+        if request.key not in self.entries:
+            raise HardwareModelError(f"no LUT entry for {request.key!r}")
+        self.tags.push(request.rid, 0.0)
+        self._gamma[request.rid] = fp16(1.0)
+
+    def retire(self, request: Request) -> None:
+        self.tags.pop_tag(request.rid)
+        self._gamma.pop(request.rid, None)
+
+    def monitor_layer(self, request: Request, layer_index: int) -> None:
+        """Zero-counting monitor reports the just-executed layer.
+
+        The monitor hands the controller a raw zero count; the compute unit
+        turns it into the sparsity coefficient (last-one strategy).
+        """
+        entry = self.entries[request.key]
+        sparsity = request.layer_sparsities[layer_index]
+        # The monitor counts zeros over a known activation shape; model a
+        # 4096-element layer output (shape reciprocal pre-computed).
+        shape = 4096.0
+        num_zeros = round(sparsity * shape)
+        self._gamma[request.rid] = self.unit.sparsity_coefficient(
+            num_zeros,
+            fp16(1.0 / shape),
+            entry.avg_density_reciprocal[layer_index],
+            entry.density_slope,
+        )
+
+    # -- dispatch decision -----------------------------------------------------
+
+    def select(self, queue: Sequence[Request], now: float) -> Tuple[Request, int]:
+        """Re-score every queued request and pick the argmin (Algorithm 2)."""
+        if not queue:
+            raise HardwareModelError("select on an empty queue")
+        if len(queue) > self.fifo_depth:
+            raise HardwareModelError("queue exceeds FIFO depth")
+        cycles_before = self.unit.trace.total_cycles
+        q_recip = self._queue_reciprocal_rom[len(queue)]
+        best: Optional[Request] = None
+        best_score = float("inf")
+        for req in sorted(queue, key=lambda r: r.rid):
+            entry = self.entries[req.key]
+            gamma = self._gamma.get(req.rid, fp16(1.0))
+            if req.next_layer == 0:
+                gamma = fp16(1.0)  # nothing monitored yet
+            score, _ = self.unit.score(
+                gamma_eff=gamma,
+                remaining_avg=entry.remaining_suffix[req.next_layer],
+                deadline=req.deadline,
+                now=now,
+                isolated=entry.avg_total_latency,
+                isolated_reciprocal=entry.isolated_reciprocal,
+                wait=max(now - req.last_run_end, 0.0),
+                queue_reciprocal=q_recip,
+                eta=self.eta,
+            )
+            if score < best_score:
+                best_score = score
+                best = req
+        decision_cycles = self.unit.trace.total_cycles - cycles_before
+        assert best is not None
+        return best, decision_cycles

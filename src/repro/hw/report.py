@@ -1,0 +1,61 @@
+"""Resource reports: Fig 16 (normalized usage per optimization) and Table 6
+(scheduler overhead relative to Eyeriss-V2)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import HardwareModelError
+from repro.hw.components import ResourceCost
+from repro.hw.scheduler_rtl import DesignVariant, SchedulerDesign
+
+#: Eyeriss-V2 FPGA implementation the paper compares against (Table 6,
+#: third-party design on the Xilinx Zynq ZU7EV at 200 MHz).
+EYERISS_V2_RESOURCES = ResourceCost(
+    luts=99168, ffs=87210, dsps=194, bram_bits=140 * 1024 * 8
+)
+
+
+def resource_table(fifo_depth: int = 64) -> Dict[str, ResourceCost]:
+    """Absolute resources of the three design variants at one FIFO depth."""
+    return {
+        variant.value: SchedulerDesign(variant, fifo_depth).resources()
+        for variant in DesignVariant
+    }
+
+
+def normalized_usage(fifo_depth: int) -> Dict[str, Dict[str, float]]:
+    """Fig 16: LUT/FF/DSP usage normalized to the Non_Opt_FP32 design."""
+    table = resource_table(fifo_depth)
+    base = table[DesignVariant.NON_OPT_FP32.value]
+    if base.luts <= 0 or base.ffs <= 0 or base.dsps <= 0:
+        raise HardwareModelError("degenerate baseline design")
+    out: Dict[str, Dict[str, float]] = {}
+    for name, cost in table.items():
+        out[name] = {
+            "LUT": cost.luts / base.luts,
+            "FF": cost.ffs / base.ffs,
+            "DSP": cost.dsps / base.dsps,
+        }
+    return out
+
+
+def overhead_table(
+    fifo_depth: int = 64,
+    variant: DesignVariant = DesignVariant.OPT_FP16,
+) -> Dict[str, Tuple[float, float, float]]:
+    """Table 6: (LUTs, DSPs, on-chip RAM KB) for Eyeriss-V2, the scheduler,
+    the combined system, and the relative overhead row (fractions)."""
+    sched = SchedulerDesign(variant, fifo_depth).resources()
+    eyeriss = EYERISS_V2_RESOURCES
+    combined = eyeriss + sched
+    return {
+        "Eyeriss-V2": (eyeriss.luts, eyeriss.dsps, eyeriss.bram_kilobytes),
+        "Scheduler": (sched.luts, sched.dsps, sched.bram_kilobytes),
+        "Dysta-Eyeriss-V2": (combined.luts, combined.dsps, combined.bram_kilobytes),
+        "Total Overhead": (
+            sched.luts / combined.luts,
+            sched.dsps / combined.dsps,
+            sched.bram_kilobytes / combined.bram_kilobytes,
+        ),
+    }

@@ -1,0 +1,138 @@
+"""Composable designs of the Dysta hardware scheduler (paper Sec 5.2).
+
+Three variants reproduce the optimization ladder of Fig 16:
+
+* **NON_OPT_FP32** — naive implementation: separate compute units for the
+  sparsity coefficient (Fig 11(a): Div + Mult) and the score update
+  (Fig 11(b): 2x Sub, Div, 2x Mult, 2x Add), all FP32 with real dividers.
+* **OPT_FP32** — the shared *reconfigurable compute unit* (Fig 10, right):
+  the two dataflows are time-multiplexed on 3 multipliers, 1 adder and
+  1 subtractor steered by muxes/demux; both divisions disappear by
+  pre-computing reciprocals offline (Sec 5.2.2) into the LUT memories.
+* **OPT_FP16** — the reconfigurable unit in half precision.
+
+Each design also instantiates the per-request FIFOs (tag, score, SLO — depth
+= max in-flight requests, a synthesis parameter) and the three model-info LUT
+memories (latency, sparsity, shape-reciprocal).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import HardwareModelError
+from repro.hw.components import (
+    DataType,
+    ResourceCost,
+    ZERO_COST,
+    control_cost,
+    fifo_cost,
+    lut_memory_cost,
+    mux_cost,
+    primitive_cost,
+)
+
+#: Model-info LUT entries: one per (model, pattern) pair; the benchmark has
+#: 4 CNNs x 3 patterns + 3 AttNNs = 15; leave headroom for 32.
+DEFAULT_LUT_ENTRIES = 32
+
+#: Tag width: request id + model-pattern index.
+TAG_BITS = 16
+
+
+class DesignVariant(enum.Enum):
+    """The three design points of the Fig 16 optimization ladder."""
+
+    NON_OPT_FP32 = "Non_Opt_FP32"
+    OPT_FP32 = "Opt_FP32"
+    OPT_FP16 = "Opt_FP16"
+
+    @property
+    def dtype(self) -> DataType:
+        return DataType.FP16 if self is DesignVariant.OPT_FP16 else DataType.FP32
+
+    @property
+    def shared_compute_unit(self) -> bool:
+        return self is not DesignVariant.NON_OPT_FP32
+
+
+@dataclass(frozen=True)
+class SchedulerDesign:
+    """One synthesizable configuration of the hardware scheduler."""
+
+    variant: DesignVariant
+    fifo_depth: int
+    lut_entries: int = DEFAULT_LUT_ENTRIES
+
+    def __post_init__(self) -> None:
+        if self.fifo_depth <= 0:
+            raise HardwareModelError(f"FIFO depth must be positive, got {self.fifo_depth}")
+        if self.lut_entries <= 0:
+            raise HardwareModelError(f"LUT entries must be positive, got {self.lut_entries}")
+
+    # -- compute units -------------------------------------------------------
+
+    def _compute_unit(self) -> ResourceCost:
+        dtype = self.variant.dtype
+        if not self.variant.shared_compute_unit:
+            # Separate units, real dividers (Fig 11 (a)+(b) instantiated).
+            coef_unit = primitive_cost("div", dtype) + primitive_cost("mult", dtype)
+            score_unit = (
+                primitive_cost("sub", dtype).scaled(2)
+                + primitive_cost("div", dtype)
+                + primitive_cost("mult", dtype).scaled(2)
+                + primitive_cost("add", dtype).scaled(2)
+            )
+            return coef_unit + score_unit
+        # Shared reconfigurable unit: 3 mults (divisions become multiplies by
+        # offline reciprocals), 1 add, 1 sub, steering muxes + demux.
+        unit = (
+            primitive_cost("mult", dtype).scaled(3)
+            + primitive_cost("add", dtype)
+            + primitive_cost("sub", dtype)
+        )
+        steering = mux_cost(dtype).scaled(5) + mux_cost(dtype)  # 5 muxes + demux
+        return unit + steering
+
+    # -- storage --------------------------------------------------------------
+
+    def _fifos(self) -> ResourceCost:
+        dtype = self.variant.dtype
+        tags = fifo_cost(self.fifo_depth, TAG_BITS)
+        scores = fifo_cost(self.fifo_depth, dtype.bits)
+        slos = fifo_cost(self.fifo_depth, dtype.bits)
+        return tags + scores + slos
+
+    def _lut_memories(self) -> ResourceCost:
+        dtype = self.variant.dtype
+        total = ZERO_COST
+        for _table in ("latency", "sparsity", "shape_reciprocal"):
+            total = total + lut_memory_cost(self.lut_entries, dtype.bits)
+        return total
+
+    # -- totals ---------------------------------------------------------------
+
+    def resources(self) -> ResourceCost:
+        """Synthesized resource vector of the full scheduler module."""
+        return (
+            self._compute_unit()
+            + self._fifos()
+            + self._lut_memories()
+            + control_cost(self.variant.dtype)
+        )
+
+    def breakdown(self) -> Dict[str, ResourceCost]:
+        """Per-component resource map (compute / fifos / luts / control)."""
+        return {
+            "compute_unit": self._compute_unit(),
+            "fifos": self._fifos(),
+            "lut_memories": self._lut_memories(),
+            "control": control_cost(self.variant.dtype),
+        }
+
+
+def build_design(variant: DesignVariant, fifo_depth: int = 64) -> SchedulerDesign:
+    """Convenience constructor used by the Fig 16 / Table 6 benches."""
+    return SchedulerDesign(variant=variant, fifo_depth=fifo_depth)

@@ -1,0 +1,65 @@
+"""Timing model of the hardware scheduler's decision path.
+
+The Dysta hardware scheduler is invoked at every layer boundary
+(Algorithm 2); for the "negligible overhead" claim to hold, its decision
+latency — update the running request's sparsity coefficient, re-score every
+queued request, select the argmin — must be orders of magnitude below a
+layer's execution time.  This model counts cycles through the reconfigurable
+compute unit (Fig 10/11) and lets benches verify the claim quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+
+
+@dataclass(frozen=True)
+class SchedulerTiming:
+    """Cycle-level timing of one scheduling decision.
+
+    Attributes:
+        clock_hz: Scheduler clock (paper: 200 MHz).
+        coefficient_pipeline: Latency of the sparsity-coefficient dataflow
+            (Fig 11(a)(c)): two chained FP multipliers, pipelined.
+        score_pipeline: Latency of the score dataflow (Fig 11(b)(d)).
+        scan_ii: Initiation interval of the score-update/argmin scan — one
+            queued request enters the pipeline per cycle (FIFO streaming).
+        control_overhead: Fixed controller cycles (FIFO pops, LUT reads,
+            result writeback).
+    """
+
+    clock_hz: float = 200e6
+    coefficient_pipeline: int = 8
+    score_pipeline: int = 12
+    scan_ii: int = 1
+    control_overhead: int = 6
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise HardwareModelError("clock must be positive")
+        if min(self.coefficient_pipeline, self.score_pipeline, self.scan_ii) <= 0:
+            raise HardwareModelError("pipeline parameters must be positive")
+
+    def decision_cycles(self, queue_len: int) -> int:
+        """Cycles from layer-completion interrupt to the next dispatch."""
+        if queue_len < 0:
+            raise HardwareModelError(f"queue length must be >= 0, got {queue_len}")
+        if queue_len == 0:
+            return self.control_overhead
+        # Coefficient update for the running request, then a pipelined scan
+        # over the queue (fill + one entry per II), argmin folded into the
+        # scan's drain.
+        scan = self.score_pipeline + (queue_len - 1) * self.scan_ii
+        return self.coefficient_pipeline + scan + self.control_overhead
+
+    def decision_latency(self, queue_len: int) -> float:
+        """Decision latency in seconds."""
+        return self.decision_cycles(queue_len) / self.clock_hz
+
+    def relative_overhead(self, queue_len: int, layer_latency: float) -> float:
+        """Decision latency as a fraction of one layer's execution time."""
+        if layer_latency <= 0:
+            raise HardwareModelError("layer latency must be positive")
+        return self.decision_latency(queue_len) / layer_latency

@@ -1,0 +1,16 @@
+"""Layer-level DNN model IR and the benchmark model zoo (Table 3 of the paper)."""
+
+from repro.models.graph import DynamicKind, Layer, LayerKind, ModelFamily, ModelGraph
+from repro.models.registry import ALL_ATTNN_MODELS, ALL_CNN_MODELS, build_model, list_models
+
+__all__ = [
+    "DynamicKind",
+    "Layer",
+    "LayerKind",
+    "ModelFamily",
+    "ModelGraph",
+    "ALL_ATTNN_MODELS",
+    "ALL_CNN_MODELS",
+    "build_model",
+    "list_models",
+]

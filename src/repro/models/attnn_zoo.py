@@ -1,0 +1,136 @@
+"""Attention-based model zoo: BERT-base, GPT-2 (small) and BART-base (Table 3).
+
+Each transformer block is expanded into its schedulable matmul layers:
+QKV projections, the attention score (Q @ K^T) and context (P @ V) matmuls,
+the output projection and the two FFN matmuls.  All of them carry *dynamic
+attention sparsity* (paper Fig 1(c)): threshold pruning a la Sanger/SpAtten
+removes attention elements (score/context scale with attention density) and
+cascades token pruning into the surrounding projections/FFNs — which is why
+the paper observes whole-model latency swinging 0.6x-1.8x across inputs
+(Fig 2).  How strongly each layer kind responds to the sparsity is decided by
+the accelerator model (:class:`repro.accel.sanger.Sanger`).
+
+Sequence lengths follow the paper's evaluation datasets: 384 for BERT (SQuAD),
+256 for GPT-2 (GLUE-style prompts) and 512 for BART (machine translation).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.graph import DynamicKind, Layer, LayerKind, ModelFamily, ModelGraph
+
+
+def _attention_block(
+    layers: List[Layer], prefix: str, hidden: int, seq: int, *, cross: bool = False
+) -> None:
+    """Append one multi-head self- (or cross-) attention sub-block."""
+    tag = "xattn" if cross else "attn"
+    layers.append(
+        Layer(
+            name=f"{prefix}_{tag}_qkv",
+            kind=LayerKind.ATTN_QKV,
+            macs=3 * hidden * hidden * seq,
+            params=3 * hidden * hidden,
+            dynamic=DynamicKind.ATTENTION,
+        )
+    )
+    layers.append(
+        Layer(
+            name=f"{prefix}_{tag}_score",
+            kind=LayerKind.ATTN_SCORE,
+            macs=seq * seq * hidden,
+            params=0,
+            dynamic=DynamicKind.ATTENTION,
+            prunable=False,
+        )
+    )
+    layers.append(
+        Layer(
+            name=f"{prefix}_{tag}_context",
+            kind=LayerKind.ATTN_CONTEXT,
+            macs=seq * seq * hidden,
+            params=0,
+            dynamic=DynamicKind.ATTENTION,
+            prunable=False,
+        )
+    )
+    layers.append(
+        Layer(
+            name=f"{prefix}_{tag}_out",
+            kind=LayerKind.ATTN_OUT,
+            macs=hidden * hidden * seq,
+            params=hidden * hidden,
+            dynamic=DynamicKind.ATTENTION,
+        )
+    )
+
+
+def _ffn_block(layers: List[Layer], prefix: str, hidden: int, seq: int, ratio: int = 4) -> None:
+    inner = hidden * ratio
+    layers.append(
+        Layer(
+            name=f"{prefix}_ffn1",
+            kind=LayerKind.FFN,
+            macs=hidden * inner * seq,
+            params=hidden * inner,
+            dynamic=DynamicKind.ATTENTION,
+        )
+    )
+    layers.append(
+        Layer(
+            name=f"{prefix}_ffn2",
+            kind=LayerKind.FFN,
+            macs=inner * hidden * seq,
+            params=inner * hidden,
+            dynamic=DynamicKind.ATTENTION,
+        )
+    )
+
+
+def _encoder_stack(name: str, blocks: int, hidden: int, seq: int) -> List[Layer]:
+    layers: List[Layer] = []
+    for b in range(blocks):
+        prefix = f"{name}{b}"
+        _attention_block(layers, prefix, hidden, seq)
+        _ffn_block(layers, prefix, hidden, seq)
+    return layers
+
+
+def _variant_name(base: str, seq: int, default_seq: int) -> str:
+    """Default-seq builds keep the canonical name (Table 3 identity)."""
+    return base if seq == default_seq else f"{base}_s{seq}"
+
+
+def build_bert(seq: int = 384) -> ModelGraph:
+    """BERT-base: 12 encoder blocks, hidden 768, default seq 384 (SQuAD).
+
+    ``seq`` parameterizes the padded sequence length: attention layers scale
+    quadratically and projections linearly, so shorter prompts are genuinely
+    cheaper — the workload-heterogeneity extension of
+    ``bench_ext_seq_length.py``.
+    """
+    layers = _encoder_stack("enc", blocks=12, hidden=768, seq=seq)
+    return ModelGraph(name=_variant_name("bert", seq, 384),
+                      family=ModelFamily.ATTNN, layers=tuple(layers))
+
+
+def build_gpt2(seq: int = 256) -> ModelGraph:
+    """GPT-2 small: 12 decoder blocks, hidden 768, default seq 256 (GLUE)."""
+    layers = _encoder_stack("dec", blocks=12, hidden=768, seq=seq)
+    return ModelGraph(name=_variant_name("gpt2", seq, 256),
+                      family=ModelFamily.ATTNN, layers=tuple(layers))
+
+
+def build_bart(seq: int = 512) -> ModelGraph:
+    """BART-base: 6 encoder + 6 decoder blocks (decoder adds cross-attention),
+    hidden 768, default seq 512 (machine translation)."""
+    hidden = 768
+    layers = _encoder_stack("enc", blocks=6, hidden=hidden, seq=seq)
+    for b in range(6):
+        prefix = f"dec{b}"
+        _attention_block(layers, prefix, hidden, seq)
+        _attention_block(layers, prefix, hidden, seq, cross=True)
+        _ffn_block(layers, prefix, hidden, seq)
+    return ModelGraph(name=_variant_name("bart", seq, 512),
+                      family=ModelFamily.ATTNN, layers=tuple(layers))

@@ -1,0 +1,158 @@
+"""CNN model zoo: ResNet-50, VGG-16, MobileNet(V1) and SSD300 (Table 3).
+
+Layer shapes follow the original architectures at 224x224 (300x300 for SSD)
+input resolution, so dense MAC totals match the published operation counts:
+ResNet-50 ~4.1 GMACs, VGG-16 ~15.5 GMACs, MobileNetV1 ~0.57 GMACs and
+SSD300-VGG ~15.6 GMACs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.graph import (
+    DynamicKind,
+    Layer,
+    ModelFamily,
+    ModelGraph,
+    conv_layer,
+    fc_layer,
+)
+
+
+def build_vgg16() -> ModelGraph:
+    """VGG-16: 13 conv layers (all ReLU-activated) + 3 FC layers."""
+    cfg = [
+        # (name, cin, cout, out_hw)
+        ("conv1_1", 3, 64, 224),
+        ("conv1_2", 64, 64, 224),
+        ("conv2_1", 64, 128, 112),
+        ("conv2_2", 128, 128, 112),
+        ("conv3_1", 128, 256, 56),
+        ("conv3_2", 256, 256, 56),
+        ("conv3_3", 256, 256, 56),
+        ("conv4_1", 256, 512, 28),
+        ("conv4_2", 512, 512, 28),
+        ("conv4_3", 512, 512, 28),
+        ("conv5_1", 512, 512, 14),
+        ("conv5_2", 512, 512, 14),
+        ("conv5_3", 512, 512, 14),
+    ]
+    layers: List[Layer] = [
+        conv_layer(name, cin, cout, 3, hw) for name, cin, cout, hw in cfg
+    ]
+    layers.append(fc_layer("fc6", 512 * 7 * 7, 4096))
+    layers.append(fc_layer("fc7", 4096, 4096))
+    layers.append(fc_layer("fc8", 4096, 1000, dynamic=DynamicKind.NONE))
+    return ModelGraph(name="vgg16", family=ModelFamily.CNN, layers=tuple(layers))
+
+
+def _bottleneck(
+    layers: List[Layer], stage: str, idx: int, cin: int, mid: int, out_hw: int
+) -> int:
+    """Append a ResNet bottleneck (1x1 -> 3x3 -> 1x1); returns new channel count."""
+    cout = mid * 4
+    layers.append(conv_layer(f"{stage}_{idx}_conv1", cin, mid, 1, out_hw))
+    layers.append(conv_layer(f"{stage}_{idx}_conv2", mid, mid, 3, out_hw))
+    layers.append(conv_layer(f"{stage}_{idx}_conv3", mid, cout, 1, out_hw))
+    if cin != cout:
+        layers.append(
+            conv_layer(f"{stage}_{idx}_down", cin, cout, 1, out_hw, dynamic=DynamicKind.NONE)
+        )
+    return cout
+
+
+def build_resnet50() -> ModelGraph:
+    """ResNet-50: stem + 4 stages of bottlenecks (3/4/6/3) + FC."""
+    layers: List[Layer] = [conv_layer("stem", 3, 64, 7, 112)]
+    stages = [
+        # (stage name, blocks, mid channels, output spatial size)
+        ("stage1", 3, 64, 56),
+        ("stage2", 4, 128, 28),
+        ("stage3", 6, 256, 14),
+        ("stage4", 3, 512, 7),
+    ]
+    cin = 64
+    for stage, blocks, mid, hw in stages:
+        for b in range(blocks):
+            cin = _bottleneck(layers, stage, b, cin, mid, hw)
+    layers.append(fc_layer("fc", 2048, 1000, dynamic=DynamicKind.NONE))
+    return ModelGraph(name="resnet50", family=ModelFamily.CNN, layers=tuple(layers))
+
+
+def build_mobilenet() -> ModelGraph:
+    """MobileNetV1 (1.0x, 224): 1 conv + 13 depthwise-separable blocks + FC."""
+    layers: List[Layer] = [conv_layer("conv0", 3, 32, 3, 112)]
+    blocks = [
+        # (cin, cout, out_hw of the block output)
+        (32, 64, 112),
+        (64, 128, 56),
+        (128, 128, 56),
+        (128, 256, 28),
+        (256, 256, 28),
+        (256, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 1024, 7),
+        (1024, 1024, 7),
+    ]
+    for i, (cin, cout, hw) in enumerate(blocks):
+        layers.append(conv_layer(f"dw{i}", cin, cout, 3, hw, depthwise=True))
+        layers.append(conv_layer(f"pw{i}", cin, cout, 1, hw))
+    layers.append(fc_layer("fc", 1024, 1000, dynamic=DynamicKind.NONE))
+    return ModelGraph(name="mobilenet", family=ModelFamily.CNN, layers=tuple(layers))
+
+
+def build_ssd() -> ModelGraph:
+    """SSD300 with VGG-16 backbone: base conv1-5 at 300x300, fc6/fc7 as
+    dilated convs, extras conv8-11 and per-scale loc/conf heads."""
+    base = [
+        ("conv1_1", 3, 64, 300),
+        ("conv1_2", 64, 64, 300),
+        ("conv2_1", 64, 128, 150),
+        ("conv2_2", 128, 128, 150),
+        ("conv3_1", 128, 256, 75),
+        ("conv3_2", 256, 256, 75),
+        ("conv3_3", 256, 256, 75),
+        ("conv4_1", 256, 512, 38),
+        ("conv4_2", 512, 512, 38),
+        ("conv4_3", 512, 512, 38),
+        ("conv5_1", 512, 512, 19),
+        ("conv5_2", 512, 512, 19),
+        ("conv5_3", 512, 512, 19),
+    ]
+    layers: List[Layer] = [conv_layer(n, ci, co, 3, hw) for n, ci, co, hw in base]
+    layers.append(conv_layer("fc6", 512, 1024, 3, 19))
+    layers.append(conv_layer("fc7", 1024, 1024, 1, 19))
+    extras = [
+        ("conv8_1", 1024, 256, 1, 19),
+        ("conv8_2", 256, 512, 3, 10),
+        ("conv9_1", 512, 128, 1, 10),
+        ("conv9_2", 128, 256, 3, 5),
+        ("conv10_1", 256, 128, 1, 5),
+        ("conv10_2", 128, 256, 3, 3),
+        ("conv11_1", 256, 128, 1, 3),
+        ("conv11_2", 128, 256, 3, 1),
+    ]
+    layers.extend(conv_layer(n, ci, co, k, hw) for n, ci, co, k, hw in extras)
+    # Detection heads: (source channels, spatial size, default boxes per cell).
+    heads = [
+        (512, 38, 4),
+        (1024, 19, 6),
+        (512, 10, 6),
+        (256, 5, 6),
+        (256, 3, 4),
+        (256, 1, 4),
+    ]
+    num_classes = 21
+    for i, (cin, hw, boxes) in enumerate(heads):
+        layers.append(
+            conv_layer(f"loc{i}", cin, boxes * 4, 3, hw, dynamic=DynamicKind.NONE)
+        )
+        layers.append(
+            conv_layer(f"conf{i}", cin, boxes * num_classes, 3, hw, dynamic=DynamicKind.NONE)
+        )
+    return ModelGraph(name="ssd", family=ModelFamily.CNN, layers=tuple(layers))

@@ -1,0 +1,173 @@
+"""Layer-level intermediate representation of DNN models.
+
+The paper's evaluation never touches activations or weights numerically: the
+hardware simulators consume, per layer, the MAC count, the parameter count and
+the sparsity acting on that layer.  This IR captures exactly that — each model
+is a linear sequence of compute layers (the "layer-wise processing manner" of
+Section 2.1), annotated with which kind of *dynamic* sparsity applies to it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Tuple
+
+from repro.errors import ModelError
+
+
+class LayerKind(enum.Enum):
+    """Compute-layer taxonomy used by the accelerator cost models."""
+
+    CONV = "conv"
+    DWCONV = "dwconv"  # depthwise convolution
+    FC = "fc"
+    ATTN_QKV = "attn_qkv"  # Q/K/V projections
+    ATTN_SCORE = "attn_score"  # Q @ K^T
+    ATTN_CONTEXT = "attn_context"  # softmax(S) @ V
+    ATTN_OUT = "attn_out"  # output projection
+    FFN = "ffn"  # transformer feed-forward matmul
+
+
+class DynamicKind(enum.Enum):
+    """Which source of input-dependent sparsity affects a layer (Sec 2.3.1)."""
+
+    NONE = "none"
+    RELU = "relu"  # ReLU-induced activation sparsity (CNNs)
+    ATTENTION = "attention"  # dynamic attention pruning (AttNNs)
+
+
+class ModelFamily(enum.Enum):
+    """Benchmark model family; selects the target accelerator (Sec 3.3.2)."""
+
+    CNN = "cnn"
+    ATTNN = "attnn"
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One schedulable compute layer.
+
+    Attributes:
+        name: Unique layer name within the model.
+        kind: Compute taxonomy entry; drives the accelerator cost model.
+        macs: Dense multiply-accumulate count of the layer.
+        params: Weight-parameter count (0 for weight-less ops like QK^T).
+        dynamic: Which kind of runtime sparsity modulates this layer.
+        prunable: Whether static weight-pruning patterns apply to the layer.
+        kernel / cin / cout / out_hw: Optional shape metadata (0 = unknown),
+            populated by the conv/fc builders and consumed by the detailed
+            dataflow-mapping accelerator modes.
+    """
+
+    name: str
+    kind: LayerKind
+    macs: int
+    params: int
+    dynamic: DynamicKind = DynamicKind.NONE
+    prunable: bool = True
+    kernel: int = 0
+    cin: int = 0
+    cout: int = 0
+    out_hw: int = 0
+
+    def __post_init__(self) -> None:
+        if self.macs <= 0:
+            raise ModelError(f"layer {self.name!r}: macs must be positive, got {self.macs}")
+        if self.params < 0:
+            raise ModelError(f"layer {self.name!r}: params must be >= 0, got {self.params}")
+        for field_name in ("kernel", "cin", "cout", "out_hw"):
+            if getattr(self, field_name) < 0:
+                raise ModelError(f"layer {self.name!r}: {field_name} must be >= 0")
+
+    @property
+    def has_shape(self) -> bool:
+        """Whether conv-style shape metadata is available."""
+        return self.kernel > 0 and self.cin > 0 and self.cout > 0 and self.out_hw > 0
+
+
+@dataclass(frozen=True)
+class ModelGraph:
+    """A model as an ordered sequence of compute layers.
+
+    The execution/scheduling granularity of the whole system is one entry of
+    ``layers`` (paper Sec 4.2.2: the dynamic scheduler is invoked whenever one
+    layer or layer block completes).
+    """
+
+    name: str
+    family: ModelFamily
+    layers: Tuple[Layer, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ModelError(f"model {self.name!r} has no layers")
+        seen = set()
+        for layer in self.layers:
+            if layer.name in seen:
+                raise ModelError(f"model {self.name!r}: duplicate layer name {layer.name!r}")
+            seen.add(layer.name)
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_params(self) -> int:
+        return sum(layer.params for layer in self.layers)
+
+    @property
+    def dynamic_layer_indices(self) -> Tuple[int, ...]:
+        """Indices of layers carrying input-dependent sparsity."""
+        return tuple(
+            i for i, layer in enumerate(self.layers) if layer.dynamic is not DynamicKind.NONE
+        )
+
+    def layer_macs(self) -> Sequence[int]:
+        return [layer.macs for layer in self.layers]
+
+
+def conv_layer(
+    name: str,
+    cin: int,
+    cout: int,
+    kernel: int,
+    out_hw: int,
+    *,
+    depthwise: bool = False,
+    dynamic: DynamicKind = DynamicKind.RELU,
+) -> Layer:
+    """Build a convolution layer from its shape.
+
+    MACs are ``K*K*Cin*Cout*OH*OW`` (``K*K*C*OH*OW`` for depthwise) — the
+    standard dense operation count the paper normalizes against in Fig 4.
+    """
+    if depthwise:
+        macs = kernel * kernel * cin * out_hw * out_hw
+        params = kernel * kernel * cin
+        kind = LayerKind.DWCONV
+    else:
+        macs = kernel * kernel * cin * cout * out_hw * out_hw
+        params = kernel * kernel * cin * cout
+        kind = LayerKind.CONV
+    return Layer(
+        name=name, kind=kind, macs=macs, params=params, dynamic=dynamic,
+        kernel=kernel, cin=cin, cout=cout, out_hw=out_hw,
+    )
+
+
+def fc_layer(name: str, cin: int, cout: int, *, dynamic: DynamicKind = DynamicKind.RELU) -> Layer:
+    return Layer(
+        name=name, kind=LayerKind.FC, macs=cin * cout, params=cin * cout,
+        dynamic=dynamic, kernel=1, cin=cin, cout=cout, out_hw=1,
+    )

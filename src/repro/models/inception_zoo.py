@@ -1,0 +1,140 @@
+"""Inception-family models: GoogLeNet (Inception-v1) and Inception-V3.
+
+These two models appear in the paper's *profiling* study (Table 2: relative
+range of network sparsity) rather than the scheduling workloads of Table 3,
+so they live in their own module and are excluded from the scheduling
+line-up but available through the registry for profiling experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.graph import Layer, ModelFamily, ModelGraph, conv_layer, fc_layer
+from repro.models.graph import DynamicKind
+
+
+def _inception_v1_module(
+    layers: List[Layer], name: str, cin: int, hw: int,
+    b1: int, b2r: int, b2: int, b3r: int, b3: int, b4: int,
+) -> int:
+    """GoogLeNet inception module: 1x1 | 1x1->3x3 | 1x1->5x5 | pool->1x1."""
+    layers.append(conv_layer(f"{name}_b1", cin, b1, 1, hw))
+    layers.append(conv_layer(f"{name}_b2_reduce", cin, b2r, 1, hw))
+    layers.append(conv_layer(f"{name}_b2", b2r, b2, 3, hw))
+    layers.append(conv_layer(f"{name}_b3_reduce", cin, b3r, 1, hw))
+    layers.append(conv_layer(f"{name}_b3", b3r, b3, 5, hw))
+    layers.append(conv_layer(f"{name}_b4_proj", cin, b4, 1, hw))
+    return b1 + b2 + b3 + b4
+
+
+def build_googlenet() -> ModelGraph:
+    """GoogLeNet (Inception-v1) at 224x224: stem + 9 inception modules + FC."""
+    layers: List[Layer] = [
+        conv_layer("conv1", 3, 64, 7, 112),
+        conv_layer("conv2_reduce", 64, 64, 1, 56),
+        conv_layer("conv2", 64, 192, 3, 56),
+    ]
+    modules = [
+        # (name, hw, b1, b2r, b2, b3r, b3, b4)
+        ("inc3a", 28, 64, 96, 128, 16, 32, 32),
+        ("inc3b", 28, 128, 128, 192, 32, 96, 64),
+        ("inc4a", 14, 192, 96, 208, 16, 48, 64),
+        ("inc4b", 14, 160, 112, 224, 24, 64, 64),
+        ("inc4c", 14, 128, 128, 256, 24, 64, 64),
+        ("inc4d", 14, 112, 144, 288, 32, 64, 64),
+        ("inc4e", 14, 256, 160, 320, 32, 128, 128),
+        ("inc5a", 7, 256, 160, 320, 32, 128, 128),
+        ("inc5b", 7, 384, 192, 384, 48, 128, 128),
+    ]
+    cin = 192
+    for name, hw, b1, b2r, b2, b3r, b3, b4 in modules:
+        cin = _inception_v1_module(layers, name, cin, hw, b1, b2r, b2, b3r, b3, b4)
+    layers.append(fc_layer("fc", 1024, 1000, dynamic=DynamicKind.NONE))
+    return ModelGraph(name="googlenet", family=ModelFamily.CNN, layers=tuple(layers))
+
+
+def _inception_a(layers: List[Layer], name: str, cin: int, hw: int, pool_proj: int) -> int:
+    """Inception-V3 module A (35x35): 1x1 | 1x1->5x5 | 1x1->3x3->3x3 | pool->1x1."""
+    layers.append(conv_layer(f"{name}_b1", cin, 64, 1, hw))
+    layers.append(conv_layer(f"{name}_b5_reduce", cin, 48, 1, hw))
+    layers.append(conv_layer(f"{name}_b5", 48, 64, 5, hw))
+    layers.append(conv_layer(f"{name}_b3_reduce", cin, 64, 1, hw))
+    layers.append(conv_layer(f"{name}_b3a", 64, 96, 3, hw))
+    layers.append(conv_layer(f"{name}_b3b", 96, 96, 3, hw))
+    layers.append(conv_layer(f"{name}_pool_proj", cin, pool_proj, 1, hw))
+    return 64 + 64 + 96 + pool_proj
+
+
+def _inception_b(layers: List[Layer], name: str, cin: int, hw: int, mid: int) -> int:
+    """Inception-V3 module B (17x17): factorized 7x7 branches (as 1x7 + 7x1,
+    modeled as two 7-tap convs with k*1 cost via kernel=7 on one axis)."""
+    # A 1x7 convolution has K*Cin*Cout*OH*OW MACs with K=7: model it as a
+    # kernel-7 conv at 1/7th the k*k cost by folding into cin scaling.
+    def conv1x7(tag: str, ci: int, co: int) -> Layer:
+        layer = conv_layer(f"{name}_{tag}", ci, co, 1, hw)
+        # conv_layer gives 1x1 cost ci*co*hw^2; a 1x7 costs 7x that.
+        return Layer(
+            name=layer.name, kind=layer.kind, macs=layer.macs * 7,
+            params=layer.params * 7, dynamic=layer.dynamic,
+        )
+
+    layers.append(conv_layer(f"{name}_b1", cin, 192, 1, hw))
+    layers.append(conv_layer(f"{name}_b7_reduce", cin, mid, 1, hw))
+    layers.append(conv1x7("b7_a", mid, mid))
+    layers.append(conv1x7("b7_b", mid, 192))
+    layers.append(conv_layer(f"{name}_b77_reduce", cin, mid, 1, hw))
+    layers.append(conv1x7("b77_a", mid, mid))
+    layers.append(conv1x7("b77_b", mid, mid))
+    layers.append(conv1x7("b77_c", mid, mid))
+    layers.append(conv1x7("b77_d", mid, 192))
+    layers.append(conv_layer(f"{name}_pool_proj", cin, 192, 1, hw))
+    return 192 * 4
+
+
+def _inception_c(layers: List[Layer], name: str, cin: int, hw: int) -> int:
+    """Inception-V3 module C (8x8): expanded 3x3 branches."""
+    layers.append(conv_layer(f"{name}_b1", cin, 320, 1, hw))
+    layers.append(conv_layer(f"{name}_b3_reduce", cin, 384, 1, hw))
+    layers.append(conv_layer(f"{name}_b3_a", 384, 384, 3, hw))
+    layers.append(conv_layer(f"{name}_b3_b", 384, 384, 3, hw))
+    layers.append(conv_layer(f"{name}_b33_reduce", cin, 448, 1, hw))
+    layers.append(conv_layer(f"{name}_b33_a", 448, 384, 3, hw))
+    layers.append(conv_layer(f"{name}_b33_b", 384, 384, 3, hw))
+    layers.append(conv_layer(f"{name}_b33_c", 384, 384, 3, hw))
+    layers.append(conv_layer(f"{name}_pool_proj", cin, 192, 1, hw))
+    return 320 + 768 + 768 + 192
+
+
+def build_inception_v3() -> ModelGraph:
+    """Inception-V3 at 299x299: stem + 3xA + reduction + 4xB + reduction +
+    2xC + FC (auxiliary head omitted: inference-time graph)."""
+    layers: List[Layer] = [
+        conv_layer("stem_conv1", 3, 32, 3, 149),
+        conv_layer("stem_conv2", 32, 32, 3, 147),
+        conv_layer("stem_conv3", 32, 64, 3, 147),
+        conv_layer("stem_conv4", 64, 80, 1, 73),
+        conv_layer("stem_conv5", 80, 192, 3, 71),
+    ]
+    cin = 192
+    for i, pool_proj in enumerate((32, 64, 64)):
+        cin = _inception_a(layers, f"mixA{i}", cin, 35, pool_proj)
+    # Reduction A (grid 35 -> 17).
+    layers.append(conv_layer("redA_b3", cin, 384, 3, 17))
+    layers.append(conv_layer("redA_b33_reduce", cin, 64, 1, 35))
+    layers.append(conv_layer("redA_b33_a", 64, 96, 3, 35))
+    layers.append(conv_layer("redA_b33_b", 96, 96, 3, 17))
+    cin = 384 + 96 + cin  # concat with pooled input
+    for i, mid in enumerate((128, 160, 160, 192)):
+        cin = _inception_b(layers, f"mixB{i}", cin, 17, mid)
+    # Reduction B (grid 17 -> 8).
+    layers.append(conv_layer("redB_b3_reduce", cin, 192, 1, 17))
+    layers.append(conv_layer("redB_b3", 192, 320, 3, 8))
+    layers.append(conv_layer("redB_b7_reduce", cin, 192, 1, 17))
+    layers.append(conv_layer("redB_b7_a", 192, 192, 3, 17))
+    layers.append(conv_layer("redB_b7_b", 192, 192, 3, 8))
+    cin = 320 + 192 + cin
+    for i in range(2):
+        cin = _inception_c(layers, f"mixC{i}", cin, 8)
+    layers.append(fc_layer("fc", 2048, 1000, dynamic=DynamicKind.NONE))
+    return ModelGraph(name="inception_v3", family=ModelFamily.CNN, layers=tuple(layers))

@@ -1,0 +1,48 @@
+"""Name -> builder registry for the benchmark model zoo."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ModelError
+from repro.models.attnn_zoo import build_bart, build_bert, build_gpt2
+from repro.models.cnn_zoo import build_mobilenet, build_resnet50, build_ssd, build_vgg16
+from repro.models.graph import ModelGraph
+from repro.models.inception_zoo import build_googlenet, build_inception_v3
+
+_BUILDERS: Dict[str, Callable[[], ModelGraph]] = {
+    "resnet50": build_resnet50,
+    "vgg16": build_vgg16,
+    "mobilenet": build_mobilenet,
+    "ssd": build_ssd,
+    "googlenet": build_googlenet,
+    "inception_v3": build_inception_v3,
+    "bert": build_bert,
+    "gpt2": build_gpt2,
+    "bart": build_bart,
+}
+
+#: Scheduling-workload line-ups (paper Table 3).
+ALL_CNN_MODELS = ("ssd", "resnet50", "vgg16", "mobilenet")
+ALL_ATTNN_MODELS = ("bert", "bart", "gpt2")
+
+#: Profiling-study line-up of Table 2 (network-sparsity relative range).
+TABLE2_MODELS = ("googlenet", "vgg16", "inception_v3", "resnet50")
+
+_CACHE: Dict[str, ModelGraph] = {}
+
+
+def list_models() -> List[str]:
+    """Names of every model in the benchmark zoo."""
+    return sorted(_BUILDERS)
+
+
+def build_model(name: str) -> ModelGraph:
+    """Build (and memoize — graphs are immutable) a zoo model by name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ModelError(f"unknown model {name!r}; available: {list_models()}") from None
+    if name not in _CACHE:
+        _CACHE[name] = builder()
+    return _CACHE[name]

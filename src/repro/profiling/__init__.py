@@ -1,0 +1,21 @@
+"""Phase-1 "hardware simulation" (paper Fig 7): profile every (model,
+sparsity-config, dataset) pair into per-layer latency/sparsity traces."""
+
+from repro.profiling.trace import TraceSet, load_traceset_csv
+from repro.profiling.store import TraceStore
+from repro.profiling.profiler import (
+    DEFAULT_CNN_PATTERNS,
+    benchmark_suite,
+    default_accelerator,
+    profile_model,
+)
+
+__all__ = [
+    "TraceSet",
+    "TraceStore",
+    "load_traceset_csv",
+    "DEFAULT_CNN_PATTERNS",
+    "benchmark_suite",
+    "default_accelerator",
+    "profile_model",
+]

@@ -1,0 +1,128 @@
+"""Phase-1 profiler: run each sparse model over its dataset on the target
+accelerator model and record per-layer runtime information (paper Fig 7).
+
+The equivalent of the paper's PyTorch-hook workflow: for every input sample we
+draw the model's per-layer dynamic sparsity from the dataset profile, evaluate
+the accelerator cost model on every layer, and store the resulting
+``(latency, sparsity)`` matrices in a :class:`TraceSet`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.accel.base import Accelerator
+from repro.accel.eyeriss import EyerissV2
+from repro.accel.sanger import Sanger
+from repro.errors import ProfilingError
+from repro.models.graph import ModelFamily, ModelGraph
+from repro.models.registry import ALL_ATTNN_MODELS, ALL_CNN_MODELS, build_model
+from repro.profiling.trace import TraceSet
+from repro.sparsity.datasets import activation_model_for, dataset_for, vision_mixture_for
+from repro.sparsity.dynamic import mixture_sample
+from repro.sparsity.patterns import DENSE, SparsityPattern, WeightSparsityConfig
+
+#: The three weight-sparsity patterns applied to benchmark CNNs (Sec 3.2),
+#: with rates representative of SparseZoo recipes.
+DEFAULT_CNN_PATTERNS: Tuple[WeightSparsityConfig, ...] = (
+    WeightSparsityConfig(SparsityPattern.RANDOM, rate=0.80),
+    WeightSparsityConfig(SparsityPattern.NM_BLOCK, nm=(2, 8)),
+    WeightSparsityConfig(SparsityPattern.CHANNEL, rate=0.60),
+)
+
+#: AttNNs are sparsified dynamically (attention threshold pruning), so their
+#: weights stay dense (Sec 3.2).
+DEFAULT_ATTNN_PATTERNS: Tuple[WeightSparsityConfig, ...] = (DENSE,)
+
+
+def default_accelerator(family: ModelFamily) -> Accelerator:
+    """The paper's accelerator choice per model family (Sec 3.3.2)."""
+    if family is ModelFamily.CNN:
+        return EyerissV2()
+    return Sanger()
+
+
+def profile_model(
+    model: ModelGraph,
+    weights: WeightSparsityConfig,
+    accelerator: Optional[Accelerator] = None,
+    *,
+    dataset: Optional[str] = None,
+    use_vision_mixture: bool = True,
+    n_samples: int = 400,
+    seed: int = 0,
+) -> TraceSet:
+    """Profile one (model, weight config) pair into a :class:`TraceSet`.
+
+    Args:
+        model: Zoo (or user-defined) model graph.
+        weights: Static weight-sparsity configuration.
+        accelerator: Cost model; defaults to the family's paper choice.
+        dataset: Dataset name; defaults to the model's Table 3 binding.
+        use_vision_mixture: For CNNs, mix in low-light ExDark/DarkFace inputs
+            as in Sec 2.3.1 (ignored for language datasets).
+        n_samples: Number of input samples to profile.
+        seed: RNG seed; traces are deterministic given (model, weights, seed).
+    """
+    if n_samples <= 0:
+        raise ProfilingError(f"n_samples must be positive, got {n_samples}")
+    accelerator = accelerator or default_accelerator(model.family)
+    rng = np.random.default_rng(seed)
+    if dataset is None:
+        dataset = dataset_for(model.name)
+    if model.family is ModelFamily.CNN and use_vision_mixture:
+        components, mix_weights = vision_mixture_for(model)
+        sparsities = mixture_sample(components, mix_weights, n_samples, rng)
+        dataset_label = f"{dataset}+lowlight"
+    else:
+        sparsities = activation_model_for(model, dataset).sample(n_samples, rng)
+        dataset_label = dataset
+    latencies = accelerator.model_latencies(model, weights, sparsities)
+    return TraceSet(
+        model_name=model.name,
+        pattern_key=weights.key,
+        dataset=dataset_label,
+        latencies=latencies,
+        sparsities=sparsities,
+        layer_names=tuple(layer.name for layer in model.layers),
+    )
+
+
+def _patterns_for(family: ModelFamily) -> Tuple[WeightSparsityConfig, ...]:
+    if family is ModelFamily.CNN:
+        return DEFAULT_CNN_PATTERNS
+    return DEFAULT_ATTNN_PATTERNS
+
+
+@lru_cache(maxsize=8)
+def benchmark_suite(
+    family: str, n_samples: int = 400, seed: int = 0
+) -> Dict[str, TraceSet]:
+    """Profile the full sparse multi-DNN benchmark of one family.
+
+    Args:
+        family: ``"cnn"`` or ``"attnn"``.
+
+    Returns:
+        Mapping from trace key (``model/pattern``) to its :class:`TraceSet`.
+        Cached: the suite backs every scheduling experiment of Sec 6.
+    """
+    fam = ModelFamily(family)
+    names: Sequence[str] = ALL_CNN_MODELS if fam is ModelFamily.CNN else ALL_ATTNN_MODELS
+    accelerator = default_accelerator(fam)
+    suite: Dict[str, TraceSet] = {}
+    for offset, name in enumerate(names):
+        model = build_model(name)
+        for p_idx, pattern in enumerate(_patterns_for(fam)):
+            trace = profile_model(
+                model,
+                pattern,
+                accelerator,
+                n_samples=n_samples,
+                seed=seed * 7919 + offset * 101 + p_idx,
+            )
+            suite[trace.key] = trace
+    return suite

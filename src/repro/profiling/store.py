@@ -1,0 +1,105 @@
+"""Directory-based trace store.
+
+The paper's evaluation pipeline materializes Phase-1 runtime information as
+files consumed by Phase 2 (Fig 7: "saved as files"); the artifact ships them
+as CSVs under ``hw_simulator``.  :class:`TraceStore` reproduces that
+workflow: a directory of one CSV per (model, pattern) pair with an index,
+usable both as an offline cache for the profiler and as the exchange format
+between machines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from repro.errors import ProfilingError
+from repro.profiling.trace import TraceSet, load_traceset_csv
+
+_INDEX_NAME = "index.json"
+
+
+class TraceStore:
+    """A directory of trace-set CSVs with a JSON index.
+
+    Layout::
+
+        store_dir/
+          index.json                 {"traces": {"bert/dense": "bert_dense.csv", ...}}
+          bert_dense.csv
+          resnet50_random0.80.csv
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    # -- index handling ------------------------------------------------------
+
+    def _index_path(self) -> Path:
+        return self.root / _INDEX_NAME
+
+    def _read_index(self) -> Dict[str, str]:
+        path = self._index_path()
+        if not path.exists():
+            return {}
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ProfilingError(f"corrupt trace-store index at {path}: {exc}") from exc
+        traces = payload.get("traces")
+        if not isinstance(traces, dict):
+            raise ProfilingError(f"malformed trace-store index at {path}")
+        return traces
+
+    def _write_index(self, index: Dict[str, str]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._index_path().write_text(
+            json.dumps({"traces": dict(sorted(index.items()))}, indent=1)
+        )
+
+    # -- public API -----------------------------------------------------------
+
+    def keys(self) -> Iterator[str]:
+        return iter(sorted(self._read_index()))
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._read_index()
+
+    def __len__(self) -> int:
+        return len(self._read_index())
+
+    def save(self, trace: TraceSet) -> Path:
+        """Persist one trace set; returns the CSV path."""
+        index = self._read_index()
+        filename = f"{trace.key.replace('/', '_')}.csv"
+        trace.save_csv(self.root / filename)
+        index[trace.key] = filename
+        self._write_index(index)
+        return self.root / filename
+
+    def save_suite(self, traces: Dict[str, TraceSet]) -> None:
+        """Persist a whole benchmark suite."""
+        for trace in traces.values():
+            self.save(trace)
+
+    def load(self, key: str) -> TraceSet:
+        """Load one trace set by its ``model/pattern`` key."""
+        index = self._read_index()
+        if key not in index:
+            raise ProfilingError(
+                f"trace {key!r} not in store {self.root} "
+                f"(available: {sorted(index)})"
+            )
+        trace = load_traceset_csv(self.root / index[key])
+        if trace.key != key:
+            raise ProfilingError(
+                f"store corruption: {index[key]} contains {trace.key!r}, "
+                f"index says {key!r}"
+            )
+        return trace
+
+    def load_suite(self, keys: Optional[Iterator[str]] = None) -> Dict[str, TraceSet]:
+        """Load several (default: all) trace sets as a suite dict."""
+        wanted = list(keys) if keys is not None else list(self.keys())
+        return {key: self.load(key) for key in wanted}

@@ -1,0 +1,22 @@
+"""Multi-DNN schedulers: the paper's baselines (Sec 6.1), the Oracle, and
+registry access to Dysta itself."""
+
+from repro.schedulers.base import Scheduler, available_schedulers, make_scheduler
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.sjf import SJFScheduler
+from repro.schedulers.prema import PREMAScheduler
+from repro.schedulers.planaria import PlanariaScheduler
+from repro.schedulers.sdrm3 import SDRM3Scheduler
+from repro.schedulers.oracle import OracleScheduler
+
+__all__ = [
+    "Scheduler",
+    "available_schedulers",
+    "make_scheduler",
+    "FCFSScheduler",
+    "SJFScheduler",
+    "PREMAScheduler",
+    "PlanariaScheduler",
+    "SDRM3Scheduler",
+    "OracleScheduler",
+]

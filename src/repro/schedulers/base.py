@@ -1,0 +1,106 @@
+"""Scheduler interface and registry.
+
+A scheduler is invoked by the engine at every layer boundary (paper
+Sec 4.2.2: execution proceeds per layer / layer block) and picks the request
+to run next from the ready queue.  Schedulers estimate latencies exclusively
+through the offline :class:`~repro.core.lut.ModelInfoLUT` plus whatever
+runtime information the engine has revealed (executed layers' monitored
+sparsities); only the Oracle may touch ground truth.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.lut import ModelInfoLUT
+from repro.errors import SchedulingError
+from repro.sim.request import Request
+
+
+class Scheduler(abc.ABC):
+    """Base class for all scheduling policies."""
+
+    #: Registry / display name; subclasses override.
+    name: str = "base"
+
+    def __init__(self, lut: ModelInfoLUT):
+        self.lut = lut
+
+    def reset(self) -> None:
+        """Clear any cross-run state; called by the engine before a run."""
+
+    def on_arrival(self, request: Request, now: float) -> None:
+        """New request admitted to the ready queue."""
+
+    def on_layer_complete(self, request: Request, now: float) -> None:
+        """One layer of ``request`` finished; its monitored sparsity is now
+        visible via ``request.monitored_sparsities``."""
+
+    def on_complete(self, request: Request, now: float) -> None:
+        """``request`` finished all layers and left the queue."""
+
+    @abc.abstractmethod
+    def select(self, queue: Sequence[Request], now: float) -> Request:
+        """Choose the next request to run one layer of.  ``queue`` is
+        non-empty and every entry is unfinished."""
+
+    # -- shared estimate helpers -------------------------------------------
+
+    def estimated_isolated(self, request: Request) -> float:
+        """Offline-average isolated latency of the request's (model, pattern)."""
+        return self.lut.avg_total_latency(request.key)
+
+    def estimated_remaining(self, request: Request) -> float:
+        """Offline-average remaining latency given executed-layer progress."""
+        return self.lut.static_remaining(request.key, request.next_layer)
+
+
+_REGISTRY: Dict[str, Callable[..., Scheduler]] = {}
+
+
+def register_scheduler(name: str) -> Callable[[type], type]:
+    """Class decorator adding a scheduler to the registry under ``name``."""
+
+    def deco(cls: type) -> type:
+        if name in _REGISTRY:
+            raise SchedulingError(f"scheduler {name!r} registered twice")
+        _REGISTRY[name] = cls
+        cls.name = name
+        return cls
+
+    return deco
+
+
+def available_schedulers() -> List[str]:
+    """Registered scheduler names (imports the built-in policies lazily)."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def make_scheduler(name: str, lut: ModelInfoLUT, **kwargs) -> Scheduler:
+    """Instantiate a registered scheduler by name."""
+    _ensure_builtins()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown scheduler {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(lut, **kwargs)
+
+
+def _ensure_builtins() -> None:
+    """Import built-in scheduler modules so their decorators run."""
+    from repro import schedulers as _pkg  # noqa: F401  (self import anchor)
+    from repro.schedulers import (  # noqa: F401
+        fcfs,
+        oracle,
+        planaria,
+        prema,
+        sdrm3,
+        sjf,
+        textbook,
+    )
+    from repro.core import dysta  # noqa: F401
+    from repro.hw import hwloop  # noqa: F401

@@ -1,0 +1,22 @@
+"""First-Come First-Served: non-preemptive, arrival order (paper baseline i)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.schedulers.base import Scheduler, register_scheduler
+from repro.sim.request import Request
+
+
+@register_scheduler("fcfs")
+class FCFSScheduler(Scheduler):
+    """Run the earliest-arrived request to completion before the next one."""
+
+    def reset(self) -> None:
+        self._current: Optional[Request] = None
+
+    def select(self, queue: Sequence[Request], now: float) -> Request:
+        if self._current is not None and not self._current.is_done and self._current in queue:
+            return self._current
+        self._current = min(queue, key=lambda r: (r.arrival, r.rid))
+        return self._current

@@ -1,0 +1,42 @@
+"""Oracle scheduler: Dysta's scoring with perfect latency knowledge.
+
+The Oracle reads each request's ground-truth remaining time (including every
+not-yet-executed layer's true sparse latency) instead of a prediction.  It
+upper-bounds what any monitored-sparsity predictor can achieve and is the
+reference curve of Figs 14/15.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.lut import ModelInfoLUT
+from repro.schedulers.base import Scheduler, register_scheduler
+from repro.sim.request import Request
+
+
+@register_scheduler("oracle")
+class OracleScheduler(Scheduler):
+    """Dysta dynamic scoring (Algorithm 2) with exact remaining times.
+
+    Args:
+        eta: Weight of the slack + penalty terms, as in Dysta.
+    """
+
+    def __init__(self, lut: ModelInfoLUT, eta: float = 0.02):
+        super().__init__(lut)
+        self.eta = eta
+
+    def select(self, queue: Sequence[Request], now: float) -> Request:
+        n_queue = len(queue)
+
+        def score(req: Request) -> float:
+            remaining = req.true_remaining
+            isolated = max(req.isolated_latency, 1e-12)
+            # Same hopeless-job clamp as Dysta: expired deadlines must not
+            # monopolize the accelerator.
+            slack = max(req.deadline - now - remaining, -isolated)
+            penalty = ((now - req.last_run_end) / isolated) / n_queue
+            return remaining + self.eta * (slack + penalty)
+
+        return min(queue, key=lambda r: (score(r), r.rid))

@@ -1,0 +1,23 @@
+"""Shortest-Job First (paper baseline ii, and the running example of Fig 5).
+
+Preemptive at layer boundaries: picks the request with the smallest
+*estimated remaining* time, where the estimate comes from offline per-layer
+average latencies (the "without sparsity info" setting of Fig 5(a)) — SJF is
+sparsity-oblivious, so a high-sparsity fast sample and a low-sparsity slow
+sample of the same model look identical to it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.schedulers.base import Scheduler, register_scheduler
+from repro.sim.request import Request
+
+
+@register_scheduler("sjf")
+class SJFScheduler(Scheduler):
+    """Shortest estimated-remaining-time first (static estimates)."""
+
+    def select(self, queue: Sequence[Request], now: float) -> Request:
+        return min(queue, key=lambda r: (self.estimated_remaining(r), r.arrival, r.rid))

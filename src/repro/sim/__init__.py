@@ -1,0 +1,31 @@
+"""Phase-2 scheduling evaluation: request generation, the layer-granularity
+preemptive engine, and the paper's metrics (ANTT, SLO violation rate, STP)."""
+
+from repro.sim.request import Request
+from repro.sim.workload import WorkloadSpec, generate_workload
+from repro.sim.engine import SimResult, simulate
+from repro.sim.multi import simulate_multi
+from repro.sim.metrics import antt, slo_violation_rate, system_throughput, summarize
+from repro.sim.analysis import (
+    jains_fairness,
+    per_class_breakdown,
+    turnaround_percentile,
+    waiting_time_stats,
+)
+
+__all__ = [
+    "jains_fairness",
+    "per_class_breakdown",
+    "turnaround_percentile",
+    "waiting_time_stats",
+    "Request",
+    "WorkloadSpec",
+    "generate_workload",
+    "SimResult",
+    "simulate",
+    "simulate_multi",
+    "antt",
+    "slo_violation_rate",
+    "system_throughput",
+    "summarize",
+]

@@ -1,0 +1,89 @@
+"""Post-simulation analysis: tail latency, fairness and per-class breakdowns.
+
+The paper reports workload-level means (ANTT, violation rate, STP); a
+production scheduler evaluation also needs tails and fairness.  These helpers
+operate on the finished requests of a :class:`~repro.sim.engine.SimResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.sim.request import Request
+
+
+def _finished(requests: Sequence[Request]) -> Sequence[Request]:
+    if not requests:
+        raise SchedulingError("analysis over an empty request set is undefined")
+    for req in requests:
+        if req.finish_time is None:
+            raise SchedulingError(f"request {req.rid} never finished")
+    return requests
+
+
+def turnaround_percentile(requests: Sequence[Request], pct: float) -> float:
+    """Percentile of the *normalized* turnaround distribution (p50/p95/p99)."""
+    _finished(requests)
+    if not 0.0 < pct <= 100.0:
+        raise SchedulingError(f"percentile must be in (0, 100], got {pct}")
+    values = [r.normalized_turnaround for r in requests]
+    return float(np.percentile(values, pct))
+
+
+def jains_fairness(requests: Sequence[Request]) -> float:
+    """Jain's fairness index over per-request slowdowns, in (0, 1].
+
+    1.0 means every request experienced the same normalized turnaround; the
+    index drops toward 1/N as the scheduler starves a subset.
+    """
+    _finished(requests)
+    x = np.array([r.normalized_turnaround for r in requests])
+    return float(x.sum() ** 2 / (len(x) * (x * x).sum()))
+
+
+@dataclass(frozen=True)
+class ClassStats:
+    """Per-(model, pattern) class summary."""
+
+    count: int
+    antt: float
+    violation_rate: float
+    p99_turnaround: float
+
+
+def per_class_breakdown(requests: Sequence[Request]) -> Dict[str, ClassStats]:
+    """Metrics split by (model, pattern) class: which tenants suffer?"""
+    _finished(requests)
+    groups: Dict[str, list] = {}
+    for req in requests:
+        groups.setdefault(req.key, []).append(req)
+    out = {}
+    for key, reqs in sorted(groups.items()):
+        norm = [r.normalized_turnaround for r in reqs]
+        out[key] = ClassStats(
+            count=len(reqs),
+            antt=float(np.mean(norm)),
+            violation_rate=sum(1 for r in reqs if r.violated) / len(reqs),
+            p99_turnaround=float(np.percentile(norm, 99)),
+        )
+    return out
+
+
+def waiting_time_stats(requests: Sequence[Request]) -> Dict[str, float]:
+    """Mean/max queueing delay before the first dispatch."""
+    _finished(requests)
+    waits = []
+    for req in requests:
+        if req.first_dispatch_time is None:
+            raise SchedulingError(f"request {req.rid} finished without dispatch")
+        waits.append(req.first_dispatch_time - req.arrival)
+    arr = np.array(waits)
+    return {
+        "mean_wait": float(arr.mean()),
+        "p95_wait": float(np.percentile(arr, 95)),
+        "max_wait": float(arr.max()),
+    }

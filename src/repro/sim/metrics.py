@@ -1,0 +1,55 @@
+"""Evaluation metrics (paper Sec 6.1).
+
+* **ANTT** — average normalized turnaround time,
+  ``1/N * sum(T_multi_i / T_isol_i)``;
+* **SLO violation rate** — fraction of requests whose turnaround exceeded
+  their latency SLO;
+* **STP** — system throughput in completed inferences per second.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.errors import SchedulingError
+from repro.sim.request import Request
+
+
+def _check_finished(requests: Sequence[Request]) -> None:
+    if not requests:
+        raise SchedulingError("metrics over an empty request set are undefined")
+    for req in requests:
+        if req.finish_time is None:
+            raise SchedulingError(f"request {req.rid} never finished")
+
+
+def antt(requests: Sequence[Request]) -> float:
+    """Average normalized turnaround time (lower is better, >= 1)."""
+    _check_finished(requests)
+    return sum(r.normalized_turnaround for r in requests) / len(requests)
+
+
+def slo_violation_rate(requests: Sequence[Request]) -> float:
+    """Fraction of requests that missed their latency SLO, in [0, 1]."""
+    _check_finished(requests)
+    return sum(1 for r in requests if r.violated) / len(requests)
+
+
+def system_throughput(requests: Sequence[Request]) -> float:
+    """Completed inferences per second over the busy horizon."""
+    _check_finished(requests)
+    start = min(r.arrival for r in requests)
+    end = max(r.finish_time for r in requests)  # type: ignore[type-var]
+    span = end - start
+    if span <= 0:
+        raise SchedulingError("degenerate horizon: all requests at one instant")
+    return len(requests) / span
+
+
+def summarize(requests: Sequence[Request]) -> Dict[str, float]:
+    """All three paper metrics in one dict."""
+    return {
+        "antt": antt(requests),
+        "violation_rate": slo_violation_rate(requests),
+        "stp": system_throughput(requests),
+    }

@@ -1,0 +1,117 @@
+"""Inference-request lifecycle state.
+
+A request is one inference task: a model instance (with its weight-sparsity
+pattern), one concrete input sample (fixing its true per-layer latencies and
+monitored sparsities from the Phase-1 trace), an arrival time and a latency
+SLO.  The engine mutates the progress fields; schedulers may read everything
+except the *future* entries of ``layer_latencies``/``layer_sparsities`` —
+only the Oracle is allowed those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import SchedulingError
+
+
+@dataclass
+class Request:
+    """One inference request flowing through the scheduler.
+
+    Attributes:
+        rid: Unique request id.
+        model_name: Zoo model name.
+        pattern_key: Weight-sparsity pattern key (LUT lookup component).
+        arrival: Arrival time (seconds).
+        slo: Relative latency SLO (seconds): deadline = arrival + slo.
+        layer_latencies: True per-layer latencies of this sample (engine/
+            Oracle ground truth).
+        layer_sparsities: Monitored dynamic sparsity per layer, revealed to
+            schedulers layer-by-layer as execution progresses.
+        priority: Static task priority (PREMA-style priority classes);
+            1.0 = normal.  Only priority-aware policies read it.
+    """
+
+    rid: int
+    model_name: str
+    pattern_key: str
+    arrival: float
+    slo: float
+    layer_latencies: List[float]
+    layer_sparsities: List[float]
+    priority: float = 1.0
+
+    # --- progress state, owned by the engine ---
+    next_layer: int = 0
+    executed_time: float = 0.0
+    finish_time: Optional[float] = None
+    first_dispatch_time: Optional[float] = None
+    #: Time the request last occupied the accelerator (arrival before any
+    #: dispatch) — basis of Dysta's waiting-time penalty term.
+    last_run_end: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if not self.layer_latencies:
+            raise SchedulingError(f"request {self.rid}: empty layer latency trace")
+        if len(self.layer_latencies) != len(self.layer_sparsities):
+            raise SchedulingError(
+                f"request {self.rid}: latency/sparsity trace length mismatch"
+            )
+        if any(lat <= 0 for lat in self.layer_latencies):
+            raise SchedulingError(f"request {self.rid}: non-positive layer latency")
+        if self.slo <= 0:
+            raise SchedulingError(f"request {self.rid}: SLO must be positive")
+        if self.priority <= 0:
+            raise SchedulingError(f"request {self.rid}: priority must be positive")
+        self.last_run_end = self.arrival
+
+    @property
+    def key(self) -> str:
+        """Model-info LUT key."""
+        return f"{self.model_name}/{self.pattern_key}"
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_latencies)
+
+    @property
+    def is_done(self) -> bool:
+        return self.next_layer >= self.num_layers
+
+    @property
+    def isolated_latency(self) -> float:
+        """Uninterrupted execution time of this exact sample (T^Isol)."""
+        return sum(self.layer_latencies)
+
+    @property
+    def deadline(self) -> float:
+        return self.arrival + self.slo
+
+    @property
+    def true_remaining(self) -> float:
+        """Ground-truth remaining execution time (Oracle only)."""
+        return sum(self.layer_latencies[self.next_layer:])
+
+    @property
+    def monitored_sparsities(self) -> List[float]:
+        """Sparsities of the already-executed layers (visible to schedulers)."""
+        return self.layer_sparsities[: self.next_layer]
+
+    @property
+    def turnaround(self) -> float:
+        """Multi-tenant turnaround time T^Multi (finish - arrival)."""
+        if self.finish_time is None:
+            raise SchedulingError(f"request {self.rid} has not finished")
+        return self.finish_time - self.arrival
+
+    @property
+    def normalized_turnaround(self) -> float:
+        """T^Multi / T^Isol — the per-request ANTT contribution."""
+        return self.turnaround / self.isolated_latency
+
+    @property
+    def violated(self) -> bool:
+        """Whether the request missed its latency SLO."""
+        return self.turnaround > self.slo

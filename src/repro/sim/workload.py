@@ -1,0 +1,148 @@
+"""Multi-DNN workload generation (paper Sec 6.2).
+
+Requests sample uniformly from the benchmark's (model, pattern) trace sets;
+arrival times follow a Poisson process (MLPerf server scenario, the paper's
+setting) or a bursty process (MLPerf multi-stream-style: groups of requests
+land together); each request's SLO is ``T_isol * slo_multiplier`` as in
+PREMA's setup, optionally drawn from a mix of SLO classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.profiling.trace import TraceSet
+from repro.sim.request import Request
+
+_TRAFFIC_SHAPES = ("poisson", "bursty")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one generated workload.
+
+    Attributes:
+        arrival_rate: Requests per second (mean, whatever the traffic shape).
+        n_requests: Total number of requests (paper uses 1000).
+        slo_multiplier: M_slo: SLO = isolated latency x multiplier.
+        seed: RNG seed (paper averages 5 seeds).
+        traffic: "poisson" (paper default) or "bursty" — bursts of
+            ``burst_size`` simultaneous requests whose burst inter-arrival
+            preserves the mean rate (AR/VR frame-sync or batched traffic).
+        burst_size: Requests per burst under bursty traffic.
+        slo_classes: Optional mixture of (multiplier, weight) SLO classes;
+            each request draws its own multiplier.  Overrides
+            ``slo_multiplier`` when set.
+        priority_classes: Optional mixture of (priority, weight) classes
+            (PREMA-style task priorities); default: every request at 1.0.
+    """
+
+    arrival_rate: float
+    n_requests: int = 1000
+    slo_multiplier: float = 10.0
+    seed: int = 0
+    traffic: str = "poisson"
+    burst_size: int = 4
+    slo_classes: Optional[Tuple[Tuple[float, float], ...]] = None
+    priority_classes: Optional[Tuple[Tuple[float, float], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise SchedulingError(f"arrival rate must be positive, got {self.arrival_rate}")
+        if self.n_requests <= 0:
+            raise SchedulingError(f"n_requests must be positive, got {self.n_requests}")
+        if self.slo_multiplier <= 0:
+            raise SchedulingError(
+                f"slo multiplier must be positive, got {self.slo_multiplier}"
+            )
+        if self.traffic not in _TRAFFIC_SHAPES:
+            raise SchedulingError(
+                f"traffic must be one of {_TRAFFIC_SHAPES}, got {self.traffic!r}"
+            )
+        if self.traffic == "bursty" and self.burst_size <= 0:
+            raise SchedulingError(f"burst size must be positive, got {self.burst_size}")
+        for label, classes in (("slo_classes", self.slo_classes),
+                               ("priority_classes", self.priority_classes)):
+            if classes is None:
+                continue
+            if not classes:
+                raise SchedulingError(f"{label} must be None or non-empty")
+            for value, weight in classes:
+                if value <= 0 or weight < 0:
+                    raise SchedulingError(
+                        f"invalid {label} entry (value={value}, weight={weight})"
+                    )
+            if sum(w for _, w in classes) <= 0:
+                raise SchedulingError(f"{label} weights must not all be zero")
+
+
+def _arrival_times(spec: WorkloadSpec, rng: np.random.Generator) -> np.ndarray:
+    if spec.traffic == "poisson":
+        gaps = rng.exponential(1.0 / spec.arrival_rate, size=spec.n_requests)
+        return np.cumsum(gaps)
+    # Bursty: bursts of `burst_size` simultaneous requests; burst gaps keep
+    # the long-run mean arrival rate equal to `arrival_rate`.
+    n_bursts = -(-spec.n_requests // spec.burst_size)  # ceil division
+    burst_gap_mean = spec.burst_size / spec.arrival_rate
+    burst_times = np.cumsum(rng.exponential(burst_gap_mean, size=n_bursts))
+    arrivals = np.repeat(burst_times, spec.burst_size)[: spec.n_requests]
+    return arrivals
+
+
+def _draw_classes(
+    classes: Optional[Tuple[Tuple[float, float], ...]],
+    default: float,
+    n: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    if classes is None:
+        return np.full(n, default)
+    values = np.array([v for v, _ in classes])
+    weights = np.array([w for _, w in classes], dtype=float)
+    weights = weights / weights.sum()
+    picks = rng.choice(len(values), size=n, p=weights)
+    return values[picks]
+
+
+def generate_workload(
+    traces: Dict[str, TraceSet], spec: WorkloadSpec
+) -> List[Request]:
+    """Generate a request stream by sampling from profiled trace sets.
+
+    Each request uniformly picks a (model, pattern) trace set, then uniformly
+    picks one profiled input sample within it; the request inherits that
+    sample's true per-layer latencies and monitored sparsities.
+    """
+    if not traces:
+        raise SchedulingError("cannot generate a workload from an empty trace dict")
+    rng = np.random.default_rng(spec.seed)
+    keys: Sequence[str] = sorted(traces)
+    arrivals = _arrival_times(spec, rng)
+    multipliers = _draw_classes(spec.slo_classes, spec.slo_multiplier,
+                                spec.n_requests, rng)
+    priorities = _draw_classes(spec.priority_classes, 1.0, spec.n_requests, rng)
+    requests: List[Request] = []
+    for rid in range(spec.n_requests):
+        key = keys[int(rng.integers(len(keys)))]
+        trace = traces[key]
+        row = int(rng.integers(trace.num_samples))
+        latencies = trace.latencies[row].tolist()
+        sparsities = trace.sparsities[row].tolist()
+        isolated = float(sum(latencies))
+        requests.append(
+            Request(
+                rid=rid,
+                model_name=trace.model_name,
+                pattern_key=trace.pattern_key,
+                arrival=float(arrivals[rid]),
+                slo=isolated * float(multipliers[rid]),
+                layer_latencies=latencies,
+                layer_sparsities=sparsities,
+                priority=float(priorities[rid]),
+            )
+        )
+    return requests

@@ -1,0 +1,36 @@
+"""Sparsity substrate: static weight-sparsity patterns (Sec 3.2) and
+input-dependent dynamic sparsity models (Sec 2.3.1)."""
+
+from repro.sparsity.patterns import (
+    SparsityPattern,
+    WeightSparsityConfig,
+    apply_pattern,
+    channel_mask,
+    measured_sparsity,
+    nm_block_mask,
+    pattern_pe_utilization,
+    random_mask,
+)
+from repro.sparsity.dynamic import CorrelatedSparsityModel
+from repro.sparsity.datasets import (
+    DATASET_FOR_MODEL,
+    DatasetProfile,
+    activation_model_for,
+    list_datasets,
+)
+
+__all__ = [
+    "SparsityPattern",
+    "WeightSparsityConfig",
+    "apply_pattern",
+    "channel_mask",
+    "measured_sparsity",
+    "nm_block_mask",
+    "pattern_pe_utilization",
+    "random_mask",
+    "CorrelatedSparsityModel",
+    "DATASET_FOR_MODEL",
+    "DatasetProfile",
+    "activation_model_for",
+    "list_datasets",
+]

@@ -1,0 +1,143 @@
+"""Input-dependent (dynamic) sparsity model.
+
+The paper's profiling (Sec 2.3.1, Figs 2/3/9, Table 2) characterizes dynamic
+sparsity by three properties that this sampler reproduces:
+
+1. per-layer activation sparsity varies substantially across input samples
+   (Fig 3: ~10%-45% for CNN layers; Fig 2: 0.6x-1.8x latency for BERT);
+2. sparsities of different layers of the same model are *highly linearly
+   correlated* for a given input (Fig 9) — an informative input densifies
+   every layer at once;
+3. the network-level sparsity (mean over layers) has a significant relative
+   range across a dataset (Table 2: 15%-28%).
+
+We therefore model the per-sample sparsity vector with a single-factor
+Gaussian copula: a latent per-sample "informativeness" factor ``z`` shifts all
+layers together, plus independent per-layer noise.  ``rho`` is the share of
+variance carried by the common factor, so the Pearson correlation between any
+two layers is approximately ``rho``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SparsityError
+
+
+@dataclass(frozen=True)
+class CorrelatedSparsityModel:
+    """Single-factor model of per-sample, per-layer sparsity.
+
+    Attributes:
+        means: Per-layer mean sparsity, each in (0, 1).
+        stds: Per-layer sparsity standard deviation.
+        rho: Inter-layer correlation (variance share of the common factor).
+        lo, hi: Clipping bounds keeping samples inside a valid range.
+    """
+
+    means: Tuple[float, ...]
+    stds: Tuple[float, ...]
+    rho: float
+    lo: float = 0.02
+    hi: float = 0.98
+
+    def __post_init__(self) -> None:
+        if len(self.means) != len(self.stds):
+            raise SparsityError("means and stds must have equal length")
+        if not self.means:
+            raise SparsityError("sparsity model needs at least one layer")
+        if not 0.0 <= self.rho <= 1.0:
+            raise SparsityError(f"rho must be in [0, 1], got {self.rho}")
+        if not 0.0 <= self.lo < self.hi <= 1.0:
+            raise SparsityError(f"invalid clip bounds [{self.lo}, {self.hi}]")
+        for i, (m, s) in enumerate(zip(self.means, self.stds)):
+            if not 0.0 < m < 1.0:
+                raise SparsityError(f"layer {i}: mean sparsity {m} outside (0, 1)")
+            if s < 0.0:
+                raise SparsityError(f"layer {i}: negative std {s}")
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.means)
+
+    def sample(self, n_samples: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw an ``(n_samples, num_layers)`` matrix of layer sparsities."""
+        if n_samples <= 0:
+            raise SparsityError(f"n_samples must be positive, got {n_samples}")
+        z = rng.standard_normal((n_samples, 1))
+        eps = rng.standard_normal((n_samples, self.num_layers))
+        common = np.sqrt(self.rho) * z
+        idio = np.sqrt(1.0 - self.rho) * eps
+        means = np.asarray(self.means)
+        stds = np.asarray(self.stds)
+        s = means + stds * (common + idio)
+        return np.clip(s, self.lo, self.hi)
+
+    def network_sparsity(self, samples: np.ndarray) -> np.ndarray:
+        """Network sparsity per sample: the mean of layer sparsities
+        (paper Table 2 definition)."""
+        if samples.ndim != 2 or samples.shape[1] != self.num_layers:
+            raise SparsityError(
+                f"expected samples of shape (n, {self.num_layers}), got {samples.shape}"
+            )
+        return samples.mean(axis=1)
+
+
+def relative_range(values: Sequence[float]) -> float:
+    """Relative range statistic used in Table 2: (max - min) / mean."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise SparsityError("relative_range of empty sequence")
+    mean = arr.mean()
+    if mean == 0.0:
+        raise SparsityError("relative_range undefined for zero-mean values")
+    return float((arr.max() - arr.min()) / mean)
+
+
+def correlation_matrix(samples: np.ndarray) -> np.ndarray:
+    """Pearson correlation between layers over samples (paper Fig 9)."""
+    if samples.ndim != 2 or samples.shape[0] < 2:
+        raise SparsityError("need a (n>=2, layers) sample matrix")
+    return np.corrcoef(samples, rowvar=False)
+
+
+def mixture_sample(
+    models: Sequence[CorrelatedSparsityModel],
+    weights: Sequence[float],
+    n_samples: int,
+    rng: np.random.Generator,
+    component_out: Optional[list] = None,
+) -> np.ndarray:
+    """Sample from a mixture of sparsity models (e.g. ImageNet + ExDark +
+    DarkFace inputs hitting the same deployed model).
+
+    Args:
+        models: Mixture components; all must share a layer count.
+        weights: Mixture weights (normalized internally).
+        component_out: If given, receives the component index of each sample.
+    """
+    if not models:
+        raise SparsityError("mixture needs at least one component")
+    if len(models) != len(weights):
+        raise SparsityError("models and weights must have equal length")
+    layer_counts = {m.num_layers for m in models}
+    if len(layer_counts) != 1:
+        raise SparsityError(f"mixture components disagree on layer count: {layer_counts}")
+    w = np.asarray(weights, dtype=float)
+    if (w < 0).any() or w.sum() == 0:
+        raise SparsityError("mixture weights must be non-negative and not all zero")
+    w = w / w.sum()
+    choices = rng.choice(len(models), size=n_samples, p=w)
+    out = np.empty((n_samples, models[0].num_layers))
+    for idx, model in enumerate(models):
+        pick = choices == idx
+        count = int(pick.sum())
+        if count:
+            out[pick] = model.sample(count, rng)
+    if component_out is not None:
+        component_out.extend(choices.tolist())
+    return out

@@ -1,0 +1,217 @@
+"""Static weight-sparsity patterns (paper Sec 3.2, Fig 6).
+
+Three pruning patterns are supported on numpy weight tensors:
+
+* **random** — point-wise unstructured pruning (Han et al.);
+* **nm_block** — N:M block-wise structured pruning (keep N of every M
+  contiguous weights, as in NVIDIA Sparse Tensor Cores);
+* **channel** — channel-wise pruning (zero whole output channels).
+
+Besides exact mask generation, this module also models the *hardware-visible*
+effect of each pattern: the PE-array utilization an accelerator achieves when
+zero-skipping that pattern, and how the pattern's survivor set overlaps with
+activation sparsity.  These two effects are what make equal-rate patterns
+yield different valid-MAC counts (paper Fig 4, up to ~40% apart).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SparsityError
+
+
+class SparsityPattern(enum.Enum):
+    """Weight-mask structure applied when pruning (paper Fig 6)."""
+
+    DENSE = "dense"
+    RANDOM = "random"
+    NM_BLOCK = "nm_block"
+    CHANNEL = "channel"
+
+
+@dataclass(frozen=True)
+class WeightSparsityConfig:
+    """How a model's weights were sparsified.
+
+    Attributes:
+        pattern: Mask structure.
+        rate: Fraction of weights pruned, in [0, 1).  Ignored for DENSE.
+        nm: (N, M) for the NM_BLOCK pattern — N survivors per M-block; the
+            implied rate is ``1 - N/M`` and overrides ``rate``.
+    """
+
+    pattern: SparsityPattern
+    rate: float = 0.0
+    nm: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.pattern is SparsityPattern.NM_BLOCK:
+            if self.nm is None:
+                raise SparsityError("NM_BLOCK pattern requires nm=(N, M)")
+            n, m = self.nm
+            if not (0 < n < m):
+                raise SparsityError(f"invalid N:M spec {self.nm}: need 0 < N < M")
+        elif not 0.0 <= self.rate < 1.0:
+            raise SparsityError(f"sparsity rate must be in [0, 1), got {self.rate}")
+
+    @property
+    def effective_rate(self) -> float:
+        """Fraction of weights removed by the mask."""
+        if self.pattern is SparsityPattern.DENSE:
+            return 0.0
+        if self.pattern is SparsityPattern.NM_BLOCK:
+            n, m = self.nm  # type: ignore[misc]
+            return 1.0 - n / m
+        return self.rate
+
+    @property
+    def key(self) -> str:
+        """Stable identifier for LUT keys and trace-file names."""
+        if self.pattern is SparsityPattern.NM_BLOCK:
+            n, m = self.nm  # type: ignore[misc]
+            return f"nm{n}:{m}"
+        if self.pattern is SparsityPattern.DENSE:
+            return "dense"
+        return f"{self.pattern.value}{self.rate:.2f}"
+
+
+DENSE = WeightSparsityConfig(SparsityPattern.DENSE)
+
+
+def random_mask(shape: Tuple[int, ...], rate: float, rng: np.random.Generator) -> np.ndarray:
+    """Point-wise random mask: each weight survives independently w.p. 1-rate,
+    with the global count matched exactly (magnitude-pruning analogue)."""
+    if not 0.0 <= rate < 1.0:
+        raise SparsityError(f"rate must be in [0, 1), got {rate}")
+    size = int(np.prod(shape))
+    n_zero = int(round(size * rate))
+    mask = np.ones(size, dtype=bool)
+    zero_idx = rng.choice(size, size=n_zero, replace=False)
+    mask[zero_idx] = False
+    return mask.reshape(shape)
+
+
+def nm_block_mask(shape: Tuple[int, ...], n: int, m: int, rng: np.random.Generator) -> np.ndarray:
+    """N:M structured mask along the last axis: in every contiguous group of
+    M weights exactly N survive (positions chosen at random, standing in for
+    magnitude selection)."""
+    if not 0 < n < m:
+        raise SparsityError(f"need 0 < N < M, got N={n} M={m}")
+    size = int(np.prod(shape))
+    if size % m != 0:
+        raise SparsityError(f"tensor size {size} is not divisible by M={m}")
+    groups = size // m
+    scores = rng.random((groups, m))
+    # Keep the N largest-scored positions per group.
+    keep_rank = np.argsort(scores, axis=1)[:, m - n:]
+    mask = np.zeros((groups, m), dtype=bool)
+    np.put_along_axis(mask, keep_rank, True, axis=1)
+    return mask.reshape(shape)
+
+
+def channel_mask(shape: Tuple[int, ...], rate: float, rng: np.random.Generator) -> np.ndarray:
+    """Channel-wise mask: prune whole output channels (axis 0)."""
+    if not 0.0 <= rate < 1.0:
+        raise SparsityError(f"rate must be in [0, 1), got {rate}")
+    if len(shape) < 2:
+        raise SparsityError("channel pruning needs a >=2-D weight tensor")
+    channels = shape[0]
+    n_zero = int(round(channels * rate))
+    if n_zero >= channels:
+        n_zero = channels - 1
+    mask = np.ones(channels, dtype=bool)
+    zero_idx = rng.choice(channels, size=n_zero, replace=False)
+    mask[zero_idx] = False
+    expand = (channels,) + (1,) * (len(shape) - 1)
+    return np.broadcast_to(mask.reshape(expand), shape).copy()
+
+
+def apply_pattern(
+    weights: np.ndarray, config: WeightSparsityConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """Return a sparsified copy of ``weights`` under the given pattern."""
+    if config.pattern is SparsityPattern.DENSE:
+        return weights.copy()
+    if config.pattern is SparsityPattern.RANDOM:
+        mask = random_mask(weights.shape, config.rate, rng)
+    elif config.pattern is SparsityPattern.NM_BLOCK:
+        n, m = config.nm  # type: ignore[misc]
+        mask = nm_block_mask(weights.shape, n, m, rng)
+    elif config.pattern is SparsityPattern.CHANNEL:
+        mask = channel_mask(weights.shape, config.rate, rng)
+    else:  # pragma: no cover - exhaustive enum
+        raise SparsityError(f"unknown pattern {config.pattern}")
+    return np.where(mask, weights, 0.0)
+
+
+def measured_sparsity(tensor: np.ndarray) -> float:
+    """Fraction of exactly-zero entries."""
+    if tensor.size == 0:
+        raise SparsityError("cannot measure sparsity of an empty tensor")
+    return float(np.count_nonzero(tensor == 0.0)) / tensor.size
+
+
+# --------------------------------------------------------------------------
+# Hardware-visible pattern effects (consumed by the accelerator models).
+# --------------------------------------------------------------------------
+
+# PE-array utilization when zero-skipping each pattern.  Structured patterns
+# keep the array load-balanced; point-wise random sparsity causes workload
+# imbalance across PEs (Sec 2.3.2: pattern support depends on the hardware).
+_PE_UTILIZATION = {
+    SparsityPattern.DENSE: 0.92,
+    SparsityPattern.RANDOM: 0.72,
+    SparsityPattern.NM_BLOCK: 0.90,
+    SparsityPattern.CHANNEL: 0.96,
+}
+
+# How the survivor weights overlap with activation zeros.  Channel pruning
+# removes the *least informative* channels, so surviving channels see denser
+# activations than average; random pruning overlaps independently.
+_ACTIVATION_OVERLAP_GAIN = {
+    SparsityPattern.DENSE: 0.0,
+    SparsityPattern.RANDOM: 0.0,
+    SparsityPattern.NM_BLOCK: 0.05,
+    SparsityPattern.CHANNEL: 0.35,
+}
+
+
+def pattern_pe_utilization(pattern: SparsityPattern) -> float:
+    """Average PE utilization a zero-skipping array achieves on the pattern."""
+    return _PE_UTILIZATION[pattern]
+
+
+def pattern_overlap_gain(config: WeightSparsityConfig) -> float:
+    """Activation-density inflation factor for the pattern's survivor set."""
+    return _ACTIVATION_OVERLAP_GAIN[config.pattern] * config.effective_rate
+
+
+def effective_densities(
+    config: WeightSparsityConfig, activation_sparsity: float
+) -> Tuple[float, float]:
+    """(weight density, activation density seen by surviving weights).
+
+    The activation density is inflated for structured patterns whose pruning
+    criterion anti-correlates with activation zeros (channel pruning keeps the
+    channels that fire most).  This interplay is what separates the valid-MAC
+    distributions of equal-rate patterns in Fig 4.
+    """
+    if not 0.0 <= activation_sparsity <= 1.0:
+        raise SparsityError(
+            f"activation sparsity must be in [0, 1], got {activation_sparsity}"
+        )
+    w_density = 1.0 - config.effective_rate
+    gain = _ACTIVATION_OVERLAP_GAIN[config.pattern] * config.effective_rate
+    a_density = min(1.0, (1.0 - activation_sparsity) * (1.0 + gain))
+    return w_density, a_density
+
+
+def valid_mac_fraction(config: WeightSparsityConfig, activation_sparsity: float) -> float:
+    """Fraction of a layer's dense MACs that remain effectual."""
+    w_density, a_density = effective_densities(config, activation_sparsity)
+    return w_density * a_density

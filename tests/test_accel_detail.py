@@ -1,0 +1,145 @@
+"""Unit + property tests for the detailed accelerator models: Sanger
+pack-and-split and Eyeriss row-stationary mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.eyeriss import EyerissV2
+from repro.accel.eyeriss_detail import (
+    map_conv_rs,
+    rs_layer_utilization,
+)
+from repro.accel.sanger import Sanger
+from repro.accel.sanger_detail import SangerPackSimulator
+from repro.errors import ProfilingError
+from repro.models.graph import DynamicKind, Layer, LayerKind, conv_layer, fc_layer
+from repro.sparsity.patterns import DENSE
+
+
+class TestSangerPack:
+    def setup_method(self):
+        self.sim = SangerPackSimulator(pe_rows=16, pe_cols=64)
+
+    def test_validation(self):
+        with pytest.raises(ProfilingError):
+            SangerPackSimulator(pe_rows=0)
+        with pytest.raises(ProfilingError):
+            self.sim.pack(np.ones(4))
+        with pytest.raises(ProfilingError):
+            self.sim.random_mask(8, 1.5, np.random.default_rng(0))
+
+    def test_dense_mask_packs_perfectly(self):
+        # A dense 64-wide mask fills each sub-row exactly.
+        mask = np.ones((64, 64), dtype=bool)
+        packed = self.sim.pack(mask)
+        assert packed.sub_rows == 64
+        assert packed.waves == 4
+        assert packed.efficiency == pytest.approx(1.0)
+
+    def test_empty_mask(self):
+        packed = self.sim.pack(np.zeros((8, 8), dtype=bool))
+        assert packed.nnz == 0
+        assert packed.efficiency == 1.0
+
+    def test_unbalanced_mask_loses_efficiency(self):
+        # One full row and many empty rows: terrible balance.
+        mask = np.zeros((32, 64), dtype=bool)
+        mask[0, :] = True
+        packed = self.sim.pack(mask)
+        assert packed.efficiency < 0.2
+
+    def test_random_mask_efficiency_matches_analytic_constant(self):
+        # The analytic Sanger model assumes ~0.85 load-balance efficiency on
+        # realistic random attention masks; the packed simulation must land
+        # in that neighbourhood for paper-like sparsity levels.
+        rng = np.random.default_rng(0)
+        for sparsity in (0.3, 0.6, 0.9):
+            eff = self.sim.measured_efficiency(384, sparsity, rng)
+            assert 0.6 < eff <= 1.0, (sparsity, eff)
+
+    def test_cycles_scale_with_density(self):
+        rng = np.random.default_rng(1)
+        sparse = self.sim.pack(self.sim.random_mask(384, 0.9, rng))
+        dense = self.sim.pack(self.sim.random_mask(384, 0.1, rng))
+        ratio = dense.cycles / sparse.cycles
+        assert 4.0 < ratio < 12.0  # ~ (1-0.1)/(1-0.9) = 9 with packing noise
+
+    @given(
+        seq=st.integers(min_value=8, max_value=128),
+        sparsity=st.floats(min_value=0.0, max_value=0.99),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pack_invariants(self, seq, sparsity, seed):
+        rng = np.random.default_rng(seed)
+        packed = self.sim.pack(self.sim.random_mask(seq, sparsity, rng))
+        assert 0.0 < packed.efficiency <= 1.0
+        assert packed.cycles >= packed.nnz / packed.array_size - 1e-9
+        assert packed.waves == packed.cycles
+
+
+class TestRowStationaryMapping:
+    def test_validation(self):
+        with pytest.raises(ProfilingError):
+            map_conv_rs(0, 14)
+        with pytest.raises(ProfilingError):
+            map_conv_rs(3, 14, array_rows=0)
+
+    def test_3x3_fills_the_array(self):
+        # 3 rows x 4 replicas = 12 rows; wide output fills 14 cols.
+        mapping = map_conv_rs(3, 56)
+        assert mapping.utilization == pytest.approx(1.0)
+
+    def test_7x7_strands_rows(self):
+        # 7 rows fit once on 12: 5 stranded rows -> 7/12 utilization.
+        mapping = map_conv_rs(7, 112)
+        assert mapping.utilization == pytest.approx(7 / 12)
+
+    def test_tall_filter_folds_over_passes(self):
+        mapping = map_conv_rs(24, 56, array_rows=12)
+        assert mapping.passes_per_set == 2
+        assert mapping.utilization == pytest.approx(0.5)
+
+    def test_narrow_output_strands_columns(self):
+        mapping = map_conv_rs(3, 7)
+        assert mapping.cols_used == 7
+        assert mapping.utilization == pytest.approx(7 / 14)
+
+    def test_fc_layers_exempt(self):
+        fc = fc_layer("fc", 512, 10)
+        assert rs_layer_utilization(fc) == 1.0
+
+    def test_layer_without_shape_defaults_to_one(self):
+        bare = Layer("x", LayerKind.CONV, macs=100, params=10)
+        assert rs_layer_utilization(bare) == 1.0
+
+
+class TestDetailedEyeriss:
+    def test_detailed_mode_penalizes_stem(self):
+        stem = conv_layer("stem", 3, 64, 7, 112)
+        base = EyerissV2(detailed_mapping=False)
+        detail = EyerissV2(detailed_mapping=True)
+        assert detail.layer_latency(stem, DENSE, 0.3) > base.layer_latency(
+            stem, DENSE, 0.3
+        )
+
+    def test_detailed_mode_neutral_for_well_mapped_layers(self):
+        conv = conv_layer("c", 64, 64, 3, 56)
+        base = EyerissV2(detailed_mapping=False)
+        detail = EyerissV2(detailed_mapping=True)
+        assert detail.layer_latency(conv, DENSE, 0.3) == pytest.approx(
+            base.layer_latency(conv, DENSE, 0.3)
+        )
+
+    def test_detailed_mode_runs_full_model(self):
+        from repro.models.registry import build_model
+        from repro.profiling.profiler import profile_model
+        from repro.profiling.profiler import DEFAULT_CNN_PATTERNS
+
+        trace = profile_model(
+            build_model("resnet50"), DEFAULT_CNN_PATTERNS[0],
+            EyerissV2(detailed_mapping=True), n_samples=5, seed=0,
+        )
+        assert trace.avg_total_latency > 0

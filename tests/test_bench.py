@@ -1,0 +1,71 @@
+"""Unit tests for the experiment harness and figure renderers."""
+
+import pytest
+
+from repro.bench.figures import render_series, render_table
+from repro.bench.harness import PAPER_SCHEDULERS, run_comparison, run_single
+from repro.errors import ReproError, SchedulingError
+
+
+class TestHarness:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SchedulingError):
+            run_single("fcfs", "rnn")
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(SchedulingError):
+            run_single("fcfs", "attnn", seeds=())
+
+    def test_run_single_smoke(self):
+        result = run_single(
+            "sjf", "attnn", n_requests=60, seeds=(0,), n_profile_samples=50
+        )
+        assert result.scheduler == "sjf"
+        assert result.antt_mean >= 1.0
+        assert 0.0 <= result.violation_rate_mean <= 1.0
+        assert result.violation_rate_pct == pytest.approx(
+            100 * result.violation_rate_mean
+        )
+        assert result.stp_mean > 0
+
+    def test_seed_averaging_fills_std(self):
+        result = run_single(
+            "fcfs", "attnn", n_requests=60, seeds=(0, 1), n_profile_samples=50
+        )
+        assert result.seeds == (0, 1)
+        assert result.antt_std >= 0.0
+
+    def test_run_comparison_keys(self):
+        out = run_comparison(
+            "attnn", schedulers=("fcfs", "dysta"), n_requests=60, seeds=(0,),
+            n_profile_samples=50,
+        )
+        assert set(out) == {"fcfs", "dysta"}
+
+    def test_paper_scheduler_lineup(self):
+        assert "dysta" in PAPER_SCHEDULERS
+        assert "oracle" in PAPER_SCHEDULERS
+        assert len(PAPER_SCHEDULERS) == 7
+
+
+class TestFigures:
+    def test_render_table_basic(self):
+        out = render_table("T", ["a", "b"], {"row1": [1.0, 2.0], "row2": [3.0, 4.5]})
+        assert "row1" in out and "4.500" in out
+        assert out.count("\n") == 3
+
+    def test_render_table_validates_row_width(self):
+        with pytest.raises(ReproError, match="columns"):
+            render_table("T", ["a"], {"r": [1, 2]})
+
+    def test_render_table_rejects_empty(self):
+        with pytest.raises(ReproError):
+            render_table("T", ["a"], {})
+
+    def test_render_series(self):
+        out = render_series("S", "rate", [1, 2], {"fcfs": [0.1, 0.2]})
+        assert "rate=1" in out and "fcfs" in out
+
+    def test_render_series_validates_lengths(self):
+        with pytest.raises(ReproError, match="length"):
+            render_series("S", "x", [1, 2], {"s": [0.1]})

@@ -1,0 +1,77 @@
+"""Unit tests for the ASCII visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.viz import ascii_histogram, ascii_line_chart, ascii_scatter
+from repro.errors import ReproError
+
+
+class TestHistogram:
+    def test_basic(self):
+        out = ascii_histogram([1, 1, 1, 2, 3], bins=3, title="h")
+        assert out.startswith("h")
+        assert "#" in out
+        assert out.count("\n") == 3
+
+    def test_peak_bin_is_longest(self):
+        values = [0.0] * 50 + [1.0] * 5
+        out = ascii_histogram(values, bins=2, width=40)
+        first, second = out.splitlines()
+        assert first.count("#") > second.count("#")
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ascii_histogram([])
+        with pytest.raises(ReproError):
+            ascii_histogram([1.0], bins=0)
+
+
+class TestLineChart:
+    def test_renders_all_series(self):
+        out = ascii_line_chart([1, 2, 3], {"fcfs": [1, 2, 3], "dysta": [3, 2, 1]})
+        assert "a=dysta" in out
+        assert "b=fcfs" in out
+        assert "a" in out and "b" in out
+
+    def test_collision_marked(self):
+        out = ascii_line_chart([1, 2], {"x": [1, 2], "y": [1, 2]})
+        assert "*" in out
+
+    def test_flat_series_handled(self):
+        out = ascii_line_chart([1, 2], {"flat": [5, 5]})
+        assert "flat" in out
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ascii_line_chart([1], {})
+        with pytest.raises(ReproError):
+            ascii_line_chart([1, 2], {"s": [1]})
+        with pytest.raises(ReproError):
+            ascii_line_chart([1], {"s": [1]}, height=2)
+
+
+class TestScatter:
+    def test_renders_points_and_legend(self):
+        out = ascii_scatter({"dysta": (5.0, 4.7), "fcfs": (55.0, 18.9)},
+                            title="Fig 12")
+        assert out.startswith("Fig 12")
+        assert "A=dysta" in out
+        assert "B=fcfs" in out
+
+    def test_lower_left_point_lands_bottom_left(self):
+        out = ascii_scatter({"lo": (0.0, 0.0), "hi": (1.0, 1.0)},
+                            width=20, height=6)
+        rows = [line for line in out.splitlines() if line.startswith("|")]
+        assert "B" in rows[-1]  # 'lo' (marker B) at the bottom
+        assert "A" in rows[0]  # 'hi' (marker A) at the top
+
+    def test_identical_points_collide(self):
+        out = ascii_scatter({"p": (1.0, 1.0), "q": (1.0, 1.0)})
+        assert "*" in out
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ascii_scatter({})
+        with pytest.raises(ReproError):
+            ascii_scatter({"p": (1, 1)}, width=2)

@@ -1,0 +1,119 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "--scheduler", "magic"])
+
+
+class TestCommands:
+    def test_profile_writes_csvs(self, tmp_path, capsys):
+        rc = main(["profile", "--family", "attnn", "--samples", "10",
+                   "--out", str(tmp_path)])
+        assert rc == 0
+        files = sorted(p.name for p in tmp_path.glob("*.csv"))
+        assert files == ["bart_dense.csv", "bert_dense.csv", "gpt2_dense.csv"]
+        out = capsys.readouterr().out
+        assert "wrote" in out and "avg latency" in out
+
+    def test_profile_roundtrips(self, tmp_path):
+        from repro.profiling.trace import load_traceset_csv
+
+        main(["profile", "--family", "attnn", "--samples", "5",
+              "--out", str(tmp_path)])
+        trace = load_traceset_csv(tmp_path / "bert_dense.csv")
+        assert trace.model_name == "bert"
+        assert trace.num_samples == 5
+
+    def test_schedule_prints_metrics(self, capsys):
+        rc = main(["schedule", "--family", "attnn", "--scheduler", "sjf",
+                   "--requests", "60", "--seeds", "0", "--samples", "50"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ANTT" in out
+        assert "violation rate" in out
+        assert "sjf" in out
+
+    def test_compare_prints_table(self, capsys):
+        rc = main(["compare", "--family", "attnn", "--requests", "60",
+                   "--seeds", "0", "--samples", "50",
+                   "--schedulers", "fcfs", "dysta"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fcfs" in out and "dysta" in out
+        assert "Violation %" in out
+
+    def test_predictor_rmse_table(self, capsys):
+        rc = main(["predictor-rmse", "--samples", "50"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Average-All" in out
+        assert "bert/dense" in out
+
+    def test_hw_report(self, capsys):
+        rc = main(["hw-report", "--depths", "64"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Non_Opt_FP32" in out
+        assert "Total Overhead" in out
+
+    def test_analyze_prints_tail_stats(self, capsys):
+        rc = main(["analyze", "--family", "attnn", "--requests", "60",
+                   "--seeds", "0", "--samples", "50", "--scheduler", "sjf"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "p99" in out
+        assert "Jain fairness" in out
+        assert "per-(model, pattern) class" in out
+
+    def test_schedule_from_trace_store(self, tmp_path, capsys):
+        main(["profile", "--family", "attnn", "--samples", "20",
+              "--out", str(tmp_path)])
+        capsys.readouterr()
+        rc = main(["schedule", "--family", "attnn", "--scheduler", "fcfs",
+                   "--requests", "40", "--seeds", "0",
+                   "--traces", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ANTT" in out
+
+    def test_profile_writes_index(self, tmp_path):
+        main(["profile", "--family", "attnn", "--samples", "5",
+              "--out", str(tmp_path)])
+        assert (tmp_path / "index.json").exists()
+
+    def test_schedule_with_engine_knobs(self, capsys):
+        rc = main(["schedule", "--family", "attnn", "--scheduler", "fcfs",
+                   "--requests", "40", "--seeds", "0", "--samples", "50",
+                   "--block-size", "4", "--switch-cost", "0.001"])
+        assert rc == 0
+        assert "ANTT" in capsys.readouterr().out
+
+    def test_experiment_list(self, capsys):
+        rc = main(["experiment", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "table5" in out and "fig16" in out
+
+    def test_experiment_quick_run(self, capsys):
+        rc = main(["experiment", "table6", "--scale", "quick"])
+        assert rc == 0
+        assert "Total Overhead" in capsys.readouterr().out
+
+    def test_experiment_requires_name(self, capsys):
+        rc = main(["experiment"])
+        assert rc == 1
+        assert "provide an experiment" in capsys.readouterr().err

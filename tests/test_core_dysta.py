@@ -1,0 +1,114 @@
+"""Unit tests for the Dysta bi-level scheduler (Algorithms 1 & 2)."""
+
+import pytest
+
+from repro.core.dysta import DystaScheduler
+from repro.core.predictor import PredictorStrategy
+
+from conftest import make_request
+
+
+def long_req(rid=1, arrival=0.0, **kw):
+    return make_request(rid=rid, model="long", arrival=arrival,
+                        latencies=(0.01, 0.01, 0.01), sparsities=(0.3, 0.3, 0.3), **kw)
+
+
+def short_req(rid=2, arrival=0.0, **kw):
+    return make_request(rid=rid, model="short", arrival=arrival,
+                        latencies=(0.001, 0.002), sparsities=(0.5, 0.5), **kw)
+
+
+class TestStaticLevel:
+    def test_static_score_formula(self, toy_lut):
+        sched = DystaScheduler(toy_lut, beta=0.5)
+        req = long_req(slo=1.0)
+        lat = toy_lut.avg_total_latency("long/dense")
+        expected = lat + 0.5 * (1.0 - lat)
+        assert sched.static_score(req, now=0.0) == pytest.approx(expected)
+
+    def test_beta_zero_reduces_to_latency(self, toy_lut):
+        sched = DystaScheduler(toy_lut, beta=0.0)
+        req = long_req(slo=1.0)
+        assert sched.static_score(req, 0.0) == pytest.approx(
+            toy_lut.avg_total_latency("long/dense")
+        )
+
+
+class TestDynamicLevel:
+    def test_prefers_short_job_when_slack_ample(self, toy_lut):
+        sched = DystaScheduler(toy_lut, eta=0.1)
+        a, b = long_req(rid=1, slo=10.0), short_req(rid=2, slo=10.0)
+        assert sched.select([a, b], now=0.0) is b
+
+    def test_slack_term_rescues_tight_deadline(self, toy_lut):
+        sched = DystaScheduler(toy_lut, eta=0.5)
+        # Long job about to violate; short job has a week of slack.
+        tight = long_req(rid=1, slo=0.032)
+        loose = short_req(rid=2, slo=100.0)
+        assert sched.select([tight, loose], now=0.0) is tight
+
+    def test_penalty_favours_currently_running(self, toy_lut):
+        sched = DystaScheduler(toy_lut, eta=0.5)
+        running = long_req(rid=1, slo=1.0)
+        waiting = long_req(rid=2, slo=1.0)
+        now = 0.5
+        running.last_run_end = now  # just ran a layer
+        waiting.last_run_end = 0.0  # has been waiting
+        s_run = sched.dynamic_score(running, now, queue_len=2)
+        s_wait = sched.dynamic_score(waiting, now, queue_len=2)
+        assert s_run < s_wait
+
+    def test_slack_clamped_for_hopeless_jobs(self, toy_lut):
+        # Without clamping, an expired deadline makes the slack (and hence
+        # the score) diverge to -inf over time, letting a hopeless long job
+        # monopolize the accelerator.  With the clamp the slack contribution
+        # bottoms out at -isolated while the waiting penalty keeps growing.
+        sched = DystaScheduler(toy_lut, eta=0.5)
+        hopeless = long_req(rid=1, slo=0.001)
+        hopeless.last_run_end = 0.0
+        score_now = sched.dynamic_score(hopeless, now=1.0, queue_len=1)
+        score_much_later = sched.dynamic_score(hopeless, now=100.0, queue_len=1)
+        assert score_much_later >= score_now
+        # The slack component itself is bounded below by -isolated.
+        isolated = sched.estimated_isolated(hopeless)
+        remaining = sched.remaining_estimate(hopeless)
+        slack = max(hopeless.deadline - 1.0 - remaining, -isolated)
+        assert slack == pytest.approx(-isolated)
+
+    def test_sparsity_refines_remaining_estimate(self, toy_lut):
+        sched = DystaScheduler(toy_lut, sparsity_aware=True,
+                               strategy=PredictorStrategy.LAST_ONE)
+        req = long_req(rid=1)
+        base = sched.remaining_estimate(req)
+        assert base == pytest.approx(toy_lut.static_remaining("long/dense", 0))
+        # After executing a much-denser-than-average layer, the estimate grows.
+        req.next_layer = 1
+        req.layer_sparsities[0] = 0.02
+        refined = sched.remaining_estimate(req)
+        assert refined > toy_lut.static_remaining("long/dense", 1)
+
+    def test_nosparse_ignores_monitored_sparsity(self, toy_lut):
+        sched = DystaScheduler(toy_lut, sparsity_aware=False)
+        assert sched.predictor is None
+        req = long_req(rid=1)
+        req.next_layer = 1
+        req.layer_sparsities[0] = 0.02
+        assert sched.remaining_estimate(req) == pytest.approx(
+            toy_lut.static_remaining("long/dense", 1)
+        )
+
+    def test_sparse_and_nosparse_agree_on_unstarted_requests(self, toy_lut):
+        sparse = DystaScheduler(toy_lut, sparsity_aware=True)
+        plain = DystaScheduler(toy_lut, sparsity_aware=False)
+        req = long_req(rid=1, slo=1.0)
+        assert sparse.dynamic_score(req, 0.0, 1) == pytest.approx(
+            plain.dynamic_score(req, 0.0, 1)
+        )
+
+    def test_penalty_normalized_by_queue_length(self, toy_lut):
+        sched = DystaScheduler(toy_lut, eta=1.0)
+        req = long_req(rid=1, slo=1.0)
+        req.last_run_end = 0.0
+        s_small_q = sched.dynamic_score(req, now=0.5, queue_len=1)
+        s_big_q = sched.dynamic_score(req, now=0.5, queue_len=10)
+        assert s_small_q > s_big_q

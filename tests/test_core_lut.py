@@ -1,0 +1,56 @@
+"""Unit tests for the model-info LUT."""
+
+import numpy as np
+import pytest
+
+from repro.core.lut import ModelInfoLUT
+from repro.errors import SchedulingError
+
+
+class TestLUT:
+    def test_requires_traces(self):
+        with pytest.raises(SchedulingError):
+            ModelInfoLUT({})
+
+    def test_keys_and_contains(self, toy_traces, toy_lut):
+        assert set(toy_lut.keys) == set(toy_traces)
+        assert "short/dense" in toy_lut
+        assert "missing/dense" not in toy_lut
+
+    def test_unknown_key_raises(self, toy_lut):
+        with pytest.raises(SchedulingError, match="no LUT entry"):
+            toy_lut.avg_total_latency("missing/dense")
+
+    def test_avg_total_latency(self, toy_traces, toy_lut):
+        for key, trace in toy_traces.items():
+            assert toy_lut.avg_total_latency(key) == pytest.approx(
+                trace.avg_total_latency
+            )
+
+    def test_static_remaining_suffix(self, toy_traces, toy_lut):
+        key = "long/dense"
+        layer_avg = toy_traces[key].avg_layer_latencies
+        assert toy_lut.static_remaining(key, 0) == pytest.approx(layer_avg.sum())
+        assert toy_lut.static_remaining(key, 1) == pytest.approx(layer_avg[1:].sum())
+        assert toy_lut.static_remaining(key, 3) == 0.0
+
+    def test_static_remaining_bounds_checked(self, toy_lut):
+        with pytest.raises(SchedulingError, match="outside"):
+            toy_lut.static_remaining("long/dense", 4)
+        with pytest.raises(SchedulingError):
+            toy_lut.static_remaining("long/dense", -1)
+
+    def test_network_avg_sparsity(self, toy_traces, toy_lut):
+        key = "short/dense"
+        expected = toy_traces[key].avg_layer_sparsities.mean()
+        assert toy_lut.network_avg_sparsity(key) == pytest.approx(expected)
+
+    def test_num_layers(self, toy_lut):
+        assert toy_lut.num_layers("short/dense") == 2
+        assert toy_lut.num_layers("long/dense") == 3
+
+    def test_avg_layer_sparsities_vector(self, toy_traces, toy_lut):
+        np.testing.assert_allclose(
+            toy_lut.avg_layer_sparsities("long/dense"),
+            toy_traces["long/dense"].avg_layer_sparsities,
+        )

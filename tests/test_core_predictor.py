@@ -1,0 +1,137 @@
+"""Unit tests for the sparse latency predictor (Algorithm 3 / Table 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lut import ModelInfoLUT
+from repro.core.predictor import (
+    PredictorStrategy,
+    SparseLatencyPredictor,
+    predictor_rmse,
+    rmse_by_strategy,
+)
+from repro.errors import SchedulingError
+from repro.profiling.profiler import benchmark_suite
+
+
+class TestCoefficient:
+    def test_no_monitoring_gives_unit_gamma(self, toy_lut):
+        pred = SparseLatencyPredictor(toy_lut)
+        assert pred.sparsity_coefficient("long/dense", []) == 1.0
+
+    def test_average_sample_gives_near_unit_gamma(self, toy_lut):
+        pred = SparseLatencyPredictor(toy_lut, PredictorStrategy.LAST_ONE)
+        avg = toy_lut.avg_layer_sparsities("long/dense")
+        gamma = pred.sparsity_coefficient("long/dense", [float(avg[0])])
+        assert gamma == pytest.approx(1.0, abs=1e-9)
+
+    def test_denser_sample_gives_gamma_above_one(self, toy_lut):
+        # Lower monitored sparsity (denser input) => longer latency => gamma > 1.
+        pred = SparseLatencyPredictor(toy_lut, PredictorStrategy.LAST_ONE)
+        gamma = pred.sparsity_coefficient("long/dense", [0.05])
+        assert gamma > 1.0
+
+    def test_sparser_sample_gives_gamma_below_one(self, toy_lut):
+        pred = SparseLatencyPredictor(toy_lut, PredictorStrategy.LAST_ONE)
+        gamma = pred.sparsity_coefficient("long/dense", [0.9])
+        assert gamma < 1.0
+
+    def test_average_all_uses_all_layers(self, toy_lut):
+        pred = SparseLatencyPredictor(toy_lut, PredictorStrategy.AVERAGE_ALL)
+        avg = toy_lut.avg_layer_sparsities("long/dense")
+        monitored = [float(avg[0]) + 0.2, float(avg[1]) - 0.2]
+        # Deviations cancel in the mean: gamma ~ 1.
+        assert pred.sparsity_coefficient("long/dense", monitored) == pytest.approx(
+            1.0, abs=0.02
+        )
+
+    def test_last_n_window(self, toy_lut):
+        pred = SparseLatencyPredictor(toy_lut, PredictorStrategy.LAST_N, n=1)
+        g1 = pred.sparsity_coefficient("long/dense", [0.9, 0.1])
+        g2 = pred.sparsity_coefficient("long/dense", [0.2, 0.1])
+        # With window 1 only the last layer matters.
+        assert g1 == pytest.approx(g2)
+
+    def test_too_many_monitored_layers_rejected(self, toy_lut):
+        pred = SparseLatencyPredictor(toy_lut)
+        with pytest.raises(SchedulingError, match="monitored"):
+            pred.sparsity_coefficient("short/dense", [0.5, 0.5, 0.5])
+
+    def test_invalid_params_rejected(self, toy_lut):
+        with pytest.raises(SchedulingError):
+            SparseLatencyPredictor(toy_lut, alpha=0.0)
+        with pytest.raises(SchedulingError):
+            SparseLatencyPredictor(toy_lut, n=0)
+
+
+class TestPrediction:
+    def test_predict_remaining_scales_static_estimate(self, toy_lut):
+        pred = SparseLatencyPredictor(toy_lut, PredictorStrategy.LAST_ONE)
+        static = toy_lut.static_remaining("long/dense", 1)
+        avg0 = float(toy_lut.avg_layer_sparsities("long/dense")[0])
+        assert pred.predict_remaining("long/dense", 1, [avg0]) == pytest.approx(static)
+        assert pred.predict_remaining("long/dense", 1, [0.05]) > static
+
+    def test_alpha_scales_linearly(self, toy_lut):
+        p1 = SparseLatencyPredictor(toy_lut, alpha=1.0)
+        p2 = SparseLatencyPredictor(toy_lut, alpha=2.0)
+        assert p2.predict_remaining("long/dense", 1, [0.3]) == pytest.approx(
+            2.0 * p1.predict_remaining("long/dense", 1, [0.3])
+        )
+
+    def test_predict_total_consistent_with_remaining_at_start(self, toy_lut):
+        pred = SparseLatencyPredictor(toy_lut)
+        assert pred.predict_total("long/dense", []) == pytest.approx(
+            pred.predict_remaining("long/dense", 0, [])
+        )
+
+
+class TestRMSE:
+    @pytest.fixture(scope="class")
+    def attnn_setup(self):
+        traces = benchmark_suite("attnn", n_samples=150, seed=0)
+        return traces, ModelInfoLUT(traces)
+
+    def test_rmse_positive_and_small(self, attnn_setup):
+        traces, lut = attnn_setup
+        pred = SparseLatencyPredictor(lut, PredictorStrategy.LAST_ONE)
+        rmse = predictor_rmse(pred, traces["bert/dense"])
+        assert 0.0 < rmse < 0.5  # normalized: within 50% of mean latency
+
+    def test_monitoring_beats_static_baseline(self, attnn_setup):
+        # The whole point of Algorithm 3: monitored-sparsity prediction must
+        # beat the static LUT average (gamma fixed at 1).
+        traces, lut = attnn_setup
+        trace = traces["bert/dense"]
+        sparse = predictor_rmse(
+            SparseLatencyPredictor(lut, PredictorStrategy.LAST_ONE), trace
+        )
+        # A static predictor is emulated by alpha=1 with a saturated window
+        # over the LUT itself: compute directly.
+        lat = trace.latencies
+        rem_actual = lat.sum(axis=1, keepdims=True) - np.cumsum(lat, axis=1)[:, :-1]
+        rem_static = np.array(
+            [lut.static_remaining(trace.key, j) for j in range(1, trace.num_layers)]
+        )
+        static_rmse = float(
+            np.sqrt(np.mean(((rem_static - rem_actual) / trace.avg_total_latency) ** 2))
+        )
+        assert sparse < static_rmse
+
+    def test_strategy_ordering_matches_table4(self, attnn_setup):
+        # Table 4: average-all ~ last-one, both beating last-N.
+        traces, lut = attnn_setup
+        table = rmse_by_strategy(lut, traces)
+        for key in ("bert/dense", "gpt2/dense"):
+            row = table[key]
+            assert row["average_all"] < row["last_n"]
+            assert row["last_one"] < row["last_n"]
+            # average-all and last-one are comparable (within 2x).
+            ratio = row["average_all"] / row["last_one"]
+            assert 0.5 < ratio < 2.0
+
+    def test_rmse_requires_lut_membership(self, attnn_setup, toy_traces):
+        _, lut = attnn_setup
+        pred = SparseLatencyPredictor(lut)
+        with pytest.raises(SchedulingError, match="not part"):
+            predictor_rmse(pred, toy_traces["short/dense"])

@@ -1,0 +1,39 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are user-facing documentation; a broken example is a broken repo.
+Each one runs in-process (import + main()) with stdout captured.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    # Keep registry side effects (custom_scheduler registers a policy)
+    # namespaced so repeated runs don't clash.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_is_populated():
+    names = {p.stem for p in EXAMPLE_FILES}
+    assert {"quickstart", "mobile_assistant", "arvr_wearable",
+            "custom_scheduler", "datacenter_pool"} <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    module = _load_module(path)
+    assert hasattr(module, "main"), f"{path.name} must expose main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"{path.name} produced suspiciously little output"

@@ -1,0 +1,92 @@
+"""Tests for the named-experiment registry (repro.experiments)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import ExperimentScale, list_experiments, run_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_indexed(self):
+        exps = list_experiments()
+        expected = {
+            "fig2", "fig3", "fig4", "fig9", "fig12", "fig13", "fig14",
+            "fig15", "fig16", "table2", "table4", "table5", "table6",
+        }
+        assert set(exps) == expected
+        assert all(isinstance(desc, str) and desc for desc in exps.values())
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ReproError, match="unknown experiment"):
+            run_experiment("table9")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ReproError, match="unknown scale"):
+            ExperimentScale.preset("enormous")
+
+    def test_scale_presets(self):
+        quick = ExperimentScale.preset("quick")
+        full = ExperimentScale.preset("full")
+        assert quick.n_requests < full.n_requests
+        assert len(quick.seeds) < len(full.seeds)
+        assert len(full.slo_multipliers) > len(quick.slo_multipliers)
+        assert len(full.attnn_rates) > len(quick.attnn_rates)
+        assert len(full.cnn_rates) > len(quick.cnn_rates)
+
+
+class TestQuickRuns:
+    """Fast experiments run end-to-end at the quick preset."""
+
+    def test_fig2(self):
+        bundle = run_experiment("fig2", scale="quick")
+        assert "BERT" in bundle.rendered
+        assert bundle.data["last"]["max"] > 1.1
+
+    def test_fig9(self):
+        bundle = run_experiment("fig9", scale="quick")
+        assert bundle.data["bert"] > 0.85
+
+    def test_table2(self):
+        bundle = run_experiment("table2", scale="quick")
+        assert set(bundle.data) == {"googlenet", "vgg16", "inception_v3", "resnet50"}
+
+    def test_table4(self):
+        bundle = run_experiment("table4", scale="quick")
+        for row in bundle.data.values():
+            assert row["average_all"] < row["last_n"]
+
+    def test_fig16_and_table6(self):
+        fig = run_experiment("fig16", scale="quick")
+        assert fig.data[64]["Opt_FP16"]["DSP"] < 0.5
+        tab = run_experiment("table6", scale="quick")
+        assert tab.data["Total Overhead"][0] < 0.02
+
+    def test_table5_quick(self):
+        bundle = run_experiment("table5", scale="quick")
+        assert set(bundle.data) == {"attnn", "cnn"}
+        attnn = bundle.data["attnn"]
+        # Even at quick scale the headline ordering holds.
+        assert attnn["dysta"][0] < attnn["fcfs"][0]
+        assert attnn["dysta"][1] < attnn["fcfs"][1]
+        assert "Table 5" in bundle.rendered
+
+    def test_fig13_includes_static_only_variant(self):
+        bundle = run_experiment("fig13", scale="quick")
+        assert "dysta_static" in bundle.data["attnn"]
+
+    def test_fig15_stp_saturates(self):
+        bundle = run_experiment("fig15", scale="quick")
+        attnn = bundle.data["attnn"]
+        rates = sorted(attnn)
+        # STP grows with offered load up to capacity.
+        assert attnn[rates[-1]]["dysta"] > attnn[rates[0]]["dysta"]
+        assert attnn[rates[-1]]["dysta"] < 40.0  # bounded by hardware
+
+    def test_fig14_violations_decline_with_relaxed_slo(self):
+        bundle = run_experiment("fig14", scale="quick")
+        for family, per_slo in bundle.data.items():
+            mults = sorted(per_slo)
+            for sched in per_slo[mults[0]]:
+                assert (
+                    per_slo[mults[-1]][sched] <= per_slo[mults[0]][sched] + 0.02
+                ), (family, sched)

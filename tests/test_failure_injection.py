@@ -1,0 +1,121 @@
+"""Failure-injection tests: the engine and schedulers must fail loudly and
+leave diagnosable state when components misbehave."""
+
+import pytest
+
+from repro.core.dysta import DystaScheduler
+from repro.errors import SchedulingError
+from repro.schedulers.base import Scheduler, make_scheduler
+from repro.sim.engine import simulate
+
+from conftest import make_request
+
+
+class ExplodingScheduler(Scheduler):
+    """Raises after a configurable number of decisions."""
+
+    name = "exploding"
+
+    def __init__(self, lut, fuse=3):
+        super().__init__(lut)
+        self.fuse = fuse
+
+    def select(self, queue, now):
+        self.fuse -= 1
+        if self.fuse < 0:
+            raise RuntimeError("scheduler hardware fault")
+        return queue[0]
+
+
+class StaleReferenceScheduler(Scheduler):
+    """Returns a request object it captured earlier instead of a queue entry."""
+
+    name = "stale"
+
+    def __init__(self, lut):
+        super().__init__(lut)
+        self.hoard = None
+
+    def select(self, queue, now):
+        if self.hoard is None:
+            self.hoard = make_request(rid=4242)
+        return self.hoard
+
+
+def reqs(n=4):
+    return [
+        make_request(rid=i, model="long", arrival=0.0, slo=10.0,
+                     latencies=(0.01, 0.01, 0.01), sparsities=(0.3, 0.3, 0.3))
+        for i in range(n)
+    ]
+
+
+class TestSchedulerFaults:
+    def test_scheduler_exception_propagates(self, toy_lut):
+        requests = reqs()
+        with pytest.raises(RuntimeError, match="hardware fault"):
+            simulate(requests, ExplodingScheduler(toy_lut, fuse=3))
+        # Partial progress is visible for post-mortem: exactly 3 layers ran
+        # (all of request 0, which therefore finished before the fault).
+        assert sum(r.next_layer for r in requests) == 3
+        assert requests[0].finish_time is not None
+        assert all(r.finish_time is None for r in requests[1:])
+
+    def test_stale_reference_rejected(self, toy_lut):
+        with pytest.raises(SchedulingError, match="outside the queue"):
+            simulate(reqs(), StaleReferenceScheduler(toy_lut))
+
+    def test_unknown_model_key_fails_at_estimate(self, toy_lut):
+        # A request whose (model, pattern) never went through Phase 1 has no
+        # LUT entry; estimate-based schedulers must refuse, not guess.
+        stranger = make_request(rid=1, model="alexnet")
+        sched = make_scheduler("sjf", toy_lut)
+        with pytest.raises(SchedulingError, match="no LUT entry"):
+            simulate([stranger], sched)
+
+    def test_fcfs_tolerates_unknown_models(self, toy_lut):
+        # FCFS never consults the LUT: arrival order needs no estimates.
+        stranger = make_request(rid=1, model="alexnet")
+        result = simulate([stranger], make_scheduler("fcfs", toy_lut))
+        assert result.requests[0].is_done
+
+
+class TestPredictorFaults:
+    def test_monitor_overrun_rejected(self, toy_lut):
+        sched = DystaScheduler(toy_lut)
+        req = make_request(rid=1, model="short")
+        req.next_layer = 2
+        req.layer_sparsities = [0.5, 0.5, 0.5]  # corrupt: 3 monitors, 2 layers
+        req.next_layer = 3
+        with pytest.raises(SchedulingError):
+            sched.remaining_estimate(req)
+
+
+class TestStaticOnlyVariant:
+    def test_registered_and_orders_by_arrival_score(self, toy_lut):
+        sched = make_scheduler("dysta_static", toy_lut)
+        sched.reset()
+        short = make_request(rid=1, model="short", slo=1.0)
+        long = make_request(rid=2, model="long", slo=1.0,
+                            latencies=(0.01, 0.01, 0.01),
+                            sparsities=(0.3, 0.3, 0.3))
+        sched.on_arrival(short, 0.0)
+        sched.on_arrival(long, 0.0)
+        # Same SLO: the shorter estimated latency wins (score = lat + b*slack
+        # = (1-b)*lat + b*slo).
+        assert sched.select([long, short], now=0.0) is short
+
+    def test_score_frozen_over_time(self, toy_lut):
+        sched = make_scheduler("dysta_static", toy_lut)
+        sched.reset()
+        a = make_request(rid=1, model="short", slo=1.0)
+        b = make_request(rid=2, model="short", slo=2.0)
+        sched.on_arrival(a, 0.0)
+        sched.on_arrival(b, 0.0)
+        first = sched.select([a, b], now=0.0)
+        much_later = sched.select([a, b], now=50.0)
+        assert first is much_later  # nothing decays or ages
+
+    def test_end_to_end_run(self, toy_lut):
+        result = simulate(reqs(), make_scheduler("dysta_static", toy_lut))
+        assert len(result.requests) == 4

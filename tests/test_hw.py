@@ -1,0 +1,145 @@
+"""Unit tests for the hardware-scheduler resource model (Sec 5.2)."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw.components import (
+    DataType,
+    ResourceCost,
+    control_cost,
+    fifo_cost,
+    lut_memory_cost,
+    mux_cost,
+    primitive_cost,
+)
+from repro.hw.report import (
+    EYERISS_V2_RESOURCES,
+    normalized_usage,
+    overhead_table,
+    resource_table,
+)
+from repro.hw.scheduler_rtl import DesignVariant, SchedulerDesign, build_design
+
+
+class TestComponents:
+    def test_fp16_cheaper_than_fp32(self):
+        for op in ("mult", "add", "sub", "div"):
+            fp32 = primitive_cost(op, DataType.FP32)
+            fp16 = primitive_cost(op, DataType.FP16)
+            assert fp16.luts < fp32.luts
+            assert fp16.ffs < fp32.ffs
+            assert fp16.dsps <= fp32.dsps
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(HardwareModelError, match="unknown primitive"):
+            primitive_cost("sqrt", DataType.FP32)
+
+    def test_resource_addition_and_scaling(self):
+        a = ResourceCost(luts=10, ffs=20, dsps=1, bram_bits=64)
+        b = a + a
+        assert (b.luts, b.ffs, b.dsps, b.bram_bits) == (20, 40, 2, 128)
+        c = a.scaled(3)
+        assert c.luts == 30
+        with pytest.raises(HardwareModelError):
+            a.scaled(-1)
+
+    def test_fifo_cost_scales_with_depth(self):
+        small = fifo_cost(64, 16)
+        big = fifo_cost(512, 16)
+        assert big.bram_bits == 8 * small.bram_bits
+        assert big.luts > small.luts  # wider address counters
+
+    def test_fifo_validation(self):
+        with pytest.raises(HardwareModelError):
+            fifo_cost(0, 16)
+
+    def test_lut_memory_bits(self):
+        cost = lut_memory_cost(32, 16)
+        assert cost.bram_bits == 32 * 16
+        assert cost.luts == pytest.approx(32 * 16 / 64)
+
+    def test_mux_wider_dtype_costs_more(self):
+        assert mux_cost(DataType.FP32).luts > mux_cost(DataType.FP16).luts
+
+    def test_mux_validation(self):
+        with pytest.raises(HardwareModelError):
+            mux_cost(DataType.FP16, ways=1)
+
+    def test_control_has_no_dsp(self):
+        assert control_cost(DataType.FP16).dsps == 0
+
+
+class TestDesigns:
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            SchedulerDesign(DesignVariant.OPT_FP16, fifo_depth=0)
+        with pytest.raises(HardwareModelError):
+            SchedulerDesign(DesignVariant.OPT_FP16, fifo_depth=64, lut_entries=0)
+
+    def test_optimization_ladder_monotone(self):
+        # Fig 16: every optimization strictly reduces LUT, FF and DSP.
+        for depth in (64, 512):
+            non_opt = build_design(DesignVariant.NON_OPT_FP32, depth).resources()
+            opt32 = build_design(DesignVariant.OPT_FP32, depth).resources()
+            opt16 = build_design(DesignVariant.OPT_FP16, depth).resources()
+            assert non_opt.luts > opt32.luts > opt16.luts
+            assert non_opt.ffs > opt32.ffs > opt16.ffs
+            assert non_opt.dsps > opt32.dsps > opt16.dsps
+
+    def test_non_opt_contains_dividers(self):
+        design = build_design(DesignVariant.NON_OPT_FP32, 64)
+        unit = design.breakdown()["compute_unit"]
+        # Two FP32 dividers dominate: at least 1600 LUTs in the unit.
+        assert unit.luts > 1500
+
+    def test_opt_fp16_matches_paper_scale(self):
+        # Table 6: ~553 LUTs, 3 DSPs, ~0.5 KB at FIFO depth 64.
+        cost = build_design(DesignVariant.OPT_FP16, 64).resources()
+        assert 450 <= cost.luts <= 700
+        assert cost.dsps == 3
+        assert 0.4 <= cost.bram_kilobytes <= 0.7
+
+    def test_breakdown_sums_to_total(self):
+        design = build_design(DesignVariant.OPT_FP32, 128)
+        parts = design.breakdown().values()
+        total = design.resources()
+        assert total.luts == pytest.approx(sum(p.luts for p in parts))
+        assert total.bram_bits == pytest.approx(sum(p.bram_bits for p in parts))
+
+
+class TestReports:
+    def test_resource_table_lists_all_variants(self):
+        table = resource_table(64)
+        assert set(table) == {"Non_Opt_FP32", "Opt_FP32", "Opt_FP16"}
+
+    def test_normalized_usage_baseline_is_one(self):
+        usage = normalized_usage(64)
+        for metric, value in usage["Non_Opt_FP32"].items():
+            assert value == pytest.approx(1.0)
+
+    def test_normalized_usage_decreasing(self):
+        for depth in (64, 512):
+            usage = normalized_usage(depth)
+            for metric in ("LUT", "FF", "DSP"):
+                assert usage["Opt_FP32"][metric] < 1.0
+                assert usage["Opt_FP16"][metric] < usage["Opt_FP32"][metric]
+
+    def test_overhead_below_two_percent(self):
+        # Table 6: total overhead 0.55% LUTs, 1.5% DSPs, 0.35% RAM.
+        table = overhead_table()
+        luts, dsps, ram = table["Total Overhead"]
+        assert luts < 0.02
+        assert dsps < 0.02
+        assert ram < 0.02
+
+    def test_combined_is_sum(self):
+        table = overhead_table()
+        for i in range(3):
+            assert table["Dysta-Eyeriss-V2"][i] == pytest.approx(
+                table["Eyeriss-V2"][i] + table["Scheduler"][i]
+            )
+
+    def test_eyeriss_reference_matches_paper(self):
+        assert EYERISS_V2_RESOURCES.luts == 99168
+        assert EYERISS_V2_RESOURCES.dsps == 194
+        assert EYERISS_V2_RESOURCES.bram_kilobytes == pytest.approx(140.0)

@@ -1,0 +1,174 @@
+"""Tests for the functional hardware-scheduler datapath, including
+software/hardware decision-equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core.dysta import DystaScheduler
+from repro.core.lut import ModelInfoLUT
+from repro.errors import HardwareModelError
+from repro.hw.microarch import (
+    HardwareDystaScheduler,
+    HardwareFIFO,
+    ReconfigurableComputeUnit,
+    build_lut_memories,
+    fp16,
+)
+from repro.profiling.trace import TraceSet
+from repro.sim.request import Request
+
+from conftest import make_request
+
+
+class TestFIFO:
+    def test_push_pop(self):
+        fifo = HardwareFIFO(4)
+        fifo.push(1, 0.5)
+        fifo.push(2, 0.6)
+        assert len(fifo) == 2
+        fifo.pop_tag(1)
+        assert fifo.tags() == [2]
+
+    def test_overflow(self):
+        fifo = HardwareFIFO(1)
+        fifo.push(1, 0.0)
+        with pytest.raises(HardwareModelError, match="overflow"):
+            fifo.push(2, 0.0)
+
+    def test_missing_tag(self):
+        with pytest.raises(HardwareModelError, match="not present"):
+            HardwareFIFO(2).pop_tag(7)
+
+    def test_bad_depth(self):
+        with pytest.raises(HardwareModelError):
+            HardwareFIFO(0)
+
+
+class TestComputeUnit:
+    def test_coefficient_dataflow(self):
+        unit = ReconfigurableComputeUnit()
+        # 50% zeros on a 4096 shape, avg density 0.5, slope 1 => gamma 1.0.
+        gamma = unit.sparsity_coefficient(2048, fp16(1 / 4096), fp16(2.0), fp16(1.0))
+        assert gamma == pytest.approx(1.0, abs=1e-2)
+        assert unit.trace.coef_ops == 6
+
+    def test_denser_layer_raises_gamma(self):
+        unit = ReconfigurableComputeUnit()
+        dense = unit.sparsity_coefficient(512, fp16(1 / 4096), fp16(2.0), fp16(1.0))
+        sparse = unit.sparsity_coefficient(3584, fp16(1 / 4096), fp16(2.0), fp16(1.0))
+        assert dense > 1.0 > sparse
+
+    def test_score_dataflow_counts_cycles(self):
+        unit = ReconfigurableComputeUnit()
+        score, remaining = unit.score(
+            gamma_eff=1.0, remaining_avg=0.02, deadline=1.0, now=0.0,
+            isolated=0.03, isolated_reciprocal=fp16(1 / 0.03), wait=0.0,
+            queue_reciprocal=1.0, eta=0.02,
+        )
+        assert remaining == pytest.approx(0.02, rel=1e-2)
+        assert unit.trace.score_ops == 8
+        assert score < remaining + 0.05  # slack is positive, eta small
+
+
+class TestHardwareScheduler:
+    def test_enqueue_requires_lut_entry(self, toy_lut):
+        hw = HardwareDystaScheduler(toy_lut)
+        stranger = make_request(rid=9, model="mystery")
+        with pytest.raises(HardwareModelError, match="no LUT entry"):
+            hw.enqueue(stranger)
+
+    def test_fifo_depth_enforced(self, toy_lut):
+        hw = HardwareDystaScheduler(toy_lut, fifo_depth=1)
+        a = make_request(rid=1)
+        b = make_request(rid=2)
+        hw.enqueue(a)
+        with pytest.raises(HardwareModelError, match="overflow"):
+            hw.enqueue(b)
+
+    def test_select_empty_queue_rejected(self, toy_lut):
+        with pytest.raises(HardwareModelError):
+            HardwareDystaScheduler(toy_lut).select([], 0.0)
+
+    def test_decision_cycles_linear_in_queue(self, toy_lut):
+        hw = HardwareDystaScheduler(toy_lut)
+        reqs = [make_request(rid=i) for i in range(6)]
+        for r in reqs:
+            hw.enqueue(r)
+        _, c3 = hw.select(reqs[:3], 0.0)
+        _, c6 = hw.select(reqs, 0.0)
+        assert c6 == 2 * c3
+
+    def test_lut_memories_quantized(self, toy_lut):
+        entries = build_lut_memories(toy_lut)
+        for entry in entries.values():
+            assert entry.avg_total_latency == fp16(entry.avg_total_latency)
+            for value in entry.remaining_suffix:
+                assert value == fp16(value)
+
+    def test_monitor_updates_gamma(self, toy_lut):
+        hw = HardwareDystaScheduler(toy_lut)
+        req = make_request(rid=1, model="long",
+                           latencies=(0.01, 0.01, 0.01),
+                           sparsities=(0.05, 0.3, 0.3))
+        hw.enqueue(req)
+        assert hw._gamma[1] == 1.0
+        req.next_layer = 1
+        hw.monitor_layer(req, 0)
+        # Much denser than the 0.3 average: gamma must rise.
+        assert hw._gamma[1] > 1.0
+
+
+class TestSoftwareEquivalence:
+    """The hardware datapath implements Algorithm 2, not a new policy."""
+
+    def _world(self, seed, n_requests=8):
+        rng = np.random.default_rng(seed)
+        traces = {}
+        for m in range(2):
+            layers = int(rng.integers(2, 5))
+            sp = rng.uniform(0.2, 0.8, (6, layers))
+            lat = 0.01 * (1.0 - sp) + rng.uniform(0.001, 0.002, (6, layers))
+            traces[f"m{m}/dense"] = TraceSet(
+                model_name=f"m{m}", pattern_key="dense", dataset="hyp",
+                latencies=lat, sparsities=sp,
+            )
+        lut = ModelInfoLUT(traces)
+        keys = sorted(traces)
+        requests = []
+        for rid in range(n_requests):
+            trace = traces[keys[int(rng.integers(len(keys)))]]
+            row = int(rng.integers(trace.num_samples))
+            lats = trace.latencies[row].tolist()
+            requests.append(Request(
+                rid=rid, model_name=trace.model_name, pattern_key="dense",
+                arrival=float(rng.uniform(0, 0.01)),
+                slo=float(sum(lats)) * 10.0,
+                layer_latencies=lats,
+                layer_sparsities=trace.sparsities[row].tolist(),
+            ))
+        return lut, requests
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_hw_matches_sw_selection(self, seed):
+        lut, requests = self._world(seed)
+        sw = DystaScheduler(lut, eta=0.02)
+        hw = HardwareDystaScheduler(lut, eta=0.02)
+        rng = np.random.default_rng(seed + 999)
+        for req in requests:
+            hw.enqueue(req)
+            # Randomly advance some requests and feed the monitor.
+            steps = int(rng.integers(0, req.num_layers))
+            for j in range(steps):
+                req.next_layer = j + 1
+                hw.monitor_layer(req, j)
+        now = 0.05
+        hw_choice, _ = hw.select(requests, now)
+        sw_choice = sw.select(requests, now)
+        sw_scores = sorted(
+            sw.dynamic_score(r, now, len(requests)) for r in requests
+        )
+        margin = sw_scores[1] - sw_scores[0]
+        if margin > 1e-4:
+            # Clear-cut decisions must agree exactly; razor-thin ties may
+            # legitimately flip under FP16 rounding.
+            assert hw_choice is sw_choice

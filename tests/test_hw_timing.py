@@ -1,0 +1,71 @@
+"""Unit tests for the scheduler decision-latency model and FP16 score path."""
+
+import pytest
+
+from repro.core.dysta import DystaScheduler
+from repro.errors import HardwareModelError
+from repro.hw.timing import SchedulerTiming
+
+from conftest import make_request
+
+
+class TestSchedulerTiming:
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            SchedulerTiming(clock_hz=0)
+        with pytest.raises(HardwareModelError):
+            SchedulerTiming(scan_ii=0)
+        with pytest.raises(HardwareModelError):
+            SchedulerTiming().decision_cycles(-1)
+
+    def test_empty_queue_costs_only_control(self):
+        t = SchedulerTiming()
+        assert t.decision_cycles(0) == t.control_overhead
+
+    def test_cycles_linear_in_queue_length(self):
+        t = SchedulerTiming()
+        c10 = t.decision_cycles(10)
+        c20 = t.decision_cycles(20)
+        c30 = t.decision_cycles(30)
+        assert c20 - c10 == c30 - c20 == 10 * t.scan_ii
+
+    def test_latency_in_seconds(self):
+        t = SchedulerTiming(clock_hz=200e6)
+        assert t.decision_latency(64) == pytest.approx(t.decision_cycles(64) / 200e6)
+
+    def test_overhead_negligible_vs_layer_time(self):
+        # Paper claim: the decision path is negligible.  A 64-deep queue at
+        # 200 MHz decides in < 0.5 us; even a fast 50 us AttNN layer absorbs
+        # it below 1%.
+        t = SchedulerTiming()
+        assert t.decision_latency(64) < 5e-7
+        assert t.relative_overhead(64, layer_latency=50e-6) < 0.01
+
+    def test_relative_overhead_validation(self):
+        with pytest.raises(HardwareModelError):
+            SchedulerTiming().relative_overhead(4, layer_latency=0.0)
+
+
+class TestFP16ScorePath:
+    def test_invalid_dtype_rejected(self, toy_lut):
+        with pytest.raises(ValueError):
+            DystaScheduler(toy_lut, score_dtype="bf16")
+
+    def test_fp16_quantizes(self, toy_lut):
+        sched = DystaScheduler(toy_lut, score_dtype="fp16")
+        assert sched._quantize(1.0000001) == 1.0
+        assert sched._quantize(0.1) != 0.1  # 0.1 is not fp16-representable
+
+    def test_fp32_is_identity(self, toy_lut):
+        sched = DystaScheduler(toy_lut, score_dtype="fp32")
+        assert sched._quantize(0.1) == 0.1
+
+    def test_fp16_preserves_decisions_on_toy_queue(self, toy_lut):
+        fp32 = DystaScheduler(toy_lut, score_dtype="fp32")
+        fp16 = DystaScheduler(toy_lut, score_dtype="fp16")
+        short = make_request(rid=1, model="short", slo=1.0)
+        long = make_request(rid=2, model="long", slo=1.0,
+                            latencies=(0.01, 0.01, 0.01),
+                            sparsities=(0.3, 0.3, 0.3))
+        queue = [long, short]
+        assert fp32.select(queue, 0.0) is fp16.select(queue, 0.0)

@@ -1,0 +1,107 @@
+"""Integration tests: the full pipeline must reproduce the paper's headline
+qualitative results on reduced-scale workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.lut import ModelInfoLUT
+from repro.profiling.profiler import benchmark_suite
+from repro.schedulers.base import make_scheduler
+from repro.sim.engine import simulate
+from repro.sim.workload import WorkloadSpec, generate_workload
+
+
+def run(family, rate, scheduler, n_requests=300, seed=1, slo=10.0, **kwargs):
+    traces = benchmark_suite(family, n_samples=200, seed=0)
+    lut = ModelInfoLUT(traces)
+    spec = WorkloadSpec(rate, n_requests=n_requests, slo_multiplier=slo, seed=seed)
+    requests = generate_workload(traces, spec)
+    return simulate(requests, make_scheduler(scheduler, lut, **kwargs))
+
+
+@pytest.fixture(scope="module")
+def attnn_results():
+    names = ("fcfs", "sjf", "prema", "planaria", "sdrm3", "oracle", "dysta")
+    return {name: run("attnn", 30.0, name) for name in names}
+
+
+@pytest.fixture(scope="module")
+def cnn_results():
+    names = ("fcfs", "sjf", "planaria", "oracle", "dysta")
+    return {name: run("cnn", 3.0, name) for name in names}
+
+
+class TestTable5Shape:
+    def test_dysta_beats_fcfs_on_both_metrics(self, attnn_results):
+        assert attnn_results["dysta"].antt < attnn_results["fcfs"].antt
+        assert (
+            attnn_results["dysta"].violation_rate
+            < attnn_results["fcfs"].violation_rate
+        )
+
+    def test_dysta_matches_or_beats_sjf_antt(self, attnn_results):
+        assert attnn_results["dysta"].antt <= attnn_results["sjf"].antt * 1.05
+
+    def test_dysta_violations_well_below_sjf(self, attnn_results):
+        assert (
+            attnn_results["dysta"].violation_rate
+            < 0.7 * attnn_results["sjf"].violation_rate
+        )
+
+    def test_planaria_is_antt_weak(self, attnn_results):
+        # Table 5: Planaria ANTT ~3x SJF on multi-AttNNs.
+        assert attnn_results["planaria"].antt > 1.5 * attnn_results["sjf"].antt
+
+    def test_sdrm3_trails_on_both(self, attnn_results):
+        assert attnn_results["sdrm3"].antt > attnn_results["dysta"].antt
+        assert (
+            attnn_results["sdrm3"].violation_rate
+            > attnn_results["dysta"].violation_rate
+        )
+
+    def test_dysta_close_to_oracle(self, attnn_results):
+        # Figs 14/15: Dysta closely matches the Oracle.
+        assert attnn_results["dysta"].antt <= attnn_results["oracle"].antt * 1.2
+        assert (
+            attnn_results["dysta"].violation_rate
+            <= attnn_results["oracle"].violation_rate + 0.05
+        )
+
+    def test_cnn_ordering(self, cnn_results):
+        assert cnn_results["dysta"].antt < cnn_results["fcfs"].antt
+        assert cnn_results["dysta"].violation_rate <= cnn_results["fcfs"].violation_rate
+        assert cnn_results["dysta"].antt <= cnn_results["sjf"].antt * 1.1
+        assert cnn_results["planaria"].antt > cnn_results["dysta"].antt
+
+    def test_stp_is_scheduler_independent(self, attnn_results):
+        # Fig 15: throughput depends on hardware capacity, not the policy.
+        stps = [r.stp for r in attnn_results.values()]
+        assert max(stps) / min(stps) < 1.1
+
+
+class TestRobustnessTrends:
+    def test_relaxed_slo_reduces_violations(self):
+        tight = run("attnn", 30.0, "dysta", slo=10.0, n_requests=200)
+        loose = run("attnn", 30.0, "dysta", slo=100.0, n_requests=200)
+        assert loose.violation_rate <= tight.violation_rate
+
+    def test_lower_rate_improves_everything(self):
+        hot = run("attnn", 35.0, "fcfs", n_requests=200)
+        cool = run("attnn", 15.0, "fcfs", n_requests=200)
+        assert cool.antt < hot.antt
+        assert cool.violation_rate <= hot.violation_rate
+
+    def test_five_seed_stability(self):
+        antts = [run("attnn", 30.0, "dysta", n_requests=150, seed=s).antt
+                 for s in range(3)]
+        assert np.std(antts) < np.mean(antts)  # no wild divergence
+
+
+class TestAblation:
+    def test_sparsity_awareness_does_not_hurt(self):
+        sparse = run("attnn", 30.0, "dysta", n_requests=300, seed=2)
+        plain = run("attnn", 30.0, "dysta_nosparse", n_requests=300, seed=2)
+        # Fig 13: the dynamic sparse predictor improves (or at minimum
+        # preserves) both metrics.
+        assert sparse.antt <= plain.antt * 1.02
+        assert sparse.violation_rate <= plain.violation_rate + 0.01

@@ -1,0 +1,104 @@
+"""Unit tests for the model IR (repro.models.graph)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models.graph import (
+    DynamicKind,
+    Layer,
+    LayerKind,
+    ModelFamily,
+    ModelGraph,
+    conv_layer,
+    fc_layer,
+)
+
+
+def make_layer(name="l0", macs=100, params=10):
+    return Layer(name=name, kind=LayerKind.CONV, macs=macs, params=params)
+
+
+class TestLayer:
+    def test_valid_layer(self):
+        layer = make_layer()
+        assert layer.macs == 100
+        assert layer.dynamic is DynamicKind.NONE
+        assert layer.prunable
+
+    def test_zero_macs_rejected(self):
+        with pytest.raises(ModelError, match="macs must be positive"):
+            make_layer(macs=0)
+
+    def test_negative_macs_rejected(self):
+        with pytest.raises(ModelError):
+            make_layer(macs=-5)
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ModelError, match="params must be >= 0"):
+            make_layer(params=-1)
+
+    def test_zero_params_allowed(self):
+        # Weight-less ops like QK^T legitimately have no parameters.
+        assert make_layer(params=0).params == 0
+
+    def test_frozen(self):
+        layer = make_layer()
+        with pytest.raises(AttributeError):
+            layer.macs = 5
+
+
+class TestConvHelper:
+    def test_conv_macs_formula(self):
+        layer = conv_layer("c", cin=3, cout=64, kernel=7, out_hw=112)
+        assert layer.macs == 7 * 7 * 3 * 64 * 112 * 112
+        assert layer.params == 7 * 7 * 3 * 64
+        assert layer.kind is LayerKind.CONV
+
+    def test_depthwise_macs_formula(self):
+        layer = conv_layer("dw", cin=32, cout=64, kernel=3, out_hw=56, depthwise=True)
+        assert layer.macs == 3 * 3 * 32 * 56 * 56
+        assert layer.params == 3 * 3 * 32
+        assert layer.kind is LayerKind.DWCONV
+
+    def test_conv_default_dynamic_is_relu(self):
+        assert conv_layer("c", 3, 8, 3, 8).dynamic is DynamicKind.RELU
+
+    def test_fc_macs(self):
+        layer = fc_layer("fc", 512, 1000)
+        assert layer.macs == 512 * 1000
+        assert layer.params == 512 * 1000
+        assert layer.kind is LayerKind.FC
+
+
+class TestModelGraph:
+    def test_basic_properties(self):
+        layers = (make_layer("a", macs=10, params=1), make_layer("b", macs=20, params=2))
+        graph = ModelGraph("m", ModelFamily.CNN, layers)
+        assert graph.num_layers == 2
+        assert len(graph) == 2
+        assert graph.total_macs == 30
+        assert graph.total_params == 3
+        assert list(graph) == list(layers)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError, match="no layers"):
+            ModelGraph("m", ModelFamily.CNN, ())
+
+    def test_duplicate_layer_names_rejected(self):
+        layers = (make_layer("a"), make_layer("a"))
+        with pytest.raises(ModelError, match="duplicate layer name"):
+            ModelGraph("m", ModelFamily.CNN, layers)
+
+    def test_dynamic_layer_indices(self):
+        layers = (
+            Layer("a", LayerKind.CONV, 10, 1, dynamic=DynamicKind.RELU),
+            Layer("b", LayerKind.CONV, 10, 1, dynamic=DynamicKind.NONE),
+            Layer("c", LayerKind.ATTN_SCORE, 10, 0, dynamic=DynamicKind.ATTENTION),
+        )
+        graph = ModelGraph("m", ModelFamily.CNN, layers)
+        assert graph.dynamic_layer_indices == (0, 2)
+
+    def test_layer_macs_list(self):
+        layers = (make_layer("a", macs=10), make_layer("b", macs=20))
+        graph = ModelGraph("m", ModelFamily.CNN, layers)
+        assert graph.layer_macs() == [10, 20]

@@ -1,0 +1,106 @@
+"""Unit tests for the directory-based trace store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfilingError
+from repro.profiling.store import TraceStore
+from repro.profiling.trace import TraceSet
+
+
+def make_trace(model="toy", pattern="dense", n=3, layers=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return TraceSet(
+        model_name=model, pattern_key=pattern, dataset="unit",
+        latencies=rng.uniform(1e-3, 1e-2, (n, layers)),
+        sparsities=rng.uniform(0.1, 0.9, (n, layers)),
+    )
+
+
+class TestTraceStore:
+    def test_empty_store(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        assert len(store) == 0
+        assert "toy/dense" not in store
+        assert list(store.keys()) == []
+
+    def test_save_and_load(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        trace = make_trace()
+        path = store.save(trace)
+        assert path.exists()
+        assert "toy/dense" in store
+        loaded = store.load("toy/dense")
+        np.testing.assert_allclose(loaded.latencies, trace.latencies)
+        np.testing.assert_allclose(loaded.sparsities, trace.sparsities)
+
+    def test_save_suite_and_load_suite(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        suite = {
+            "a/dense": make_trace("a", "dense", seed=1),
+            "b/random0.80": make_trace("b", "random0.80", seed=2),
+        }
+        store.save_suite(suite)
+        assert len(store) == 2
+        loaded = store.load_suite()
+        assert set(loaded) == set(suite)
+
+    def test_partial_load(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        store.save(make_trace("a"))
+        store.save(make_trace("b"))
+        loaded = store.load_suite(iter(["a/dense"]))
+        assert set(loaded) == {"a/dense"}
+
+    def test_missing_key_raises(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        with pytest.raises(ProfilingError, match="not in store"):
+            store.load("nope/dense")
+
+    def test_overwrite_updates(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        store.save(make_trace(seed=1))
+        newer = make_trace(seed=2)
+        store.save(newer)
+        assert len(store) == 1
+        np.testing.assert_allclose(store.load("toy/dense").latencies, newer.latencies)
+
+    def test_corrupt_index_raises(self, tmp_path):
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / "index.json").write_text("{not json")
+        with pytest.raises(ProfilingError, match="corrupt"):
+            TraceStore(root).load("x/y")
+
+    def test_malformed_index_raises(self, tmp_path):
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / "index.json").write_text(json.dumps({"traces": [1, 2]}))
+        with pytest.raises(ProfilingError, match="malformed"):
+            TraceStore(root).load("x/y")
+
+    def test_mismatched_file_detected(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        store.save(make_trace("a"))
+        # Point the index entry at a file holding a different model.
+        store.save(make_trace("b"))
+        index = json.loads((tmp_path / "store" / "index.json").read_text())
+        index["traces"]["a/dense"] = index["traces"]["b/dense"]
+        (tmp_path / "store" / "index.json").write_text(json.dumps(index))
+        with pytest.raises(ProfilingError, match="corruption"):
+            store.load("a/dense")
+
+    def test_roundtrip_through_profiler(self, tmp_path):
+        from repro.profiling.profiler import benchmark_suite
+
+        suite = benchmark_suite("attnn", n_samples=10, seed=0)
+        store = TraceStore(tmp_path / "store")
+        store.save_suite(suite)
+        loaded = store.load_suite()
+        assert set(loaded) == set(suite)
+        for key in suite:
+            np.testing.assert_allclose(
+                loaded[key].latencies, suite[key].latencies
+            )

@@ -1,0 +1,105 @@
+"""Property-based tests: engine invariants must hold for every scheduler on
+randomly generated workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lut import ModelInfoLUT
+from repro.profiling.trace import TraceSet
+from repro.schedulers.base import available_schedulers, make_scheduler
+from repro.sim.engine import simulate
+from repro.sim.request import Request
+
+_EPS = 1e-9
+
+
+def build_world(seed, n_models, n_requests):
+    """Random tiny trace sets + a matching request stream."""
+    rng = np.random.default_rng(seed)
+    traces = {}
+    for m in range(n_models):
+        layers = int(rng.integers(1, 6))
+        samples = int(rng.integers(2, 6))
+        traces[f"m{m}/dense"] = TraceSet(
+            model_name=f"m{m}",
+            pattern_key="dense",
+            dataset="hyp",
+            latencies=rng.uniform(1e-4, 5e-2, (samples, layers)),
+            sparsities=rng.uniform(0.05, 0.95, (samples, layers)),
+        )
+    lut = ModelInfoLUT(traces)
+    keys = sorted(traces)
+    arrivals = np.cumsum(rng.exponential(0.01, n_requests))
+    requests = []
+    for rid in range(n_requests):
+        trace = traces[keys[int(rng.integers(len(keys)))]]
+        row = int(rng.integers(trace.num_samples))
+        lat = trace.latencies[row].tolist()
+        requests.append(
+            Request(
+                rid=rid,
+                model_name=trace.model_name,
+                pattern_key=trace.pattern_key,
+                arrival=float(arrivals[rid]),
+                slo=float(sum(lat)) * float(rng.uniform(1.5, 20.0)),
+                layer_latencies=lat,
+                layer_sparsities=trace.sparsities[row].tolist(),
+            )
+        )
+    return lut, requests
+
+
+@pytest.mark.parametrize("scheduler_name", available_schedulers())
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=12, deadline=None)
+def test_engine_invariants_hold_for_every_scheduler(scheduler_name, seed):
+    lut, requests = build_world(seed, n_models=3, n_requests=12)
+    scheduler = make_scheduler(scheduler_name, lut)
+    result = simulate(requests, scheduler)
+
+    # Every request finished exactly once with all layers executed.
+    assert len(result.requests) == len(requests)
+    assert {r.rid for r in result.requests} == {r.rid for r in requests}
+    for req in requests:
+        assert req.is_done
+        assert req.finish_time is not None
+        # No time travel: finish after arrival plus its own work.
+        assert req.finish_time >= req.arrival + req.isolated_latency - _EPS
+        # Executed exactly its own work.
+        assert req.executed_time == pytest.approx(req.isolated_latency)
+        # First dispatch cannot precede arrival.
+        assert req.first_dispatch_time >= req.arrival - _EPS
+
+    # Makespan bounds: at least the busy work, at most arrival span + work.
+    total_work = sum(r.isolated_latency for r in requests)
+    assert result.makespan >= total_work - _EPS
+    last_arrival = max(r.arrival for r in requests)
+    assert result.makespan <= last_arrival + total_work + _EPS
+
+    # Work conservation: no two requests overlap, so the sum of turnaround
+    # lower bounds holds per request (already checked) and ANTT >= 1.
+    assert result.antt >= 1.0 - _EPS
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_fcfs_completion_order_is_arrival_order(seed):
+    lut, requests = build_world(seed, n_models=2, n_requests=10)
+    result = simulate(requests, make_scheduler("fcfs", lut))
+    finished = sorted(result.requests, key=lambda r: r.finish_time)
+    arrivals = [r.arrival for r in finished]
+    assert arrivals == sorted(arrivals)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_deterministic_replay(seed):
+    lut, requests_a = build_world(seed, n_models=2, n_requests=10)
+    _, requests_b = build_world(seed, n_models=2, n_requests=10)
+    res_a = simulate(requests_a, make_scheduler("dysta", lut))
+    res_b = simulate(requests_b, make_scheduler("dysta", lut))
+    assert [r.finish_time for r in res_a.requests] == [
+        r.finish_time for r in res_b.requests
+    ]

@@ -1,0 +1,91 @@
+"""Property-based tests for the sparse latency predictor and LUT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lut import ModelInfoLUT
+from repro.core.predictor import PredictorStrategy, SparseLatencyPredictor
+from repro.profiling.trace import TraceSet
+
+
+def make_world(seed, layers=4, samples=8, slope=True):
+    rng = np.random.default_rng(seed)
+    sp = rng.uniform(0.2, 0.8, (samples, layers))
+    if slope:
+        # Purely density-proportional hardware: relative slope is exactly 1.
+        lat = 0.01 * (1.0 - sp)
+    else:
+        lat = rng.uniform(0.005, 0.015, (samples, layers))
+    trace = TraceSet(model_name="m", pattern_key="dense", dataset="hyp",
+                     latencies=lat, sparsities=sp)
+    return ModelInfoLUT({trace.key: trace}), trace
+
+
+class TestGammaProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        monitored=st.lists(
+            st.floats(min_value=0.0, max_value=0.99), min_size=1, max_size=4
+        ),
+        strategy=st.sampled_from(list(PredictorStrategy)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gamma_positive_and_finite(self, seed, monitored, strategy):
+        lut, _ = make_world(seed)
+        pred = SparseLatencyPredictor(lut, strategy)
+        gamma = pred.sparsity_coefficient("m/dense", monitored)
+        assert np.isfinite(gamma)
+        assert gamma > 0
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_gamma_monotone_in_last_sparsity(self, seed):
+        # Last-one: a sparser monitored layer can never predict a *longer*
+        # remaining latency.
+        lut, _ = make_world(seed)
+        pred = SparseLatencyPredictor(lut, PredictorStrategy.LAST_ONE)
+        gammas = [
+            pred.sparsity_coefficient("m/dense", [s])
+            for s in (0.1, 0.3, 0.5, 0.7, 0.9)
+        ]
+        assert gammas == sorted(gammas, reverse=True)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        j=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_predicted_remaining_nonnegative_and_zero_at_end(self, seed, j):
+        lut, trace = make_world(seed)
+        pred = SparseLatencyPredictor(lut)
+        monitored = [0.5] * j
+        value = pred.predict_remaining("m/dense", j, monitored)
+        assert value >= 0.0
+        if j == trace.num_layers:
+            assert value == 0.0
+
+
+class TestSlopeProperties:
+    def test_slope_near_one_for_linear_hardware(self):
+        lut, _ = make_world(0, samples=200, slope=True)
+        assert lut.density_slope("m/dense") == pytest.approx(1.0, abs=0.15)
+
+    def test_slope_near_zero_for_sparsity_blind_hardware(self):
+        lut, _ = make_world(0, samples=200, slope=False)
+        assert abs(lut.density_slope("m/dense")) < 0.4
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_slope_always_clamped(self, seed):
+        lut, _ = make_world(seed)
+        assert 0.0 <= lut.density_slope("m/dense") <= 2.0
+
+    def test_constant_density_falls_back_to_unit_slope(self):
+        sp = np.full((6, 3), 0.5)
+        lat = np.full((6, 3), 0.01)
+        trace = TraceSet(model_name="m", pattern_key="dense", dataset="flat",
+                         latencies=lat, sparsities=sp)
+        lut = ModelInfoLUT({trace.key: trace})
+        assert lut.density_slope("m/dense") == 1.0

@@ -1,0 +1,117 @@
+"""Unit tests for the textbook baseline schedulers and engine block mode."""
+
+import pytest
+
+from repro.schedulers.base import available_schedulers, make_scheduler
+from repro.sim.engine import simulate
+
+from conftest import make_request
+
+
+def short(rid, arrival=0.0, slo=10.0, priority=1.0):
+    req = make_request(rid=rid, model="short", arrival=arrival, slo=slo)
+    req.priority = priority
+    return req
+
+
+def long(rid, arrival=0.0, slo=10.0):
+    return make_request(rid=rid, model="long", arrival=arrival, slo=slo,
+                        latencies=(0.01, 0.01, 0.01), sparsities=(0.3, 0.3, 0.3))
+
+
+class TestRegistry:
+    def test_textbook_policies_registered(self):
+        names = available_schedulers()
+        for expected in ("round_robin", "edf", "las", "srpt_oracle"):
+            assert expected in names
+
+
+class TestRoundRobin:
+    def test_alternates_between_requests(self, toy_lut):
+        sched = make_scheduler("round_robin", toy_lut)
+        sched.reset()
+        a, b = long(1), long(2)
+        sched.on_arrival(a, 0.0)
+        sched.on_arrival(b, 0.0)
+        first = sched.select([a, b], 0.001)
+        sched.on_layer_complete(first, 0.01)
+        second = sched.select([a, b], 0.01)
+        assert second is not first
+
+    def test_end_to_end_interleaves(self, toy_lut):
+        reqs = [long(1), long(2)]
+        result = simulate(reqs, make_scheduler("round_robin", toy_lut))
+        # Perfect interleaving: lots of switches.
+        assert result.num_preemptions >= 3
+
+
+class TestEDF:
+    def test_picks_earliest_deadline(self, toy_lut):
+        sched = make_scheduler("edf", toy_lut)
+        tight = short(1, arrival=0.0, slo=0.01)
+        loose = short(2, arrival=0.0, slo=5.0)
+        assert sched.select([loose, tight], 0.0) is tight
+
+    def test_deadline_uses_arrival(self, toy_lut):
+        sched = make_scheduler("edf", toy_lut)
+        early = short(1, arrival=0.0, slo=1.0)   # deadline 1.0
+        late = short(2, arrival=0.5, slo=0.6)    # deadline 1.1
+        assert sched.select([late, early], 0.6) is early
+
+
+class TestLAS:
+    def test_prefers_least_served(self, toy_lut):
+        sched = make_scheduler("las", toy_lut)
+        served = long(1)
+        served.executed_time = 0.02
+        fresh = long(2)
+        assert sched.select([served, fresh], 0.0) is fresh
+
+
+class TestSRPTOracle:
+    def test_uses_true_remaining(self, toy_lut):
+        sched = make_scheduler("srpt_oracle", toy_lut)
+        nearly_done = long(1)
+        nearly_done.next_layer = 2  # one 10ms layer left
+        fresh_short = short(2)  # 3ms total
+        assert sched.select([nearly_done, fresh_short], 0.0) is fresh_short
+
+    def test_srpt_is_antt_optimal_ish(self, toy_lut):
+        # SRPT must beat FCFS on ANTT for any contended workload.
+        def workload():
+            return [long(1, 0.0), short(2, 0.001), short(3, 0.002)]
+
+        srpt = simulate(workload(), make_scheduler("srpt_oracle", toy_lut))
+        fcfs = simulate(workload(), make_scheduler("fcfs", toy_lut))
+        assert srpt.antt < fcfs.antt
+
+
+class TestBlockGranularity:
+    def test_invalid_block_rejected(self, toy_lut):
+        from repro.errors import SchedulingError
+
+        with pytest.raises(SchedulingError, match="block size"):
+            simulate([short(1)], make_scheduler("fcfs", toy_lut), block_size=0)
+
+    def test_block_reduces_invocations(self, toy_lut):
+        a = [long(1), long(2)]
+        b = [long(1), long(2)]
+        per_layer = simulate(a, make_scheduler("sjf", toy_lut), block_size=1)
+        per_block = simulate(b, make_scheduler("sjf", toy_lut), block_size=3)
+        assert per_block.num_scheduler_invocations < per_layer.num_scheduler_invocations
+        assert per_block.num_scheduler_invocations == 2  # one per request
+
+    def test_block_never_overruns_request(self, toy_lut):
+        req = long(1)
+        simulate([req], make_scheduler("fcfs", toy_lut), block_size=100)
+        assert req.is_done
+        assert req.executed_time == pytest.approx(req.isolated_latency)
+
+    def test_same_total_work_any_granularity(self, toy_lut):
+        for block in (1, 2, 5):
+            reqs = [long(1), short(2, arrival=0.005)]
+            result = simulate(reqs, make_scheduler("sjf", toy_lut),
+                              block_size=block)
+            assert result.makespan == pytest.approx(
+                sum(r.isolated_latency for r in reqs) + 0.005, abs=0.005
+            )

@@ -1,0 +1,104 @@
+"""Unit tests for post-simulation analysis helpers."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.analysis import (
+    jains_fairness,
+    per_class_breakdown,
+    turnaround_percentile,
+    waiting_time_stats,
+)
+
+from conftest import make_request
+
+
+def finished(rid, model="short", arrival=0.0, finish=0.003, dispatch=None, slo=1.0):
+    req = make_request(rid=rid, model=model, arrival=arrival, slo=slo)
+    req.finish_time = finish
+    req.first_dispatch_time = dispatch if dispatch is not None else arrival
+    return req
+
+
+class TestPercentiles:
+    def test_uniform_slowdown(self):
+        reqs = [finished(i, finish=0.003) for i in range(10)]  # slowdown 1.0
+        assert turnaround_percentile(reqs, 50) == pytest.approx(1.0)
+        assert turnaround_percentile(reqs, 99) == pytest.approx(1.0)
+
+    def test_tail_detected(self):
+        reqs = [finished(i, finish=0.003) for i in range(99)]
+        reqs.append(finished(99, finish=0.3))  # slowdown 100
+        assert turnaround_percentile(reqs, 50) == pytest.approx(1.0)
+        assert turnaround_percentile(reqs, 99.9) > 50
+
+    def test_validation(self):
+        reqs = [finished(0)]
+        with pytest.raises(SchedulingError):
+            turnaround_percentile(reqs, 0.0)
+        with pytest.raises(SchedulingError):
+            turnaround_percentile([], 99)
+        unfinished = make_request(rid=1)
+        with pytest.raises(SchedulingError):
+            turnaround_percentile([unfinished], 99)
+
+
+class TestFairness:
+    def test_perfectly_fair(self):
+        reqs = [finished(i, finish=0.006) for i in range(8)]
+        assert jains_fairness(reqs) == pytest.approx(1.0)
+
+    def test_starvation_lowers_index(self):
+        fair = [finished(i, finish=0.006) for i in range(8)]
+        unfair = [finished(i, finish=0.003) for i in range(7)]
+        unfair.append(finished(7, finish=3.0))
+        assert jains_fairness(unfair) < jains_fairness(fair)
+
+    def test_lower_bound(self):
+        # One dominant slowdown drives the index toward 1/N.
+        reqs = [finished(0, finish=0.003), finished(1, finish=30.0)]
+        assert 0.5 <= jains_fairness(reqs) <= 1.0
+
+
+class TestBreakdown:
+    def test_groups_by_key(self):
+        reqs = [
+            finished(0, model="short", finish=0.003),
+            finished(1, model="short", finish=0.006),
+            finished(2, model="long", finish=0.03),
+        ]
+        # 'long' requests need long latencies to exist.
+        reqs[2].layer_latencies = [0.01, 0.01, 0.01]
+        reqs[2].layer_sparsities = [0.3, 0.3, 0.3]
+        out = per_class_breakdown(reqs)
+        assert set(out) == {"short/dense", "long/dense"}
+        assert out["short/dense"].count == 2
+        assert out["long/dense"].antt == pytest.approx(1.0)
+
+    def test_violation_rates_per_class(self):
+        ok = finished(0, finish=0.003, slo=1.0)
+        bad = finished(1, finish=5.0, slo=1.0)
+        out = per_class_breakdown([ok, bad])
+        assert out["short/dense"].violation_rate == pytest.approx(0.5)
+
+
+class TestWaitingTime:
+    def test_zero_wait(self):
+        reqs = [finished(0, arrival=1.0, finish=1.003, dispatch=1.0)]
+        stats = waiting_time_stats(reqs)
+        assert stats["mean_wait"] == pytest.approx(0.0)
+
+    def test_wait_measured(self):
+        reqs = [
+            finished(0, arrival=0.0, finish=1.0, dispatch=0.5),
+            finished(1, arrival=0.0, finish=1.0, dispatch=0.1),
+        ]
+        stats = waiting_time_stats(reqs)
+        assert stats["mean_wait"] == pytest.approx(0.3)
+        assert stats["max_wait"] == pytest.approx(0.5)
+
+    def test_missing_dispatch_rejected(self):
+        req = finished(0)
+        req.first_dispatch_time = None
+        with pytest.raises(SchedulingError, match="dispatch"):
+            waiting_time_stats([req])

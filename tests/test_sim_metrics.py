@@ -1,0 +1,54 @@
+"""Unit tests for ANTT / SLO violation rate / STP."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.metrics import antt, slo_violation_rate, summarize, system_throughput
+
+from conftest import make_request
+
+
+def finished(rid, arrival, finish, slo=1.0, latencies=(0.1, 0.1)):
+    req = make_request(rid=rid, arrival=arrival, slo=slo, latencies=latencies,
+                       sparsities=tuple(0.5 for _ in latencies))
+    req.finish_time = finish
+    return req
+
+
+class TestMetrics:
+    def test_antt_of_isolated_run_is_one(self):
+        req = finished(0, arrival=0.0, finish=0.2)
+        assert antt([req]) == pytest.approx(1.0)
+
+    def test_antt_averages(self):
+        fast = finished(0, 0.0, 0.2)          # normalized 1.0
+        slow = finished(1, 0.0, 0.6)          # normalized 3.0
+        assert antt([fast, slow]) == pytest.approx(2.0)
+
+    def test_violation_rate(self):
+        ok = finished(0, 0.0, 0.5, slo=1.0)
+        bad = finished(1, 0.0, 2.0, slo=1.0)
+        assert slo_violation_rate([ok, bad]) == pytest.approx(0.5)
+
+    def test_stp(self):
+        reqs = [finished(i, 0.0, 2.0) for i in range(4)]
+        assert system_throughput(reqs) == pytest.approx(2.0)
+
+    def test_summarize_keys(self):
+        reqs = [finished(0, 0.0, 1.0)]
+        out = summarize(reqs)
+        assert set(out) == {"antt", "violation_rate", "stp"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchedulingError):
+            antt([])
+
+    def test_unfinished_rejected(self):
+        req = make_request()
+        with pytest.raises(SchedulingError, match="never finished"):
+            antt([req])
+
+    def test_degenerate_horizon_rejected(self):
+        req = finished(0, arrival=1.0, finish=1.0)
+        with pytest.raises(SchedulingError, match="degenerate"):
+            system_throughput([req])

@@ -1,0 +1,69 @@
+"""Unit tests for the request lifecycle object."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.request import Request
+
+from conftest import make_request
+
+
+class TestValidation:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SchedulingError, match="empty"):
+            make_request(latencies=(), sparsities=())
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SchedulingError, match="mismatch"):
+            make_request(latencies=(0.1, 0.2), sparsities=(0.5,))
+
+    def test_nonpositive_latency_rejected(self):
+        with pytest.raises(SchedulingError, match="non-positive"):
+            make_request(latencies=(0.1, 0.0), sparsities=(0.5, 0.5))
+
+    def test_nonpositive_slo_rejected(self):
+        with pytest.raises(SchedulingError, match="SLO"):
+            make_request(slo=0.0)
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        req = make_request(arrival=2.0)
+        assert req.next_layer == 0
+        assert not req.is_done
+        assert req.last_run_end == 2.0  # waiting clock starts at arrival
+        assert req.key == "short/dense"
+
+    def test_isolated_and_remaining(self):
+        req = make_request(latencies=(0.1, 0.2, 0.3), sparsities=(0.5, 0.5, 0.5))
+        assert req.isolated_latency == pytest.approx(0.6)
+        assert req.true_remaining == pytest.approx(0.6)
+        req.next_layer = 2
+        assert req.true_remaining == pytest.approx(0.3)
+
+    def test_monitored_sparsities_window(self):
+        req = make_request(latencies=(0.1, 0.2), sparsities=(0.4, 0.6))
+        assert req.monitored_sparsities == []
+        req.next_layer = 1
+        assert req.monitored_sparsities == [0.4]
+
+    def test_deadline(self):
+        req = make_request(arrival=1.0, slo=2.0)
+        assert req.deadline == pytest.approx(3.0)
+
+    def test_turnaround_requires_finish(self):
+        req = make_request()
+        with pytest.raises(SchedulingError, match="not finished"):
+            _ = req.turnaround
+
+    def test_turnaround_and_violation(self):
+        req = make_request(arrival=1.0, slo=0.5)
+        req.finish_time = 2.0
+        assert req.turnaround == pytest.approx(1.0)
+        assert req.violated
+        assert req.normalized_turnaround == pytest.approx(1.0 / req.isolated_latency)
+
+    def test_meeting_slo(self):
+        req = make_request(arrival=0.0, slo=1.0)
+        req.finish_time = 0.9
+        assert not req.violated

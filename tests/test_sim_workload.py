@@ -1,0 +1,162 @@
+"""Unit tests for workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.workload import WorkloadSpec, generate_workload
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            WorkloadSpec(arrival_rate=0.0)
+        with pytest.raises(SchedulingError):
+            WorkloadSpec(arrival_rate=1.0, n_requests=0)
+        with pytest.raises(SchedulingError):
+            WorkloadSpec(arrival_rate=1.0, slo_multiplier=0.0)
+
+
+class TestGeneration:
+    def test_empty_traces_rejected(self):
+        with pytest.raises(SchedulingError):
+            generate_workload({}, WorkloadSpec(arrival_rate=1.0))
+
+    def test_request_count_and_ordering(self, toy_traces):
+        spec = WorkloadSpec(arrival_rate=100.0, n_requests=50, seed=0)
+        reqs = generate_workload(toy_traces, spec)
+        assert len(reqs) == 50
+        arrivals = [r.arrival for r in reqs]
+        assert arrivals == sorted(arrivals)
+        assert all(a > 0 for a in arrivals)
+
+    def test_deterministic_per_seed(self, toy_traces):
+        spec = WorkloadSpec(arrival_rate=100.0, n_requests=30, seed=5)
+        a = generate_workload(toy_traces, spec)
+        b = generate_workload(toy_traces, spec)
+        assert [r.arrival for r in a] == [r.arrival for r in b]
+        assert [r.model_name for r in a] == [r.model_name for r in b]
+
+    def test_seeds_differ(self, toy_traces):
+        a = generate_workload(toy_traces, WorkloadSpec(100.0, n_requests=30, seed=1))
+        b = generate_workload(toy_traces, WorkloadSpec(100.0, n_requests=30, seed=2))
+        assert [r.arrival for r in a] != [r.arrival for r in b]
+
+    def test_slo_is_isolated_times_multiplier(self, toy_traces):
+        spec = WorkloadSpec(arrival_rate=10.0, n_requests=20, slo_multiplier=7.0, seed=0)
+        for req in generate_workload(toy_traces, spec):
+            assert req.slo == pytest.approx(7.0 * req.isolated_latency)
+
+    def test_samples_come_from_traces(self, toy_traces):
+        spec = WorkloadSpec(arrival_rate=10.0, n_requests=100, seed=0)
+        reqs = generate_workload(toy_traces, spec)
+        keys = {r.key for r in reqs}
+        assert keys <= set(toy_traces)
+        assert len(keys) == 2  # both models drawn with 100 requests
+        for req in reqs:
+            trace = toy_traces[req.key]
+            rows = [list(row) for row in trace.latencies]
+            assert req.layer_latencies in rows
+
+    def test_mean_interarrival_matches_rate(self, toy_traces):
+        spec = WorkloadSpec(arrival_rate=50.0, n_requests=4000, seed=0)
+        reqs = generate_workload(toy_traces, spec)
+        arrivals = np.array([r.arrival for r in reqs])
+        gaps = np.diff(np.concatenate([[0.0], arrivals]))
+        assert gaps.mean() == pytest.approx(1.0 / 50.0, rel=0.1)
+
+
+class TestBurstyTraffic:
+    def test_invalid_traffic_shape_rejected(self):
+        with pytest.raises(SchedulingError, match="traffic"):
+            WorkloadSpec(arrival_rate=1.0, traffic="uniform")
+
+    def test_invalid_burst_size_rejected(self):
+        with pytest.raises(SchedulingError, match="burst"):
+            WorkloadSpec(arrival_rate=1.0, traffic="bursty", burst_size=0)
+
+    def test_bursts_arrive_together(self, toy_traces):
+        spec = WorkloadSpec(arrival_rate=10.0, n_requests=40, seed=0,
+                            traffic="bursty", burst_size=4)
+        reqs = generate_workload(toy_traces, spec)
+        arrivals = [r.arrival for r in reqs]
+        # Exactly n/burst distinct instants, 4 requests each.
+        assert len(set(arrivals)) == 10
+        for t in set(arrivals):
+            assert arrivals.count(t) == 4
+
+    def test_bursty_preserves_mean_rate(self, toy_traces):
+        spec = WorkloadSpec(arrival_rate=50.0, n_requests=4000, seed=1,
+                            traffic="bursty", burst_size=8)
+        reqs = generate_workload(toy_traces, spec)
+        horizon = max(r.arrival for r in reqs)
+        assert len(reqs) / horizon == pytest.approx(50.0, rel=0.15)
+
+
+class TestSLOClasses:
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            WorkloadSpec(arrival_rate=1.0, slo_classes=())
+        with pytest.raises(SchedulingError):
+            WorkloadSpec(arrival_rate=1.0, slo_classes=((0.0, 1.0),))
+        with pytest.raises(SchedulingError):
+            WorkloadSpec(arrival_rate=1.0, slo_classes=((5.0, 0.0),))
+
+    def test_classes_drawn_with_given_weights(self, toy_traces):
+        spec = WorkloadSpec(
+            arrival_rate=10.0, n_requests=2000, seed=2,
+            slo_classes=((5.0, 0.25), (20.0, 0.75)),
+        )
+        reqs = generate_workload(toy_traces, spec)
+        mults = [r.slo / r.isolated_latency for r in reqs]
+        tight = sum(1 for m in mults if m == pytest.approx(5.0))
+        loose = sum(1 for m in mults if m == pytest.approx(20.0))
+        assert tight + loose == len(reqs)
+        assert tight / len(reqs) == pytest.approx(0.25, abs=0.05)
+
+    def test_classes_override_flat_multiplier(self, toy_traces):
+        spec = WorkloadSpec(arrival_rate=10.0, n_requests=50, seed=0,
+                            slo_multiplier=10.0, slo_classes=((3.0, 1.0),))
+        for req in generate_workload(toy_traces, spec):
+            assert req.slo == pytest.approx(3.0 * req.isolated_latency)
+
+
+class TestPriorityClasses:
+    def test_default_priority_is_one(self, toy_traces):
+        spec = WorkloadSpec(arrival_rate=10.0, n_requests=20, seed=0)
+        for req in generate_workload(toy_traces, spec):
+            assert req.priority == 1.0
+
+    def test_priority_mixture(self, toy_traces):
+        spec = WorkloadSpec(
+            arrival_rate=10.0, n_requests=1000, seed=3,
+            priority_classes=((1.0, 0.8), (4.0, 0.2)),
+        )
+        reqs = generate_workload(toy_traces, spec)
+        high = sum(1 for r in reqs if r.priority == 4.0)
+        assert high / len(reqs) == pytest.approx(0.2, abs=0.05)
+
+    def test_priority_validation(self):
+        with pytest.raises(SchedulingError):
+            WorkloadSpec(arrival_rate=1.0, priority_classes=((0.0, 1.0),))
+
+    def test_prema_honours_priorities(self, toy_traces, toy_lut):
+        # A high-priority long job crosses PREMA's token threshold sooner
+        # than an identical normal-priority one.
+        from repro.schedulers.prema import PREMAScheduler
+        from conftest import make_request
+
+        sched = PREMAScheduler(toy_lut, threshold=3.0)
+        sched.reset()
+        lat = (0.01, 0.01, 0.01)
+        sp = (0.3, 0.3, 0.3)
+        vip = make_request(rid=1, model="long", latencies=lat, sparsities=sp)
+        vip.priority = 40.0
+        normal = make_request(rid=2, model="long", latencies=lat, sparsities=sp)
+        short = make_request(rid=3, model="short")
+        for req in (vip, normal, short):
+            sched.on_arrival(req, 0.0)
+        # After a modest wait only the VIP crosses the threshold; PREMA then
+        # prefers it over the (otherwise-winning) short job.
+        now = 0.005
+        assert sched.select([normal, short, vip], now) is vip

@@ -1,0 +1,118 @@
+"""Unit tests for dataset profiles (repro.sparsity.datasets)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparsityError
+from repro.models.graph import DynamicKind
+from repro.models.registry import build_model
+from repro.sparsity.datasets import (
+    DATASET_FOR_MODEL,
+    activation_model_for,
+    get_profile,
+    list_datasets,
+    vision_mixture_for,
+)
+
+
+class TestProfiles:
+    def test_all_six_datasets_present(self):
+        assert set(list_datasets()) == {
+            "imagenet", "coco", "exdark", "darkface", "squad", "glue",
+        }
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SparsityError, match="unknown dataset"):
+            get_profile("cifar10")
+
+    def test_every_model_has_a_dataset(self):
+        from repro.models.registry import list_models
+
+        assert set(DATASET_FOR_MODEL) == set(list_models())
+
+    def test_dark_datasets_are_sparser_and_noisier(self):
+        imagenet = get_profile("imagenet")
+        for dark in ("exdark", "darkface"):
+            profile = get_profile(dark)
+            assert profile.base_mean > imagenet.base_mean
+            assert profile.std > imagenet.std
+
+    def test_language_profiles_highly_correlated(self):
+        # Fig 9: attention sparsities are near-linearly correlated.
+        for name in ("squad", "glue"):
+            assert get_profile(name).rho >= 0.9
+
+
+class TestActivationModel:
+    def test_layer_count_matches_model(self):
+        vgg = build_model("vgg16")
+        model = activation_model_for(vgg, "imagenet")
+        assert model.num_layers == vgg.num_layers
+
+    def test_static_layers_get_tiny_sparsity(self):
+        vgg = build_model("vgg16")
+        model = activation_model_for(vgg, "imagenet")
+        for i, layer in enumerate(vgg.layers):
+            if layer.dynamic is DynamicKind.NONE:
+                assert model.means[i] < 0.05
+
+    def test_dynamic_layers_follow_profile(self):
+        vgg = build_model("vgg16")
+        model = activation_model_for(vgg, "imagenet")
+        dyn_means = [
+            model.means[i]
+            for i, layer in enumerate(vgg.layers)
+            if layer.dynamic is DynamicKind.RELU
+        ]
+        assert min(dyn_means) > 0.15
+        assert max(dyn_means) < 0.7
+
+    def test_depth_slope_makes_deeper_layers_sparser(self):
+        vgg = build_model("vgg16")
+        model = activation_model_for(vgg, "imagenet")
+        dyn = [
+            model.means[i]
+            for i, layer in enumerate(vgg.layers)
+            if layer.dynamic is DynamicKind.RELU
+        ]
+        # Trend: average of the deepest third exceeds the shallowest third.
+        third = max(len(dyn) // 3, 1)
+        assert np.mean(dyn[-third:]) > np.mean(dyn[:third])
+
+    def test_dark_dataset_shifts_means_up(self):
+        resnet = build_model("resnet50")
+        bright = activation_model_for(resnet, "imagenet")
+        dark = activation_model_for(resnet, "exdark")
+        dyn = [
+            i for i, l in enumerate(resnet.layers) if l.dynamic is DynamicKind.RELU
+        ]
+        mean_bright = np.mean([bright.means[i] for i in dyn])
+        mean_dark = np.mean([dark.means[i] for i in dyn])
+        assert mean_dark > mean_bright + 0.015
+
+    def test_attention_model_on_language_dataset(self):
+        bert = build_model("bert")
+        model = activation_model_for(bert, "squad")
+        assert model.rho >= 0.9
+        assert 0.4 < np.mean(model.means) < 0.8
+
+    def test_wiggle_is_deterministic(self):
+        bert = build_model("bert")
+        a = activation_model_for(bert, "squad")
+        b = activation_model_for(bert, "squad")
+        assert a.means == b.means
+
+
+class TestVisionMixture:
+    def test_mixture_components_and_weights(self):
+        ssd = build_model("ssd")
+        components, weights = vision_mixture_for(ssd)
+        assert len(components) == 3
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(c.num_layers == ssd.num_layers for c in components)
+
+    def test_primary_dataset_respected(self):
+        # SSD binds to COCO; its primary component differs from resnet's.
+        ssd_comp, _ = vision_mixture_for(build_model("ssd"))
+        res_comp, _ = vision_mixture_for(build_model("resnet50"))
+        assert ssd_comp[0].means != res_comp[0].means

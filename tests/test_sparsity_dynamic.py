@@ -1,0 +1,148 @@
+"""Unit + property tests for the correlated dynamic-sparsity sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SparsityError
+from repro.sparsity.dynamic import (
+    CorrelatedSparsityModel,
+    correlation_matrix,
+    mixture_sample,
+    relative_range,
+)
+
+
+def make_model(layers=6, mean=0.5, std=0.1, rho=0.8):
+    return CorrelatedSparsityModel(
+        means=tuple([mean] * layers), stds=tuple([std] * layers), rho=rho
+    )
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SparsityError, match="equal length"):
+            CorrelatedSparsityModel(means=(0.5,), stds=(0.1, 0.1), rho=0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SparsityError):
+            CorrelatedSparsityModel(means=(), stds=(), rho=0.5)
+
+    def test_rho_out_of_range_rejected(self):
+        with pytest.raises(SparsityError, match="rho"):
+            make_model(rho=1.5)
+
+    def test_mean_out_of_range_rejected(self):
+        with pytest.raises(SparsityError):
+            CorrelatedSparsityModel(means=(1.2,), stds=(0.1,), rho=0.5)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(SparsityError):
+            CorrelatedSparsityModel(means=(0.5,), stds=(-0.1,), rho=0.5)
+
+    def test_bad_clip_bounds_rejected(self):
+        with pytest.raises(SparsityError):
+            CorrelatedSparsityModel(means=(0.5,), stds=(0.1,), rho=0.5, lo=0.9, hi=0.1)
+
+    def test_nonpositive_samples_rejected(self):
+        with pytest.raises(SparsityError):
+            make_model().sample(0, np.random.default_rng(0))
+
+
+class TestSampling:
+    def test_shape(self):
+        samples = make_model(layers=4).sample(100, np.random.default_rng(0))
+        assert samples.shape == (100, 4)
+
+    def test_within_clip_bounds(self):
+        model = make_model(mean=0.5, std=0.4)
+        samples = model.sample(2000, np.random.default_rng(0))
+        assert samples.min() >= model.lo
+        assert samples.max() <= model.hi
+
+    def test_mean_matches(self):
+        samples = make_model(mean=0.5, std=0.05).sample(5000, np.random.default_rng(1))
+        assert samples.mean() == pytest.approx(0.5, abs=0.01)
+
+    def test_interlayer_correlation_tracks_rho(self):
+        # Fig 9: high rho => near-unit Pearson correlation between layers.
+        for rho in (0.2, 0.9):
+            samples = make_model(std=0.08, rho=rho).sample(6000, np.random.default_rng(2))
+            corr = correlation_matrix(samples)
+            off_diag = corr[np.triu_indices_from(corr, k=1)]
+            assert off_diag.mean() == pytest.approx(rho, abs=0.08)
+
+    def test_deterministic_given_seed(self):
+        model = make_model()
+        a = model.sample(50, np.random.default_rng(7))
+        b = model.sample(50, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_network_sparsity_is_layer_mean(self):
+        model = make_model(layers=3)
+        samples = model.sample(10, np.random.default_rng(0))
+        np.testing.assert_allclose(model.network_sparsity(samples), samples.mean(axis=1))
+
+    def test_network_sparsity_shape_check(self):
+        model = make_model(layers=3)
+        with pytest.raises(SparsityError):
+            model.network_sparsity(np.zeros((5, 4)))
+
+    @given(
+        rho=st.floats(min_value=0.0, max_value=1.0),
+        mean=st.floats(min_value=0.1, max_value=0.9),
+        std=st.floats(min_value=0.0, max_value=0.3),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_samples_always_valid_sparsities(self, rho, mean, std, seed):
+        model = CorrelatedSparsityModel(
+            means=(mean, mean), stds=(std, std), rho=rho
+        )
+        samples = model.sample(64, np.random.default_rng(seed))
+        assert ((samples >= 0.0) & (samples <= 1.0)).all()
+
+
+class TestStatistics:
+    def test_relative_range(self):
+        assert relative_range([1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_relative_range_empty_rejected(self):
+        with pytest.raises(SparsityError):
+            relative_range([])
+
+    def test_relative_range_zero_mean_rejected(self):
+        with pytest.raises(SparsityError):
+            relative_range([-1.0, 1.0])
+
+    def test_correlation_matrix_requires_samples(self):
+        with pytest.raises(SparsityError):
+            correlation_matrix(np.zeros((1, 3)))
+
+
+class TestMixture:
+    def test_mixture_combines_components(self):
+        lo = make_model(mean=0.3, std=0.02)
+        hi = make_model(mean=0.7, std=0.02)
+        comps = []
+        samples = mixture_sample(
+            [lo, hi], [0.5, 0.5], 4000, np.random.default_rng(3), component_out=comps
+        )
+        assert samples.shape == (4000, 6)
+        assert len(comps) == 4000
+        # Mixture mean between component means.
+        assert 0.45 < samples.mean() < 0.55
+        # Mixture variance larger than either component's.
+        assert samples.mean(axis=1).std() > 0.1
+
+    def test_mixture_validation(self):
+        model = make_model()
+        with pytest.raises(SparsityError):
+            mixture_sample([], [], 10, np.random.default_rng(0))
+        with pytest.raises(SparsityError):
+            mixture_sample([model], [0.5, 0.5], 10, np.random.default_rng(0))
+        with pytest.raises(SparsityError):
+            mixture_sample([model, make_model(layers=3)], [1, 1], 10, np.random.default_rng(0))
+        with pytest.raises(SparsityError):
+            mixture_sample([model], [0.0], 10, np.random.default_rng(0))

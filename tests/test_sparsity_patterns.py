@@ -1,0 +1,189 @@
+"""Unit + property tests for weight-sparsity patterns (repro.sparsity.patterns)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SparsityError
+from repro.sparsity.patterns import (
+    DENSE,
+    SparsityPattern,
+    WeightSparsityConfig,
+    apply_pattern,
+    channel_mask,
+    effective_densities,
+    measured_sparsity,
+    nm_block_mask,
+    pattern_overlap_gain,
+    pattern_pe_utilization,
+    random_mask,
+    valid_mac_fraction,
+)
+
+RNG = np.random.default_rng(42)
+
+
+class TestConfig:
+    def test_dense_key(self):
+        assert DENSE.key == "dense"
+        assert DENSE.effective_rate == 0.0
+
+    def test_random_key_includes_rate(self):
+        cfg = WeightSparsityConfig(SparsityPattern.RANDOM, rate=0.8)
+        assert cfg.key == "random0.80"
+        assert cfg.effective_rate == pytest.approx(0.8)
+
+    def test_nm_key_and_rate(self):
+        cfg = WeightSparsityConfig(SparsityPattern.NM_BLOCK, nm=(2, 8))
+        assert cfg.key == "nm2:8"
+        assert cfg.effective_rate == pytest.approx(0.75)
+
+    def test_nm_without_spec_rejected(self):
+        with pytest.raises(SparsityError, match="requires nm"):
+            WeightSparsityConfig(SparsityPattern.NM_BLOCK)
+
+    def test_nm_invalid_spec_rejected(self):
+        with pytest.raises(SparsityError):
+            WeightSparsityConfig(SparsityPattern.NM_BLOCK, nm=(8, 8))
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(SparsityError):
+            WeightSparsityConfig(SparsityPattern.RANDOM, rate=1.0)
+        with pytest.raises(SparsityError):
+            WeightSparsityConfig(SparsityPattern.CHANNEL, rate=-0.1)
+
+
+class TestMasks:
+    def test_random_mask_exact_count(self):
+        mask = random_mask((64, 64), 0.8, RNG)
+        assert mask.sum() == round(64 * 64 * 0.2)
+
+    def test_random_mask_rejects_bad_rate(self):
+        with pytest.raises(SparsityError):
+            random_mask((4, 4), 1.5, RNG)
+
+    def test_nm_mask_group_invariant(self):
+        mask = nm_block_mask((16, 32), 2, 8, RNG)
+        groups = mask.reshape(-1, 8)
+        assert (groups.sum(axis=1) == 2).all()
+
+    def test_nm_mask_indivisible_rejected(self):
+        with pytest.raises(SparsityError, match="not divisible"):
+            nm_block_mask((3, 3), 2, 4, RNG)
+
+    def test_channel_mask_zeroes_whole_channels(self):
+        mask = channel_mask((10, 4, 3, 3), 0.5, RNG)
+        per_channel = mask.reshape(10, -1)
+        # Each channel is entirely kept or entirely pruned.
+        assert all(row.all() or not row.any() for row in per_channel)
+        assert per_channel.any(axis=1).sum() == 5
+
+    def test_channel_mask_never_prunes_everything(self):
+        mask = channel_mask((4, 4), 0.99, RNG)
+        assert mask.any()
+
+    def test_channel_mask_needs_2d(self):
+        with pytest.raises(SparsityError, match=">=2-D"):
+            channel_mask((16,), 0.5, RNG)
+
+    def test_apply_pattern_dense_is_copy(self):
+        weights = RNG.standard_normal((8, 8))
+        out = apply_pattern(weights, DENSE, RNG)
+        assert out is not weights
+        np.testing.assert_array_equal(out, weights)
+
+    @pytest.mark.parametrize(
+        "cfg",
+        [
+            WeightSparsityConfig(SparsityPattern.RANDOM, rate=0.75),
+            WeightSparsityConfig(SparsityPattern.NM_BLOCK, nm=(2, 8)),
+            WeightSparsityConfig(SparsityPattern.CHANNEL, rate=0.5),
+        ],
+    )
+    def test_apply_pattern_achieves_rate(self, cfg):
+        weights = RNG.standard_normal((32, 64)) + 10.0  # no natural zeros
+        sparse = apply_pattern(weights, cfg, np.random.default_rng(7))
+        assert measured_sparsity(sparse) == pytest.approx(cfg.effective_rate, abs=0.02)
+
+    def test_measured_sparsity_empty_rejected(self):
+        with pytest.raises(SparsityError):
+            measured_sparsity(np.array([]))
+
+
+class TestPropertyBased:
+    @given(
+        rate=st.floats(min_value=0.0, max_value=0.95),
+        rows=st.integers(min_value=1, max_value=32),
+        cols=st.integers(min_value=1, max_value=32),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_mask_density_matches_rate(self, rate, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        mask = random_mask((rows, cols), rate, rng)
+        size = rows * cols
+        assert mask.sum() == size - round(size * rate)
+
+    @given(
+        n=st.integers(min_value=1, max_value=7),
+        groups=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_nm_mask_always_keeps_n_per_group(self, n, groups, seed):
+        m = 8
+        if n >= m:
+            return
+        rng = np.random.default_rng(seed)
+        mask = nm_block_mask((groups, m), n, m, rng)
+        assert (mask.reshape(-1, m).sum(axis=1) == n).all()
+
+    @given(
+        sparsity=st.floats(min_value=0.0, max_value=1.0),
+        rate=st.floats(min_value=0.0, max_value=0.95),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_valid_mac_fraction_in_unit_interval(self, sparsity, rate):
+        for pattern in (SparsityPattern.RANDOM, SparsityPattern.CHANNEL):
+            cfg = WeightSparsityConfig(pattern, rate=rate)
+            frac = valid_mac_fraction(cfg, sparsity)
+            assert 0.0 <= frac <= 1.0
+
+
+class TestHardwareEffects:
+    def test_utilization_ordering(self):
+        # Structured patterns keep the PE array busier than random.
+        assert (
+            pattern_pe_utilization(SparsityPattern.CHANNEL)
+            > pattern_pe_utilization(SparsityPattern.NM_BLOCK)
+            > pattern_pe_utilization(SparsityPattern.RANDOM)
+        )
+
+    def test_channel_pattern_sees_denser_activations(self):
+        rate, act = 0.6, 0.5
+        random_cfg = WeightSparsityConfig(SparsityPattern.RANDOM, rate=rate)
+        channel_cfg = WeightSparsityConfig(SparsityPattern.CHANNEL, rate=rate)
+        _, a_rand = effective_densities(random_cfg, act)
+        _, a_chan = effective_densities(channel_cfg, act)
+        assert a_chan > a_rand
+
+    def test_equal_rate_patterns_differ_in_valid_macs(self):
+        # The Fig 4 effect: same rate, same input, different effectual MACs.
+        rate, act = 0.8, 0.45
+        frac_rand = valid_mac_fraction(
+            WeightSparsityConfig(SparsityPattern.RANDOM, rate=rate), act
+        )
+        frac_chan = valid_mac_fraction(
+            WeightSparsityConfig(SparsityPattern.CHANNEL, rate=rate), act
+        )
+        assert frac_chan / frac_rand > 1.15
+
+    def test_overlap_gain_scales_with_rate(self):
+        low = WeightSparsityConfig(SparsityPattern.CHANNEL, rate=0.2)
+        high = WeightSparsityConfig(SparsityPattern.CHANNEL, rate=0.8)
+        assert pattern_overlap_gain(high) > pattern_overlap_gain(low)
+
+    def test_invalid_activation_sparsity_rejected(self):
+        with pytest.raises(SparsityError):
+            effective_densities(DENSE, 1.5)
