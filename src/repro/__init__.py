@@ -30,7 +30,15 @@ from repro.accel import EyerissV2, Sanger
 from repro.profiling import TraceSet, benchmark_suite, profile_model
 from repro.core import DystaScheduler, ModelInfoLUT, PredictorStrategy, SparseLatencyPredictor
 from repro.schedulers import available_schedulers, make_scheduler
-from repro.sim import SimResult, WorkloadSpec, generate_workload, simulate
+from repro.sim import SimResult, WorkloadSpec, generate_workload, iter_workload, simulate
+from repro.cluster import (
+    AdmissionController,
+    ClusterResult,
+    Pool,
+    StreamingMetrics,
+    make_router,
+    simulate_cluster,
+)
 
 __version__ = "0.1.0"
 
@@ -60,6 +68,13 @@ __all__ = [
     "SimResult",
     "WorkloadSpec",
     "generate_workload",
+    "iter_workload",
     "simulate",
+    "AdmissionController",
+    "ClusterResult",
+    "Pool",
+    "StreamingMetrics",
+    "make_router",
+    "simulate_cluster",
     "__version__",
 ]

@@ -6,6 +6,7 @@ Installed as the ``repro`` console script::
     repro profile --family attnn --out traces/        # Phase-1 CSVs
     repro schedule --family cnn --scheduler dysta      # one policy
     repro compare --family attnn --rate 30             # Table-5-style table
+    repro cluster --pools eyeriss:2,sanger:2 --router jsq   # cluster tier
     repro predictor-rmse                               # Table-4-style table
     repro hw-report                                    # Fig 16 + Table 6
 """
@@ -19,6 +20,14 @@ from typing import List, Optional
 
 from repro.bench.figures import render_table
 from repro.bench.harness import BASE_ARRIVAL_RATE, PAPER_SCHEDULERS, run_comparison, run_single
+from repro.cluster import (
+    AdmissionController,
+    Pool,
+    available_routers,
+    build_heterogeneous_world,
+    build_router,
+    simulate_cluster,
+)
 from repro.core.lut import ModelInfoLUT
 from repro.core.predictor import rmse_by_strategy
 from repro.errors import ReproError
@@ -33,7 +42,7 @@ from repro.sim.analysis import (
     waiting_time_stats,
 )
 from repro.sim.engine import simulate
-from repro.sim.workload import WorkloadSpec, generate_workload
+from repro.sim.workload import WorkloadSpec, generate_workload, iter_workload
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -160,6 +169,93 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Which model family a pool kind serves natively; requests of the other
+#: family run at 1/mismatch-penalty speed (weights/dataflow mismatch).
+_POOL_NATIVE_FAMILY = {"eyeriss": "cnn", "sanger": "attnn"}
+
+
+def _parse_pools(spec: str) -> List[tuple]:
+    """Parse ``name:count[:speed]`` pool specs, comma-separated."""
+    pools = []
+    for part in spec.split(","):
+        fields = part.strip().split(":")
+        if len(fields) not in (2, 3) or not fields[0]:
+            raise ReproError(
+                f"bad pool spec {part!r}: expected name:count[:speed]"
+            )
+        try:
+            count = int(fields[1])
+            speed = float(fields[2]) if len(fields) == 3 else 1.0
+        except ValueError:
+            raise ReproError(f"bad pool spec {part!r}: count/speed not numeric") from None
+        pools.append((fields[0], count, speed))
+    return pools
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Heterogeneous-pool cluster replay with routing and admission control."""
+    traces, lut, affinity_by_native = build_heterogeneous_world(
+        args.families, n_samples=args.samples,
+        mismatch_penalty=args.mismatch_penalty,
+    )
+
+    pools = []
+    for name, count, speed in _parse_pools(args.pools):
+        native = next(
+            (fam for kind, fam in _POOL_NATIVE_FAMILY.items()
+             if name.startswith(kind)),
+            None,
+        )
+        pools.append(Pool(
+            name, make_scheduler(args.scheduler, lut), count, speed=speed,
+            affinity=affinity_by_native[native] if native is not None else {},
+            switch_cost=args.switch_cost,
+            block_size=args.block_size,
+        ))
+
+    router = build_router(args.router, lut)
+    admission = None
+    if args.max_queue_depth is not None or args.slo_guard:
+        admission = AdmissionController(max_queue_depth=args.max_queue_depth,
+                                        slo_guard=args.slo_guard, lut=lut)
+
+    spec = WorkloadSpec(
+        arrival_rate=args.rate, n_requests=args.requests,
+        slo_multiplier=args.slo, seed=args.seed, traffic=args.traffic,
+    )
+    stream = (iter_workload(traces, spec) if args.streaming
+              else generate_workload(traces, spec))
+    result = simulate_cluster(stream, pools, router, admission=admission,
+                              retain_requests=not args.streaming)
+
+    pool_desc = ", ".join(f"{p.name} x{p.num_accelerators}" for p in pools)
+    print(f"cluster         : {pool_desc}")
+    print(f"router          : {router.name}   scheduler: {args.scheduler}   "
+          f"traffic: {args.traffic}")
+    print(f"workload        : {result.num_offered} requests @ {args.rate:g} req/s, "
+          f"SLO {args.slo:g}x"
+          + ("  [streaming metrics]" if args.streaming else ""))
+    print(f"ANTT            : {result.antt:.3f}")
+    print(f"violation rate  : {100 * result.violation_rate:.2f}%")
+    print(f"throughput (STP): {result.stp:.3f} inf/s")
+    print(f"shed rate       : {100 * result.shed_rate:.2f}%"
+          + (f"  {result.shed_reasons}" if result.shed_reasons else ""))
+    print(f"p99 turnaround  : {result.p99:.2f}x isolated "
+          f"(p50 {result.p50:.2f}  p95 {result.p95:.2f})")
+    print()
+    print(render_table(
+        "per-pool breakdown",
+        ["accels", "completed", "shed", "peak queue", "util %"],
+        {
+            name: [s.num_accelerators, s.completed, s.shed,
+                   s.max_queue_length, 100 * s.utilization]
+            for name, s in result.pool_stats.items()
+        },
+        float_fmt="{:.1f}",
+    ))
+    return 0
+
+
 def _cmd_predictor_rmse(args: argparse.Namespace) -> int:
     traces = benchmark_suite("attnn", n_samples=args.samples, seed=0)
     lut = ModelInfoLUT(traces)
@@ -248,6 +344,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--scheduler", default="dysta",
                            choices=available_schedulers())
     p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="replay a workload on heterogeneous accelerator pools",
+    )
+    p_cluster.add_argument("--pools", default="eyeriss:2,sanger:2",
+                           help="comma-separated name:count[:speed] pool specs; "
+                                "eyeriss*/sanger* pools natively serve cnn/attnn")
+    p_cluster.add_argument("--router", default="jsq",
+                           choices=available_routers() + ["rr", "least-loaded"])
+    p_cluster.add_argument("--scheduler", default="dysta",
+                           choices=available_schedulers(),
+                           help="per-pool scheduling policy")
+    p_cluster.add_argument("--families", nargs="+", choices=("attnn", "cnn"),
+                           default=["attnn", "cnn"],
+                           help="model families mixed into the workload")
+    p_cluster.add_argument("--rate", type=float, default=10.0,
+                           help="cluster-wide arrival rate in requests/s")
+    p_cluster.add_argument("--requests", type=int, default=400)
+    p_cluster.add_argument("--slo", type=float, default=10.0,
+                           help="latency SLO multiplier")
+    p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument("--samples", type=int, default=300,
+                           help="profiling samples per (model, pattern)")
+    p_cluster.add_argument("--traffic", choices=("poisson", "bursty"),
+                           default="poisson")
+    p_cluster.add_argument("--mismatch-penalty", type=float, default=4.0,
+                           help="slowdown of a pool serving the non-native family")
+    p_cluster.add_argument("--max-queue-depth", type=int, default=None,
+                           help="shed when a pool holds this many outstanding "
+                                "requests per accelerator")
+    p_cluster.add_argument("--slo-guard", action="store_true",
+                           help="shed requests whose SLO is already infeasible")
+    p_cluster.add_argument("--streaming", action="store_true",
+                           help="stream the workload under incremental metrics "
+                                "without retaining request objects")
+    p_cluster.add_argument("--block-size", type=int, default=1)
+    p_cluster.add_argument("--switch-cost", type=float, default=0.0)
+    p_cluster.set_defaults(func=_cmd_cluster)
 
     p_rmse = sub.add_parser("predictor-rmse",
                             help="sparse latency predictor RMSE table")

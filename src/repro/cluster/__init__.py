@@ -1,0 +1,55 @@
+"""Datacenter cluster-serving tier: heterogeneous accelerator pools behind a
+request router with admission control and streaming metrics.
+
+The paper evaluates a single time-shared NPU; this package scales that
+engine to the serving-cluster shape every production stack has::
+
+    from repro.cluster import Pool, simulate_cluster, make_router
+    from repro.schedulers.base import make_scheduler
+
+    pools = [
+        Pool("eyeriss", make_scheduler("dysta", lut), 2, affinity=cnn_affinity),
+        Pool("sanger", make_scheduler("dysta", lut), 2, affinity=attnn_affinity),
+    ]
+    result = simulate_cluster(requests, pools, router=make_router("jsq"))
+    print(result.antt, result.shed_rate, result.p99)
+"""
+
+from repro.cluster.admission import (
+    SHED_QUEUE_DEPTH,
+    SHED_SLO_INFEASIBLE,
+    AdmissionController,
+)
+from repro.cluster.engine import ClusterResult, PoolStats, simulate_cluster
+from repro.cluster.metrics import StreamingHistogram, StreamingMetrics
+from repro.cluster.pool import Pool
+from repro.cluster.presets import (
+    build_heterogeneous_world,
+    build_router,
+    family_affinity,
+)
+from repro.cluster.routing import (
+    Router,
+    available_routers,
+    make_router,
+    register_router,
+)
+
+__all__ = [
+    "AdmissionController",
+    "SHED_QUEUE_DEPTH",
+    "SHED_SLO_INFEASIBLE",
+    "ClusterResult",
+    "PoolStats",
+    "simulate_cluster",
+    "StreamingHistogram",
+    "StreamingMetrics",
+    "Pool",
+    "Router",
+    "build_heterogeneous_world",
+    "build_router",
+    "family_affinity",
+    "available_routers",
+    "make_router",
+    "register_router",
+]

@@ -1,0 +1,143 @@
+"""Streaming (single-pass, bounded-memory) metric aggregation.
+
+The batch metrics in :mod:`repro.sim.metrics` need every finished
+:class:`~repro.sim.request.Request` alive at once; replaying a production
+trace of 100k+ requests that way retains the whole stream in memory.  The
+cluster engine instead folds each request into a :class:`StreamingMetrics`
+accumulator the moment it finishes (or is shed) and may then drop it.
+
+ANTT, SLO violation rate, STP and shed rate are exact running aggregates.
+Tail percentiles of the normalized-turnaround distribution come from a
+fixed-size log-spaced histogram (:class:`StreamingHistogram`): worst-case
+relative error is the bucket growth factor (1% by default), memory is a few
+thousand counters regardless of stream length.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.sim.request import Request
+
+
+class StreamingHistogram:
+    """Log-spaced bucket histogram with bounded-relative-error quantiles.
+
+    Buckets grow geometrically by ``growth`` between ``lo`` and ``hi``;
+    values outside the range clamp into the edge buckets.  ``percentile``
+    returns the geometric midpoint of the bucket containing the requested
+    rank, so the relative error is at most ``sqrt(growth) - 1``.
+    """
+
+    def __init__(self, lo: float = 1e-3, hi: float = 1e7, growth: float = 1.02):
+        if not (0.0 < lo < hi):
+            raise SchedulingError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+        if growth <= 1.0:
+            raise SchedulingError(f"bucket growth must be > 1, got {growth}")
+        self.lo = lo
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self.num_buckets = int(math.ceil(math.log(hi / lo) / self._log_growth)) + 1
+        self._counts = np.zeros(self.num_buckets, dtype=np.int64)
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        if value <= 0 or math.isnan(value):
+            raise SchedulingError(f"histogram values must be positive, got {value}")
+        idx = int(math.log(value / self.lo) / self._log_growth) if value > self.lo else 0
+        self._counts[min(max(idx, 0), self.num_buckets - 1)] += 1
+        self.count += 1
+
+    def percentile(self, pct: float) -> float:
+        if not 0.0 < pct <= 100.0:
+            raise SchedulingError(f"percentile must be in (0, 100], got {pct}")
+        if self.count == 0:
+            return float("nan")
+        rank = pct / 100.0 * self.count
+        cum = np.cumsum(self._counts)
+        idx = int(np.searchsorted(cum, rank - 1e-9, side="left"))
+        return self.lo * self.growth ** (idx + 0.5)
+
+
+class StreamingMetrics:
+    """Incremental ANTT / violation-rate / STP / shed-rate / tail tracker.
+
+    Mirrors :func:`repro.sim.metrics.summarize` (same keys, plus
+    ``shed_rate``) without retaining requests.  Aggregates that are undefined
+    on an empty stream come back as ``nan`` rather than raising, so a run
+    that shed every request still yields a well-formed summary.
+    """
+
+    def __init__(self, histogram: Optional[StreamingHistogram] = None):
+        self._hist = histogram or StreamingHistogram()
+        self.completed = 0
+        self.shed = 0
+        self.shed_reasons: Dict[str, int] = {}
+        self._norm_sum = 0.0
+        self._violations = 0
+        self._first_arrival = math.inf
+        self._last_finish = -math.inf
+
+    def observe(self, request: Request) -> None:
+        """Fold one *finished* request into the aggregates."""
+        if request.finish_time is None:
+            raise SchedulingError(f"request {request.rid} never finished")
+        norm = request.normalized_turnaround
+        self.completed += 1
+        self._norm_sum += norm
+        self._violations += int(request.violated)
+        self._first_arrival = min(self._first_arrival, request.arrival)
+        self._last_finish = max(self._last_finish, request.finish_time)
+        self._hist.observe(norm)
+
+    def observe_shed(self, request: Request, reason: str) -> None:
+        """Record one load-shed (never-executed) request."""
+        self.shed += 1
+        self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
+
+    # -- running aggregates -------------------------------------------------
+
+    @property
+    def offered(self) -> int:
+        """Total requests that reached the router (completed + shed)."""
+        return self.completed + self.shed
+
+    @property
+    def antt(self) -> float:
+        return self._norm_sum / self.completed if self.completed else float("nan")
+
+    @property
+    def violation_rate(self) -> float:
+        return self._violations / self.completed if self.completed else float("nan")
+
+    @property
+    def stp(self) -> float:
+        """Completed inferences per second over the busy horizon."""
+        span = self._last_finish - self._first_arrival
+        if self.completed == 0 or span <= 0:
+            return float("nan")
+        return self.completed / span
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else float("nan")
+
+    def percentile(self, pct: float) -> float:
+        """Approximate percentile of the normalized-turnaround distribution."""
+        return self._hist.percentile(pct)
+
+    def summary(self) -> Dict[str, float]:
+        """Same shape as :func:`repro.sim.metrics.summarize`, plus shed rate."""
+        return {
+            "antt": self.antt,
+            "violation_rate": self.violation_rate,
+            "stp": self.stp,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "shed_rate": self.shed_rate,
+        }

@@ -1,0 +1,193 @@
+"""Accelerator pools: the unit of placement in the cluster tier.
+
+A pool is N accelerators of one type behind one ready queue with its own
+scheduler instance (any policy from :mod:`repro.schedulers` — the
+``Scheduler`` interface is reused unmodified).  Within a pool, scheduling
+semantics are exactly those of :func:`repro.sim.multi.simulate_multi`:
+layer-block-granularity preemption, per-NPU resident-weights switch cost.
+
+Heterogeneity is expressed through service speed: ``speed`` scales the whole
+pool relative to the latencies recorded in the request traces, and
+``affinity`` maps model names to per-model factors (e.g. an Eyeriss pool
+runs CNNs at native speed but pays a penalty hosting an AttNN whose trace
+was profiled on Sanger).  Effective execution time of a layer is
+``true_latency / (speed * affinity[model])``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Mapping, Optional
+
+from repro.errors import SchedulingError
+from repro.sim.request import Request
+
+if TYPE_CHECKING:  # avoid a runtime circular import with repro.schedulers
+    from repro.schedulers.base import Scheduler
+
+
+class Pool:
+    """One homogeneous accelerator pool with its own queue and scheduler.
+
+    Args:
+        name: Unique pool name (e.g. ``"eyeriss"``).
+        scheduler: Per-pool scheduling policy instance (not shared between
+            pools — schedulers carry per-run state).
+        num_accelerators: Number of identical accelerators in the pool.
+        speed: Pool-wide service-speed factor relative to the trace
+            latencies (2.0 = twice as fast).
+        affinity: Optional per-model speed factors multiplied with ``speed``;
+            models absent from the mapping run at factor 1.0.
+        switch_cost: Weight-reload cost on a model switch, per accelerator.
+        block_size: Scheduling granularity in layers.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        scheduler: "Scheduler",
+        num_accelerators: int = 1,
+        *,
+        speed: float = 1.0,
+        affinity: Optional[Mapping[str, float]] = None,
+        switch_cost: float = 0.0,
+        block_size: int = 1,
+    ):
+        if not name:
+            raise SchedulingError("pool name must be non-empty")
+        if num_accelerators <= 0:
+            raise SchedulingError(
+                f"pool {name!r}: need >= 1 accelerator, got {num_accelerators}"
+            )
+        if speed <= 0:
+            raise SchedulingError(f"pool {name!r}: speed must be positive, got {speed}")
+        if switch_cost < 0:
+            raise SchedulingError(
+                f"pool {name!r}: switch cost must be >= 0, got {switch_cost}"
+            )
+        if block_size < 1:
+            raise SchedulingError(
+                f"pool {name!r}: block size must be >= 1, got {block_size}"
+            )
+        self.name = name
+        self.scheduler = scheduler
+        self.num_accelerators = num_accelerators
+        self.speed = speed
+        self.affinity: Dict[str, float] = dict(affinity or {})
+        for model, factor in self.affinity.items():
+            if factor <= 0:
+                raise SchedulingError(
+                    f"pool {name!r}: affinity factor for {model!r} must be "
+                    f"positive, got {factor}"
+                )
+        self.switch_cost = switch_cost
+        self.block_size = block_size
+        self.reset()
+
+    # -- run state ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear all per-run state; called by the cluster engine."""
+        self.scheduler.reset()
+        self.queue: List[Request] = []
+        self.idle: List[int] = list(range(self.num_accelerators))
+        heapq.heapify(self.idle)
+        self.running: Dict[int, Request] = {}  # npu -> in-flight request
+        self._last_on_npu: List[Optional[Request]] = [None] * self.num_accelerators
+        self._resident: List[Optional[Request]] = [None] * self.num_accelerators
+        self.preemptions = 0
+        self.invocations = 0
+        self.max_queue_length = 0
+        self.dispatched = 0  # requests first-dispatched in this pool
+        self.completed = 0
+        self.shed = 0
+        self.busy_time = 0.0
+
+    # -- placement-visible state (read by routers / admission) --------------
+
+    def service_speed(self, request: Request) -> float:
+        """Effective speed factor this pool serves ``request`` at."""
+        return self.speed * self.affinity.get(request.model_name, 1.0)
+
+    def backlog(self) -> int:
+        """Outstanding (queued + in-flight) requests in the pool."""
+        return len(self.queue) + len(self.running)
+
+    def pending(self) -> Iterator[Request]:
+        """Queued plus in-flight requests (router/admission work estimates)."""
+        yield from self.queue
+        yield from self.running.values()
+
+    # -- engine hooks -------------------------------------------------------
+
+    def enqueue(self, request: Request, now: float) -> None:
+        """Admit one routed request into the pool's ready queue."""
+        self.queue.append(request)
+        self.scheduler.on_arrival(request, now)
+
+    def dispatch(self, now: float, push_event: Callable[..., None]) -> None:
+        """Hand queued requests to idle accelerators (lowest NPU id first).
+
+        ``push_event(end_time, pool, npu, request, n_layers, dt)`` schedules
+        the block-completion event on the cluster-wide event heap.
+        """
+        while self.idle and self.queue:
+            npu = heapq.heappop(self.idle)
+            chosen = self.scheduler.select(self.queue, now)
+            self.invocations += 1
+            self.max_queue_length = max(self.max_queue_length, len(self.queue))
+            if chosen not in self.queue:
+                raise SchedulingError(
+                    f"scheduler {self.scheduler.name!r} (pool {self.name!r}) "
+                    "selected a request outside the queue"
+                )
+            previous = self._last_on_npu[npu]
+            if previous is not None and chosen is not previous and not previous.is_done:
+                self.preemptions += 1
+            self._last_on_npu[npu] = chosen
+            if chosen.first_dispatch_time is None:
+                chosen.first_dispatch_time = now
+                self.dispatched += 1
+            start = now
+            if self.switch_cost > 0.0 and chosen is not self._resident[npu]:
+                start += self.switch_cost
+            self._resident[npu] = chosen
+            self.queue.remove(chosen)
+            layers = min(self.block_size, chosen.num_layers - chosen.next_layer)
+            speed = self.service_speed(chosen)
+            dt = sum(
+                chosen.layer_latencies[chosen.next_layer + k] for k in range(layers)
+            ) / speed
+            self.running[npu] = chosen
+            self.busy_time += (start - now) + dt
+            push_event(start + dt, self, npu, chosen, layers, dt)
+
+    def complete_block(self, now: float, npu: int, request: Request,
+                       layers: int, dt: float) -> bool:
+        """Fold one finished layer block back into the pool.
+
+        Returns True when the request finished all its layers (the caller
+        owns completion accounting); otherwise the request rejoins the queue.
+        """
+        del self.running[npu]
+        heapq.heappush(self.idle, npu)
+        request.next_layer += layers
+        request.executed_time += dt
+        request.last_run_end = now
+        self.scheduler.on_layer_complete(request, now)
+        if request.is_done:
+            request.finish_time = now
+            self.completed += 1
+            self.scheduler.on_complete(request, now)
+            return True
+        self.queue.append(request)
+        return False
+
+
+def check_unique_names(pools: List[Pool]) -> None:
+    """Validate a pool list for the cluster engine."""
+    if not pools:
+        raise SchedulingError("cannot simulate a cluster without pools")
+    names = [p.name for p in pools]
+    if len(set(names)) != len(names):
+        raise SchedulingError(f"pool names must be unique, got {names}")

@@ -1,0 +1,73 @@
+"""Ready-made heterogeneous-cluster worlds shared by the CLI, examples and
+benchmarks.
+
+A "world" is the merged multi-family trace suite, its shared LUT, and the
+per-native-family affinity maps that encode the accelerator mismatch: a pool
+native to one family serves the other at ``1 / mismatch_penalty`` speed.
+:func:`build_router` hides which router classes need the LUT.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.core.lut import ModelInfoLUT
+from repro.errors import SchedulingError
+from repro.profiling.profiler import benchmark_suite
+from repro.profiling.trace import TraceSet
+
+from repro.cluster.routing import Router, make_router
+
+#: Routers whose constructor needs the offline model-information LUT.
+_LUT_ROUTERS = {"predictive"}
+
+
+def build_heterogeneous_world(
+    families: Sequence[str] = ("attnn", "cnn"),
+    *,
+    n_samples: int = 300,
+    seed: int = 0,
+    mismatch_penalty: float = 4.0,
+) -> Tuple[Dict[str, TraceSet], ModelInfoLUT, Dict[str, Dict[str, float]]]:
+    """Profile and merge the family suites into one cluster world.
+
+    Returns ``(traces, lut, affinity)`` where ``affinity[native_family]`` is
+    the model-name → speed-factor map for a pool whose accelerator natively
+    serves ``native_family`` (1.0 for native models, ``1/mismatch_penalty``
+    for the rest).  Affinity maps are built for both canonical natives
+    regardless of ``families``, so a cluster may contain a pool kind whose
+    native family is absent from the workload.
+    """
+    traces: Dict[str, TraceSet] = {}
+    family_of: Dict[str, str] = {}
+    for family in families:
+        for key, trace in benchmark_suite(family, n_samples=n_samples,
+                                          seed=seed).items():
+            traces[key] = trace
+            family_of[trace.model_name] = family
+    affinity = {
+        native: family_affinity(family_of, native, mismatch_penalty)
+        for native in ("attnn", "cnn")
+    }
+    return traces, ModelInfoLUT(traces), affinity
+
+
+def family_affinity(
+    family_of: Dict[str, str], native: str, mismatch_penalty: float
+) -> Dict[str, float]:
+    """Per-model speed factors for a pool native to one model family."""
+    if mismatch_penalty <= 0:
+        raise SchedulingError(
+            f"mismatch penalty must be positive, got {mismatch_penalty}"
+        )
+    return {
+        model: 1.0 if family == native else 1.0 / mismatch_penalty
+        for model, family in family_of.items()
+    }
+
+
+def build_router(name: str, lut: ModelInfoLUT, **kwargs) -> Router:
+    """``make_router`` that supplies the LUT to the routers needing one."""
+    if name in _LUT_ROUTERS:
+        kwargs["lut"] = lut
+    return make_router(name, **kwargs)

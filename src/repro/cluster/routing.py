@@ -1,0 +1,150 @@
+"""Request routing: which pool serves an incoming request.
+
+Router objects mirror the scheduler registry idiom: a small ABC, a
+``@register_router`` decorator, and ``make_router(name, **kwargs)``.  The
+router sees the pools' placement-visible state (queue depths, in-flight
+requests, per-model service speeds) but never a request's ground-truth
+latencies — the same information boundary the schedulers obey.
+
+Three built-in policies:
+
+* **round-robin** — cycle over pools regardless of state; the baseline every
+  load balancer starts from.
+* **jsq** (join-shortest-queue, alias ``least-loaded``) — pick the pool with
+  the fewest outstanding requests per accelerator.  Optimal for homogeneous
+  pools, blind to heterogeneity: it happily sends an AttNN to a CNN pool
+  that serves it 4x slower.
+* **predictive** — sparsity-aware latency routing via
+  :class:`~repro.core.predictor.SparseLatencyPredictor`: estimate each
+  pool's outstanding work from the predictor's remaining-latency estimates
+  (which sharpen as in-flight requests reveal monitored sparsity), add the
+  new request's predicted service time at that pool's effective speed, and
+  join the pool with the earliest predicted finish.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.lut import ModelInfoLUT
+from repro.core.predictor import PredictorStrategy, SparseLatencyPredictor
+from repro.errors import SchedulingError
+from repro.sim.request import Request
+
+from repro.cluster.pool import Pool
+
+
+class Router(abc.ABC):
+    """Base class for cluster routing policies."""
+
+    #: Registry / display name; subclasses override via ``@register_router``.
+    name: str = "base"
+
+    def reset(self, pools: Sequence[Pool]) -> None:
+        """Clear per-run state; called by the cluster engine before a run."""
+
+    @abc.abstractmethod
+    def route(self, request: Request, pools: Sequence[Pool], now: float) -> Pool:
+        """Pick the pool that will serve ``request``.  ``pools`` is the
+        non-empty pool list in construction order."""
+
+
+_REGISTRY: Dict[str, Callable[..., Router]] = {}
+_ALIASES = {"rr": "round-robin", "least-loaded": "jsq"}
+
+
+def register_router(name: str) -> Callable[[type], type]:
+    """Class decorator adding a router to the registry under ``name``."""
+
+    def deco(cls: type) -> type:
+        if name in _REGISTRY:
+            raise SchedulingError(f"router {name!r} registered twice")
+        _REGISTRY[name] = cls
+        cls.name = name
+        return cls
+
+    return deco
+
+
+def available_routers() -> List[str]:
+    """Registered router names (aliases excluded)."""
+    return sorted(_REGISTRY)
+
+
+def make_router(name: str, **kwargs) -> Router:
+    """Instantiate a registered router by name (aliases accepted)."""
+    canonical = _ALIASES.get(name, name)
+    try:
+        factory = _REGISTRY[canonical]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown router {name!r}; available: {available_routers()}"
+        ) from None
+    return factory(**kwargs)
+
+
+@register_router("round-robin")
+class RoundRobinRouter(Router):
+    """Cycle over pools in construction order, ignoring their state."""
+
+    def __init__(self):
+        self._cycle = itertools.count()
+
+    def reset(self, pools: Sequence[Pool]) -> None:
+        self._cycle = itertools.count()
+
+    def route(self, request: Request, pools: Sequence[Pool], now: float) -> Pool:
+        return pools[next(self._cycle) % len(pools)]
+
+
+@register_router("jsq")
+class JoinShortestQueueRouter(Router):
+    """Join the pool with the fewest outstanding requests per accelerator."""
+
+    def route(self, request: Request, pools: Sequence[Pool], now: float) -> Pool:
+        # min() keeps the first pool on ties: deterministic tie-breaking in
+        # construction order.
+        return min(pools, key=lambda p: p.backlog() / p.num_accelerators)
+
+
+@register_router("predictive")
+class PredictiveRouter(Router):
+    """Join the pool with the earliest predicted completion for the request.
+
+    For each pool: predicted outstanding work (sum of sparsity-corrected
+    remaining-latency estimates of queued + in-flight requests, at each
+    request's effective service speed) spread over the pool's accelerators,
+    plus the incoming request's predicted service time there.  Requests whose
+    (model, pattern) is missing from the LUT fall back to a neutral estimate
+    of zero — the router then degrades toward least-loaded behaviour.
+    """
+
+    def __init__(
+        self,
+        lut: ModelInfoLUT,
+        *,
+        strategy: PredictorStrategy = PredictorStrategy.LAST_ONE,
+        alpha: float = 1.0,
+        n: int = 3,
+    ):
+        self.predictor = SparseLatencyPredictor(lut, strategy, alpha=alpha, n=n)
+
+    def _remaining(self, request: Request) -> float:
+        if request.key not in self.predictor.lut:
+            return 0.0
+        return self.predictor.predict_remaining(
+            request.key, request.next_layer, request.monitored_sparsities
+        )
+
+    def predicted_finish(self, request: Request, pool: Pool) -> float:
+        """Predicted completion delay of ``request`` if routed to ``pool``."""
+        outstanding = sum(
+            self._remaining(r) / pool.service_speed(r) for r in pool.pending()
+        )
+        service = self._remaining(request) / pool.service_speed(request)
+        return outstanding / pool.num_accelerators + service
+
+    def route(self, request: Request, pools: Sequence[Pool], now: float) -> Pool:
+        return min(pools, key=lambda p: self.predicted_finish(request, p))

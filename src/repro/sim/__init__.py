@@ -2,7 +2,7 @@
 preemptive engine, and the paper's metrics (ANTT, SLO violation rate, STP)."""
 
 from repro.sim.request import Request
-from repro.sim.workload import WorkloadSpec, generate_workload
+from repro.sim.workload import WorkloadSpec, generate_workload, iter_workload
 from repro.sim.engine import SimResult, simulate
 from repro.sim.multi import simulate_multi
 from repro.sim.metrics import antt, slo_violation_rate, system_throughput, summarize
@@ -21,6 +21,7 @@ __all__ = [
     "Request",
     "WorkloadSpec",
     "generate_workload",
+    "iter_workload",
     "SimResult",
     "simulate",
     "simulate_multi",

@@ -53,6 +53,21 @@ class SimResult:
     def stp(self) -> float:
         return self.metrics["stp"]
 
+    @property
+    def p50(self) -> float:
+        """Median normalized turnaround."""
+        return self.metrics["p50"]
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile normalized turnaround."""
+        return self.metrics["p95"]
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile normalized turnaround (the tail SLOs care about)."""
+        return self.metrics["p99"]
+
 
 def simulate(
     requests: Sequence[Request],

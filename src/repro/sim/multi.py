@@ -4,13 +4,16 @@ Extension beyond the paper's single-NPU evaluation: a pool of identical
 time-shared accelerators serving one shared ready queue, as in the paper's
 data-center scenario (Table 3) where multiple NPUs sit behind one request
 stream.  Scheduling semantics are unchanged — whenever an accelerator
-finishes a layer, the scheduler picks the next request for it from the ready
-queue (layer-granularity preemption, paper Sec 4.2.2) — so every policy from
-the registry works unmodified.
+finishes a layer block, the scheduler picks the next request for it from the
+ready queue (layer-granularity preemption, paper Sec 4.2.2) — so every
+policy from the registry works unmodified.
 
 With ``num_accelerators=1`` the simulation is step-for-step identical to
 :func:`repro.sim.engine.simulate` (tested), because the single-NPU engine
-also re-queues the running request at every layer boundary.
+also re-queues the running request at every layer boundary.  The engine's
+``switch_cost`` and ``block_size`` knobs are supported with the same
+semantics: each NPU tracks which model instance's weights are resident and
+pays the reload cost when it switches to a different request.
 """
 
 from __future__ import annotations
@@ -34,18 +37,32 @@ def simulate_multi(
     scheduler: "Scheduler",
     *,
     num_accelerators: int = 2,
+    switch_cost: float = 0.0,
+    block_size: int = 1,
 ) -> SimResult:
     """Run the request stream on a pool of identical accelerators.
 
     Requests are mutated in place, exactly as in the single-NPU engine.
-    A request executes one layer at a time on one accelerator; at each layer
-    boundary it returns to the shared queue and any idle accelerator may pick
-    it (or anything else) up.
+    A request executes one layer block at a time on one accelerator; at each
+    block boundary it returns to the shared queue and any idle accelerator
+    may pick it (or anything else) up.
+
+    Args:
+        switch_cost: Time charged whenever an accelerator switches to a
+            *different model instance* than the one whose weights it holds
+            resident (per-NPU tracking; same semantics as the single-NPU
+            engine).
+        block_size: Scheduling granularity in layers, as in the single-NPU
+            engine; 1 = per layer (default).
     """
     if not requests:
         raise SchedulingError("cannot simulate an empty workload")
     if num_accelerators <= 0:
         raise SchedulingError(f"need >= 1 accelerator, got {num_accelerators}")
+    if switch_cost < 0:
+        raise SchedulingError(f"switch cost must be >= 0, got {switch_cost}")
+    if block_size < 1:
+        raise SchedulingError(f"block size must be >= 1, got {block_size}")
     for req in requests:
         if req.next_layer != 0 or req.finish_time is not None:
             raise SchedulingError(f"request {req.rid} was already (partially) executed")
@@ -54,7 +71,7 @@ def simulate_multi(
     scheduler.reset()
     queue: List[Request] = []
     completed: List[Request] = []
-    # Layer-completion events: (time, tiebreak, npu_id, finishing request).
+    # Block-completion events: (time, tiebreak, npu_id, request, n_layers, dt).
     counter = itertools.count()
     events: List = []
     idle: List[int] = list(range(num_accelerators))  # min-heap of idle NPUs
@@ -66,6 +83,8 @@ def simulate_multi(
     invocations = 0
     max_queue = 0
     last_on_npu: List[Optional[Request]] = [None] * num_accelerators
+    # Whose weights currently sit in each accelerator (switch-cost tracking).
+    resident: List[Optional[Request]] = [None] * num_accelerators
 
     def admit(now: float) -> None:
         nonlocal i
@@ -92,9 +111,16 @@ def simulate_multi(
             last_on_npu[npu] = chosen
             if chosen.first_dispatch_time is None:
                 chosen.first_dispatch_time = now
+            start = now
+            if switch_cost > 0.0 and chosen is not resident[npu]:
+                start += switch_cost
+            resident[npu] = chosen
             queue.remove(chosen)
-            dt = chosen.layer_latencies[chosen.next_layer]
-            heapq.heappush(events, (now + dt, next(counter), npu, chosen))
+            layers = min(block_size, chosen.num_layers - chosen.next_layer)
+            dt = sum(
+                chosen.layer_latencies[chosen.next_layer + k] for k in range(layers)
+            )
+            heapq.heappush(events, (start + dt, next(counter), npu, chosen, layers, dt))
 
     next_wake: Optional[float] = None
 
@@ -103,14 +129,14 @@ def simulate_multi(
         nonlocal next_wake
         if idle and i < n and (next_wake is None or pending[i].arrival < next_wake):
             next_wake = pending[i].arrival
-            heapq.heappush(events, (next_wake, next(counter), -1, None))
+            heapq.heappush(events, (next_wake, next(counter), -1, None, 0, 0.0))
 
     admit(0.0)
     dispatch(0.0)
     arm_wake()
 
     while events:
-        now, _, npu, req = heapq.heappop(events)
+        now, _, npu, req, layers, dt = heapq.heappop(events)
         if req is None:
             # Wake-up for idle accelerators at an arrival instant.
             next_wake = None
@@ -118,8 +144,8 @@ def simulate_multi(
             dispatch(now)
             arm_wake()
             continue
-        req.next_layer += 1
-        req.executed_time += req.layer_latencies[req.next_layer - 1]
+        req.next_layer += layers
+        req.executed_time += dt
         req.last_run_end = now
         scheduler.on_layer_complete(req, now)
         if req.is_done:

@@ -10,7 +10,7 @@ PREMA's setup, optionally drawn from a mix of SLO classes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -108,14 +108,16 @@ def _draw_classes(
     return values[picks]
 
 
-def generate_workload(
+def iter_workload(
     traces: Dict[str, TraceSet], spec: WorkloadSpec
-) -> List[Request]:
-    """Generate a request stream by sampling from profiled trace sets.
+) -> Iterator[Request]:
+    """Yield the workload one request at a time, in arrival order.
 
-    Each request uniformly picks a (model, pattern) trace set, then uniformly
-    picks one profiled input sample within it; the request inherits that
-    sample's true per-layer latencies and monitored sparsities.
+    Identical stream to :func:`generate_workload` (same spec, same seed, same
+    requests), but lazily: only O(n) scalars (arrival times, class draws) are
+    precomputed, never n live ``Request`` objects.  Feed this straight into
+    :func:`repro.cluster.simulate_cluster` to replay 100k+ request streams
+    under streaming metrics with bounded memory.
     """
     if not traces:
         raise SchedulingError("cannot generate a workload from an empty trace dict")
@@ -125,7 +127,6 @@ def generate_workload(
     multipliers = _draw_classes(spec.slo_classes, spec.slo_multiplier,
                                 spec.n_requests, rng)
     priorities = _draw_classes(spec.priority_classes, 1.0, spec.n_requests, rng)
-    requests: List[Request] = []
     for rid in range(spec.n_requests):
         key = keys[int(rng.integers(len(keys)))]
         trace = traces[key]
@@ -133,16 +134,25 @@ def generate_workload(
         latencies = trace.latencies[row].tolist()
         sparsities = trace.sparsities[row].tolist()
         isolated = float(sum(latencies))
-        requests.append(
-            Request(
-                rid=rid,
-                model_name=trace.model_name,
-                pattern_key=trace.pattern_key,
-                arrival=float(arrivals[rid]),
-                slo=isolated * float(multipliers[rid]),
-                layer_latencies=latencies,
-                layer_sparsities=sparsities,
-                priority=float(priorities[rid]),
-            )
+        yield Request(
+            rid=rid,
+            model_name=trace.model_name,
+            pattern_key=trace.pattern_key,
+            arrival=float(arrivals[rid]),
+            slo=isolated * float(multipliers[rid]),
+            layer_latencies=latencies,
+            layer_sparsities=sparsities,
+            priority=float(priorities[rid]),
         )
-    return requests
+
+
+def generate_workload(
+    traces: Dict[str, TraceSet], spec: WorkloadSpec
+) -> List[Request]:
+    """Generate a request stream by sampling from profiled trace sets.
+
+    Each request uniformly picks a (model, pattern) trace set, then uniformly
+    picks one profiled input sample within it; the request inherits that
+    sample's true per-layer latencies and monitored sparsities.
+    """
+    return list(iter_workload(traces, spec))

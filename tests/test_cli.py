@@ -102,6 +102,36 @@ class TestCommands:
         assert rc == 0
         assert "ANTT" in capsys.readouterr().out
 
+    def test_cluster_prints_metrics(self, capsys):
+        rc = main(["cluster", "--pools", "eyeriss:2,sanger:2", "--router", "jsq",
+                   "--scheduler", "dysta", "--requests", "60", "--samples", "50"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ANTT" in out
+        assert "shed rate" in out
+        assert "p99 turnaround" in out
+        assert "eyeriss" in out and "sanger" in out
+
+    def test_cluster_streaming_with_admission(self, capsys):
+        rc = main(["cluster", "--pools", "eyeriss:1,sanger:1", "--router",
+                   "predictive", "--requests", "80", "--samples", "50",
+                   "--rate", "20", "--max-queue-depth", "4", "--slo-guard",
+                   "--streaming", "--traffic", "bursty"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "streaming metrics" in out
+        assert "shed rate" in out
+
+    def test_cluster_bad_pool_spec(self, capsys):
+        rc = main(["cluster", "--pools", "eyeriss", "--requests", "10",
+                   "--samples", "20"])
+        assert rc == 1
+        assert "bad pool spec" in capsys.readouterr().err
+
+    def test_cluster_unknown_router_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--router", "teleport"])
+
     def test_experiment_list(self, capsys):
         rc = main(["experiment", "--list"])
         assert rc == 0

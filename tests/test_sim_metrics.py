@@ -37,7 +37,14 @@ class TestMetrics:
     def test_summarize_keys(self):
         reqs = [finished(0, 0.0, 1.0)]
         out = summarize(reqs)
-        assert set(out) == {"antt", "violation_rate", "stp"}
+        assert set(out) == {"antt", "violation_rate", "stp", "p50", "p95", "p99"}
+
+    def test_summarize_percentiles_ordered(self):
+        reqs = [finished(i, 0.0, 0.2 * (i + 1)) for i in range(20)]
+        out = summarize(reqs)
+        assert out["p50"] <= out["p95"] <= out["p99"]
+        # Median of normalized turnarounds 1..20 with isolated latency 0.2.
+        assert out["p50"] == pytest.approx(10.5)
 
     def test_empty_rejected(self):
         with pytest.raises(SchedulingError):

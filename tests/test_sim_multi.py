@@ -121,6 +121,56 @@ class TestMultiAccelerator:
         )
         assert single.metrics["antt"] == pytest.approx(pooled.metrics["antt"])
 
+    def test_knob_validation(self, toy_lut):
+        with pytest.raises(SchedulingError):
+            simulate_multi([short(0, 0.0)], make_scheduler("fcfs", toy_lut),
+                           switch_cost=-1.0)
+        with pytest.raises(SchedulingError):
+            simulate_multi([short(0, 0.0)], make_scheduler("fcfs", toy_lut),
+                           block_size=0)
+
+    @pytest.mark.parametrize("scheduler_name", ["fcfs", "sjf", "dysta"])
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=6, deadline=None)
+    def test_single_npu_pool_matches_engine_with_knobs(self, scheduler_name, seed):
+        """Feature parity: switch_cost + block_size behave exactly as in the
+        single-NPU engine when the pool has one accelerator."""
+        lut, requests_a = build_world(seed, n_models=2, n_requests=10)
+        _, requests_b = build_world(seed, n_models=2, n_requests=10)
+        single = simulate(requests_a, make_scheduler(scheduler_name, lut),
+                          switch_cost=0.003, block_size=2)
+        pooled = simulate_multi(
+            requests_b, make_scheduler(scheduler_name, lut),
+            num_accelerators=1, switch_cost=0.003, block_size=2,
+        )
+        assert [r.rid for r in single.requests] == [r.rid for r in pooled.requests]
+        assert [r.finish_time for r in single.requests] == pytest.approx(
+            [r.finish_time for r in pooled.requests]
+        )
+        assert single.num_preemptions == pooled.num_preemptions
+        assert single.num_scheduler_invocations == pooled.num_scheduler_invocations
+
+    def test_each_npu_tracks_resident_weights(self, toy_lut):
+        # Two independent requests on two NPUs: one switch each, so both
+        # finish at isolated latency + one reload; a shared-resident model
+        # would charge one of them twice.
+        a, b = long(0, 0.0), long(1, 0.0)
+        simulate_multi([a, b], make_scheduler("fcfs", toy_lut),
+                       num_accelerators=2, switch_cost=0.5)
+        assert a.finish_time == pytest.approx(0.5 + a.isolated_latency)
+        assert b.finish_time == pytest.approx(0.5 + b.isolated_latency)
+
+    def test_block_size_reduces_invocations(self, toy_lut):
+        def run(block):
+            reqs = [long(i, 0.0) for i in range(4)]
+            return simulate_multi(reqs, make_scheduler("fcfs", toy_lut),
+                                  num_accelerators=2, block_size=block)
+
+        per_layer = run(1)
+        per_model = run(3)
+        assert per_model.num_scheduler_invocations < per_layer.num_scheduler_invocations
+        assert per_model.makespan == pytest.approx(per_layer.makespan)
+
     @given(
         seed=st.integers(min_value=0, max_value=5000),
         k=st.integers(min_value=1, max_value=4),
