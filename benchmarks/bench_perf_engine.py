@@ -3,7 +3,14 @@
 Unlike the experiment benches (which reproduce paper figures and run once),
 these measure wall-clock throughput of the hot paths with real statistical
 rounds — regression guards for the simulator.
+
+``REPRO_BENCH_SMOKE=1`` switches to a single-round smoke mode sized for CI:
+it still asserts that the vectorized fast path actually engaged
+(``num_batch_selects > 0``), so a converted scheduler silently regressing to
+the scalar fallback fails the build rather than just getting slower.
 """
+
+import os
 
 from repro.core.lut import ModelInfoLUT
 from repro.models.registry import build_model
@@ -13,8 +20,13 @@ from repro.sim.engine import simulate
 from repro.sim.workload import WorkloadSpec, generate_workload
 from repro.sparsity.patterns import DENSE
 
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+ROUNDS = 1 if SMOKE else 5
+N_REQUESTS = 60 if SMOKE else 200
+N_SAMPLES = 40 if SMOKE else 100
 
-def _fresh_workload(traces, n=200, seed=0):
+
+def _fresh_workload(traces, n=N_REQUESTS, seed=0):
     spec = WorkloadSpec(30.0, n_requests=n, slo_multiplier=10.0, seed=seed)
     return generate_workload(traces, spec)
 
@@ -31,8 +43,8 @@ def bench_perf_profiling_throughput(benchmark):
 
 
 def bench_perf_engine_dysta(benchmark):
-    """Phase-2 speed: Dysta on 200 requests (~14k scheduling decisions)."""
-    traces = benchmark_suite("attnn", n_samples=100, seed=0)
+    """Phase-2 speed: Dysta on the vectorized fast path (~14k decisions)."""
+    traces = benchmark_suite("attnn", n_samples=N_SAMPLES, seed=0)
     lut = ModelInfoLUT(traces)
 
     def setup():
@@ -41,13 +53,32 @@ def bench_perf_engine_dysta(benchmark):
     def run(requests, scheduler):
         return simulate(requests, scheduler)
 
-    result = benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)
-    assert len(result.requests) == 200
+    result = benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)
+    assert len(result.requests) == N_REQUESTS
+    # The fast path must actually engage — a silent regression to the scalar
+    # fallback is a correctness bug for this bench, not just a slowdown.
+    assert result.num_batch_selects > 0
+
+
+def bench_perf_engine_dysta_scalar(benchmark):
+    """Scalar reference path on the same workload (speedup denominator)."""
+    traces = benchmark_suite("attnn", n_samples=N_SAMPLES, seed=0)
+    lut = ModelInfoLUT(traces)
+
+    def setup():
+        return (_fresh_workload(traces), make_scheduler("dysta", lut)), {}
+
+    def run(requests, scheduler):
+        return simulate(requests, scheduler, use_batch=False)
+
+    result = benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)
+    assert len(result.requests) == N_REQUESTS
+    assert result.num_batch_selects == 0
 
 
 def bench_perf_engine_fcfs(benchmark):
     """Phase-2 baseline speed: FCFS has the cheapest select path."""
-    traces = benchmark_suite("attnn", n_samples=100, seed=0)
+    traces = benchmark_suite("attnn", n_samples=N_SAMPLES, seed=0)
     lut = ModelInfoLUT(traces)
 
     def setup():
@@ -56,5 +87,25 @@ def bench_perf_engine_fcfs(benchmark):
     def run(requests, scheduler):
         return simulate(requests, scheduler)
 
-    result = benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)
-    assert len(result.requests) == 200
+    result = benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)
+    assert len(result.requests) == N_REQUESTS
+    assert result.num_batch_selects > 0
+
+
+def bench_perf_engine_deep_queue(benchmark):
+    """Overload regime (queues of hundreds): the numpy scoring path."""
+    traces = benchmark_suite("attnn", n_samples=N_SAMPLES, seed=0)
+    lut = ModelInfoLUT(traces)
+    n = 120 if SMOKE else 400
+
+    def setup():
+        spec = WorkloadSpec(120.0, n_requests=n, slo_multiplier=10.0, seed=1)
+        return (generate_workload(traces, spec), make_scheduler("dysta", lut)), {}
+
+    def run(requests, scheduler):
+        return simulate(requests, scheduler)
+
+    result = benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)
+    assert len(result.requests) == n
+    assert result.num_batch_selects > 0
+    assert result.max_queue_length > 32  # deep enough to exercise numpy

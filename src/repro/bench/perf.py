@@ -1,0 +1,205 @@
+"""Performance-trajectory runner behind the ``repro perf`` CLI subcommand.
+
+Times the simulator's hot paths — the single-NPU engine per scheduler on
+both the scalar reference path and the vectorized fast path, the deep-queue
+overload regime, and the streaming cluster replay — and emits a
+``BENCH_perf.json`` snapshot.  The JSON is the repo's measured perf
+baseline: every optimisation PR re-runs it and compares against the
+committed numbers instead of hand-waving.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import sys
+import time
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster import Pool, build_heterogeneous_world, build_router, simulate_cluster
+from repro.core.lut import ModelInfoLUT
+from repro.profiling.profiler import benchmark_suite
+from repro.schedulers.base import make_scheduler
+from repro.sim.engine import simulate
+from repro.sim.workload import WorkloadSpec, generate_workload, iter_workload
+
+ENGINE_SCHEDULERS = ("dysta", "fcfs", "sjf", "prema", "sdrm3", "oracle")
+
+
+def _best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _rss_mb() -> float:
+    """Peak resident set size of this process, in MiB (ru_maxrss is KiB on
+    Linux, bytes on macOS)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
+def time_engine_suite(
+    schedulers: Sequence[str] = ENGINE_SCHEDULERS,
+    *,
+    n_requests: int = 200,
+    arrival_rate: float = 30.0,
+    n_samples: int = 100,
+    rounds: int = 3,
+    progress=None,
+) -> Dict[str, Dict[str, float]]:
+    """Scalar vs vectorized wall-clock per scheduler on one workload.
+
+    Matches ``bench_perf_engine_dysta``'s workload (attnn suite, 200
+    requests @ 30 req/s) so the numbers line up with the pytest-benchmark
+    suite.
+    """
+    traces = benchmark_suite("attnn", n_samples=n_samples, seed=0)
+    lut = ModelInfoLUT(traces)
+    spec = WorkloadSpec(arrival_rate, n_requests=n_requests,
+                        slo_multiplier=10.0, seed=0)
+    out: Dict[str, Dict[str, float]] = {}
+    for name in schedulers:
+        row: Dict[str, float] = {}
+        for label, use_batch in (("scalar_s", False), ("vectorized_s", None)):
+            def run(use_batch=use_batch):
+                reqs = generate_workload(traces, spec)
+                result = simulate(reqs, make_scheduler(name, lut),
+                                  use_batch=use_batch)
+                assert len(result.requests) == n_requests
+            row[label] = _best_of(run, rounds)
+        row["speedup"] = row["scalar_s"] / row["vectorized_s"]
+        out[name] = row
+        if progress:
+            progress(f"engine/{name}: scalar {1e3 * row['scalar_s']:.1f} ms, "
+                     f"vectorized {1e3 * row['vectorized_s']:.1f} ms "
+                     f"({row['speedup']:.1f}x)")
+    return out
+
+
+def time_deep_queue(
+    *,
+    n_requests: int = 400,
+    arrival_rate: float = 120.0,
+    n_samples: int = 100,
+    rounds: int = 2,
+    progress=None,
+) -> Dict[str, float]:
+    """Overload regime: hundreds-deep queues exercise the numpy path."""
+    traces = benchmark_suite("attnn", n_samples=n_samples, seed=0)
+    lut = ModelInfoLUT(traces)
+    spec = WorkloadSpec(arrival_rate, n_requests=n_requests,
+                        slo_multiplier=10.0, seed=1)
+    row: Dict[str, float] = {}
+    max_queue = 0
+    for label, use_batch in (("scalar_s", False), ("vectorized_s", None)):
+        def run(use_batch=use_batch):
+            nonlocal max_queue
+            reqs = generate_workload(traces, spec)
+            result = simulate(reqs, make_scheduler("dysta", lut),
+                              use_batch=use_batch)
+            max_queue = max(max_queue, result.max_queue_length)
+        row[label] = _best_of(run, rounds)
+    row["speedup"] = row["scalar_s"] / row["vectorized_s"]
+    row["max_queue_length"] = max_queue
+    if progress:
+        progress(f"deep-queue dysta (queue depth {max_queue}): scalar "
+                 f"{row['scalar_s']:.2f} s, vectorized {row['vectorized_s']:.2f} s "
+                 f"({row['speedup']:.1f}x)")
+    return row
+
+
+def time_cluster_stream(
+    *,
+    n_requests: int = 100_000,
+    arrival_rate: float = 12.0,
+    n_samples: int = 200,
+    scheduler: str = "dysta",
+    routers: Sequence[str] = ("jsq", "predictive"),
+    progress=None,
+) -> Dict[str, Dict[str, float]]:
+    """Streaming bounded-memory replay through the heterogeneous cluster.
+
+    Uses ``iter_workload`` + ``retain_requests=False``: no request list is
+    ever materialized, so the replay's memory stays flat regardless of
+    stream length.  Reports wall-clock, throughput and the peak-RSS delta
+    across the replay as the bounded-memory evidence.
+    """
+    traces, lut, affinity = build_heterogeneous_world(n_samples=n_samples)
+    out: Dict[str, Dict[str, float]] = {}
+    for router_name in routers:
+        pools = [
+            Pool("eyeriss", make_scheduler(scheduler, lut), 2,
+                 affinity=affinity["cnn"]),
+            Pool("sanger", make_scheduler(scheduler, lut), 2,
+                 affinity=affinity["attnn"]),
+        ]
+        spec = WorkloadSpec(arrival_rate, n_requests=n_requests,
+                            slo_multiplier=10.0, seed=0)
+        rss_before = _rss_mb()
+        t0 = time.perf_counter()
+        result = simulate_cluster(
+            iter_workload(traces, spec),
+            pools,
+            build_router(router_name, lut),
+            retain_requests=False,
+        )
+        wall = time.perf_counter() - t0
+        assert result.num_completed == n_requests
+        assert result.requests == [] and result.shed_requests == []
+        out[router_name] = {
+            "requests": n_requests,
+            "wall_s": wall,
+            "requests_per_s": n_requests / wall,
+            "scheduler_invocations": result.num_scheduler_invocations,
+            "batch_selects": result.num_batch_selects,
+            "max_queue_length": result.max_queue_length,
+            "antt": result.antt,
+            "violation_rate": result.violation_rate,
+            "p99": result.p99,
+            "peak_rss_delta_mb": _rss_mb() - rss_before,
+        }
+        if progress:
+            progress(f"cluster/{router_name}: {n_requests} requests in "
+                     f"{wall:.1f} s ({n_requests / wall:,.0f} req/s, "
+                     f"{result.num_scheduler_invocations:,} decisions, "
+                     f"peak-RSS delta {out[router_name]['peak_rss_delta_mb']:.0f} MiB)")
+    return out
+
+
+def run_perf_suite(
+    *,
+    cluster_requests: int = 100_000,
+    rounds: int = 3,
+    include_cluster: bool = True,
+    out_path: Optional[str] = None,
+    progress=None,
+) -> Dict:
+    """Run every perf bench and optionally write the JSON snapshot."""
+    report: Dict = {
+        "schema": 1,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "engine_200req_rate30": time_engine_suite(rounds=rounds, progress=progress),
+        "deep_queue_400req_rate120": time_deep_queue(progress=progress),
+    }
+    if include_cluster:
+        report["cluster_stream"] = time_cluster_stream(
+            n_requests=cluster_requests, progress=progress
+        )
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report

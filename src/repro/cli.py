@@ -256,6 +256,29 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    """Run the simulator perf benches and write the BENCH_perf.json baseline."""
+    from repro.bench.perf import run_perf_suite
+
+    report = run_perf_suite(
+        cluster_requests=args.cluster_requests,
+        rounds=args.rounds,
+        include_cluster=not args.skip_cluster,
+        out_path=args.out,
+        progress=print,
+    )
+    dysta = report["engine_200req_rate30"]["dysta"]
+    print()
+    print(f"dysta engine speedup (vectorized vs scalar): {dysta['speedup']:.2f}x")
+    if not args.skip_cluster:
+        for router, row in report["cluster_stream"].items():
+            print(f"cluster replay [{router}]: {row['requests']} requests "
+                  f"in {row['wall_s']:.1f} s")
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_predictor_rmse(args: argparse.Namespace) -> int:
     traces = benchmark_suite("attnn", n_samples=args.samples, seed=0)
     lut = ModelInfoLUT(traces)
@@ -383,6 +406,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--block-size", type=int, default=1)
     p_cluster.add_argument("--switch-cost", type=float, default=0.0)
     p_cluster.set_defaults(func=_cmd_cluster)
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="time the simulator hot paths and emit BENCH_perf.json",
+    )
+    p_perf.add_argument("--out", default="BENCH_perf.json",
+                        help="output JSON path (empty string to skip writing)")
+    p_perf.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per engine measurement (min taken)")
+    p_perf.add_argument("--cluster-requests", type=int, default=100_000,
+                        help="streaming cluster replay length")
+    p_perf.add_argument("--skip-cluster", action="store_true",
+                        help="skip the streaming cluster replay")
+    p_perf.set_defaults(func=_cmd_perf)
 
     p_rmse = sub.add_parser("predictor-rmse",
                             help="sparse latency predictor RMSE table")

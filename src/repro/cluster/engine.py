@@ -48,6 +48,8 @@ class PoolStats:
     busy_time: float
     #: Fraction of accelerator-seconds spent serving over the makespan.
     utilization: float
+    #: Decisions served by the vectorized fast path (0 on the scalar path).
+    batch_selects: int = 0
 
 
 @dataclass
@@ -70,6 +72,8 @@ class ClusterResult:
     max_queue_length: int
     pool_stats: Dict[str, PoolStats]
     metrics: Dict[str, float] = field(default_factory=dict)
+    #: Decisions served by the vectorized fast path across all pools.
+    num_batch_selects: int = 0
 
     @property
     def num_offered(self) -> int:
@@ -254,6 +258,7 @@ def simulate_cluster(
             utilization=(
                 p.busy_time / (p.num_accelerators * makespan) if makespan > 0 else 0.0
             ),
+            batch_selects=p.batch_selects,
         )
         for p in pools
     }
@@ -269,4 +274,5 @@ def simulate_cluster(
         max_queue_length=max(p.max_queue_length for p in pools),
         pool_stats=pool_stats,
         metrics=summary,
+        num_batch_selects=sum(p.batch_selects for p in pools),
     )

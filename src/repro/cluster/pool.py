@@ -12,6 +12,14 @@ pool relative to the latencies recorded in the request traces, and
 runs CNNs at native speed but pays a penalty hosting an AttNN whose trace
 was profiled on Sanger).  Effective execution time of a layer is
 ``true_latency / (speed * affinity[model])``.
+
+Pools share the vectorized scheduling core: a pool whose scheduler supports
+batch selection backs its queue with an array-backed
+:class:`~repro.sim.ready_queue.ReadyQueue` and dispatches through
+``select_single`` / ``select_batch``, which is what keeps 100k-request
+streaming replays fast — per-decision work stays O(queue) arithmetic in
+numpy (or a tight loop at small depths) instead of O(queue) Python
+property/dict traffic.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ import heapq
 from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Mapping, Optional
 
 from repro.errors import SchedulingError
+from repro.sim.ready_queue import ReadyQueue
 from repro.sim.request import Request
 
 if TYPE_CHECKING:  # avoid a runtime circular import with repro.schedulers
@@ -40,6 +49,8 @@ class Pool:
             models absent from the mapping run at factor 1.0.
         switch_cost: Weight-reload cost on a model switch, per accelerator.
         block_size: Scheduling granularity in layers.
+        use_batch: ``None``/``True`` uses the vectorized selection path when
+            the scheduler supports it; ``False`` forces the scalar path.
     """
 
     def __init__(
@@ -52,6 +63,7 @@ class Pool:
         affinity: Optional[Mapping[str, float]] = None,
         switch_cost: float = 0.0,
         block_size: int = 1,
+        use_batch: Optional[bool] = None,
     ):
         if not name:
             raise SchedulingError("pool name must be non-empty")
@@ -82,6 +94,9 @@ class Pool:
                 )
         self.switch_cost = switch_cost
         self.block_size = block_size
+        self._batch = use_batch is not False and getattr(
+            scheduler, "supports_batch", False
+        )
         self.reset()
 
     # -- run state ----------------------------------------------------------
@@ -89,7 +104,14 @@ class Pool:
     def reset(self) -> None:
         """Clear all per-run state; called by the cluster engine."""
         self.scheduler.reset()
-        self.queue: List[Request] = []
+        if self._batch:
+            self.queue = ReadyQueue(
+                self.scheduler.lut, columns=self.scheduler.batch_columns
+            )
+            self.scheduler.bind_queue(self.queue)
+        else:
+            self.scheduler.bind_queue(None)
+            self.queue = []  # type: ignore[assignment]
         self.idle: List[int] = list(range(self.num_accelerators))
         heapq.heapify(self.idle)
         self.running: Dict[int, Request] = {}  # npu -> in-flight request
@@ -97,6 +119,7 @@ class Pool:
         self._resident: List[Optional[Request]] = [None] * self.num_accelerators
         self.preemptions = 0
         self.invocations = 0
+        self.batch_selects = 0
         self.max_queue_length = 0
         self.dispatched = 0  # requests first-dispatched in this pool
         self.completed = 0
@@ -131,14 +154,26 @@ class Pool:
         ``push_event(end_time, pool, npu, request, n_layers, dt)`` schedules
         the block-completion event on the cluster-wide event heap.
         """
-        while self.idle and self.queue:
+        scheduler = self.scheduler
+        queue = self.queue
+        batch_on = self._batch
+        while self.idle and queue:
             npu = heapq.heappop(self.idle)
-            chosen = self.scheduler.select(self.queue, now)
+            nq = len(queue)
+            if not batch_on or queue.missing_entries:
+                chosen = scheduler.select(queue, now)
+            elif nq == 1:
+                chosen = scheduler.select_single(queue, now)
+                self.batch_selects += 1
+            else:
+                chosen = scheduler.select_batch(queue, now)
+                self.batch_selects += 1
             self.invocations += 1
-            self.max_queue_length = max(self.max_queue_length, len(self.queue))
-            if chosen not in self.queue:
+            if nq > self.max_queue_length:
+                self.max_queue_length = nq
+            if chosen not in queue:
                 raise SchedulingError(
-                    f"scheduler {self.scheduler.name!r} (pool {self.name!r}) "
+                    f"scheduler {scheduler.name!r} (pool {self.name!r}) "
                     "selected a request outside the queue"
                 )
             previous = self._last_on_npu[npu]
@@ -152,12 +187,19 @@ class Pool:
             if self.switch_cost > 0.0 and chosen is not self._resident[npu]:
                 start += self.switch_cost
             self._resident[npu] = chosen
-            self.queue.remove(chosen)
-            layers = min(self.block_size, chosen.num_layers - chosen.next_layer)
+            if batch_on:
+                queue.remove(chosen, requeue=True)
+            else:
+                queue.remove(chosen)
+            nl = chosen.next_layer
+            layers = min(self.block_size, chosen.num_layers - nl)
             speed = self.service_speed(chosen)
-            dt = sum(
-                chosen.layer_latencies[chosen.next_layer + k] for k in range(layers)
-            ) / speed
+            if layers == 1:
+                dt = chosen.layer_latencies[nl] / speed
+            else:
+                dt = sum(
+                    chosen.layer_latencies[nl + k] for k in range(layers)
+                ) / speed
             self.running[npu] = chosen
             self.busy_time += (start - now) + dt
             push_event(start + dt, self, npu, chosen, layers, dt)
@@ -174,13 +216,18 @@ class Pool:
         request.next_layer += layers
         request.executed_time += dt
         request.last_run_end = now
-        self.scheduler.on_layer_complete(request, now)
         if request.is_done:
+            if self._batch:
+                self.queue.forget(request.rid)
+            self.scheduler.on_layer_complete(request, now)
             request.finish_time = now
             self.completed += 1
             self.scheduler.on_complete(request, now)
             return True
+        # Re-admit before the monitor callback so batch schedulers can
+        # refresh the request's row (aux state was stashed at dispatch).
         self.queue.append(request)
+        self.scheduler.on_layer_complete(request, now)
         return False
 
 
@@ -191,3 +238,15 @@ def check_unique_names(pools: List[Pool]) -> None:
     names = [p.name for p in pools]
     if len(set(names)) != len(names):
         raise SchedulingError(f"pool names must be unique, got {names}")
+    # Schedulers carry per-run state (and, in batch mode, a binding to one
+    # pool's ready queue), so instances must not be shared between pools —
+    # a shared instance would score one pool's queue with another pool's
+    # cached state.
+    seen: Dict[int, str] = {}
+    for pool in pools:
+        owner = seen.setdefault(id(pool.scheduler), pool.name)
+        if owner != pool.name:
+            raise SchedulingError(
+                f"pools {owner!r} and {pool.name!r} share one scheduler "
+                "instance; construct a separate scheduler per pool"
+            )

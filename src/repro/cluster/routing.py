@@ -29,7 +29,11 @@ import itertools
 from typing import Callable, Dict, List, Sequence
 
 from repro.core.lut import ModelInfoLUT
-from repro.core.predictor import PredictorStrategy, SparseLatencyPredictor
+from repro.core.predictor import (
+    _MIN_DENSITY,
+    PredictorStrategy,
+    SparseLatencyPredictor,
+)
 from repro.errors import SchedulingError
 from repro.sim.request import Request
 
@@ -132,10 +136,32 @@ class PredictiveRouter(Router):
         self.predictor = SparseLatencyPredictor(lut, strategy, alpha=alpha, n=n)
 
     def _remaining(self, request: Request) -> float:
-        if request.key not in self.predictor.lut:
+        predictor = self.predictor
+        entry = request.lut_entry(predictor.lut)
+        if entry is None:
             return 0.0
-        return self.predictor.predict_remaining(
-            request.key, request.next_layer, request.monitored_sparsities
+        j = request.next_layer
+        if predictor.strategy is PredictorStrategy.LAST_ONE:
+            # Inlined Algorithm-3 last-one estimate over the request's cached
+            # LUT entry — the same arithmetic as predict_remaining, term for
+            # term, without the per-call string-key lookups.  The router
+            # evaluates this for every queued + in-flight request of every
+            # pool on every arrival, so it dominates streaming-replay cost.
+            if j == 0:
+                gamma = 1.0
+            else:
+                mon_density = 1.0 - request.layer_sparsities[j - 1]
+                avg_density = 1.0 - entry.avg_layer_sparsities_t[j - 1]
+                if mon_density < _MIN_DENSITY:
+                    mon_density = _MIN_DENSITY
+                if avg_density < _MIN_DENSITY:
+                    avg_density = _MIN_DENSITY
+                gamma = 1.0 + entry.density_slope * (mon_density / avg_density - 1.0)
+                if gamma < _MIN_DENSITY:
+                    gamma = _MIN_DENSITY
+            return predictor.alpha * gamma * entry.remaining_suffix_t[j]
+        return predictor.predict_remaining(
+            request.key, j, request.monitored_sparsities
         )
 
     def predicted_finish(self, request: Request, pool: Pool) -> float:

@@ -24,16 +24,38 @@ penalty.
 ``DystaScheduler(predictor=None)`` (registry name ``dysta_nosparse``) is the
 Fig 13 ablation: the dynamic hardware monitor and sparsity support are
 disabled, so remaining times fall back to the static LUT averages.
+
+**Vectorized fast path.**  The sparsity-refined remaining estimate only
+changes when a layer of that request completes, so in batch mode it is
+computed once per monitor event (``on_layer_complete``) and cached in the
+ready queue's ``dysta_rem`` aux column instead of being re-derived for every
+queued request at every decision.  ``select_batch`` then scores the whole
+queue in one pass — a tight scalar loop over the column mirrors at small
+depths, one numpy expression at large depths — replicating the scalar
+arithmetic operation-for-operation so decisions are bit-identical.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.core.lut import ModelInfoLUT
-from repro.core.predictor import PredictorStrategy, SparseLatencyPredictor
+from repro.core.predictor import (
+    _MIN_DENSITY,
+    PredictorStrategy,
+    SparseLatencyPredictor,
+)
 from repro.schedulers.base import Scheduler, register_scheduler
+from repro.sim.ready_queue import ReadyQueue, np_lexmin
 from repro.sim.request import Request
+
+_AUX_REM = "dysta_rem"
+#: Clamped isolated latency max(Lat_avg, 1e-12) and its negation, fixed per
+#: request: precomputed at arrival so the per-decision loop skips the clamp.
+_AUX_ISO = "dysta_iso"
+_AUX_NEG_ISO = "dysta_neg_iso"
 
 
 class DystaScheduler(Scheduler):
@@ -52,6 +74,16 @@ class DystaScheduler(Scheduler):
     """
 
     name = "dysta"
+    supports_batch = True
+    batch_columns = ("deadline", "last_run_end")
+    single_drain_safe = True
+    trivial_single = True  # select_single is queue[0] (no resident tracking)
+
+    #: Switch-cost extension hooks (see :class:`DystaSwitchAware`); the base
+    #: policy charges nothing and tracks nothing.
+    _track_resident = False
+    switch_cost = 0.0
+    _resident: Optional[int] = None
 
     def __init__(
         self,
@@ -73,12 +105,16 @@ class DystaScheduler(Scheduler):
         self.predictor: Optional[SparseLatencyPredictor] = (
             SparseLatencyPredictor(lut, strategy, alpha=alpha) if sparsity_aware else None
         )
+        # Hoisted monitor-hook constants (hot path: once per layer event).
+        self._fast_last_one = (
+            self.predictor is not None
+            and self.predictor.strategy is PredictorStrategy.LAST_ONE
+        )
+        self._pred_alpha = self.predictor.alpha if self.predictor is not None else 1.0
 
     def _quantize(self, value: float) -> float:
         """Round a score-path value to the configured hardware precision."""
         if self.score_dtype == "fp16":
-            import numpy as np  # noqa: PLC0415
-
             return float(np.float16(value))
         return value
 
@@ -94,6 +130,14 @@ class DystaScheduler(Scheduler):
         # The static level computes the initial score and forwards the model
         # info to the hardware level; the LUT is shared state here.
         self.static_score(request, now)
+        queue = self._bound
+        if queue is not None:
+            i = queue.index_of(request)
+            if i >= 0:
+                queue.aux_set(_AUX_REM, i, self.remaining_estimate(request))
+                isolated = max(self.estimated_isolated(request), 1e-12)
+                queue.aux_set(_AUX_ISO, i, isolated)
+                queue.aux_set(_AUX_NEG_ISO, i, -isolated)
 
     # -- dynamic level (Algorithm 2) ----------------------------------------
 
@@ -104,6 +148,52 @@ class DystaScheduler(Scheduler):
         return self.predictor.predict_remaining(
             request.key, request.next_layer, request.monitored_sparsities
         )
+
+    def on_layer_complete(self, request: Request, now: float) -> None:
+        # Monitor event: refresh the cached remaining estimate.  The scalar
+        # path recomputes the estimate at every decision instead, but the
+        # value only changes here, so caching is decision-equivalent.
+        queue = self._bound
+        if queue is None:
+            return
+        j = request.next_layer
+        if j > 0 and self._fast_last_one:
+            # Inlined Algorithm-3 last-one update over the cached LUT entry:
+            # the same arithmetic as SparseLatencyPredictor.predict_remaining,
+            # term for term, without the per-call key lookups.
+            entry = request.lut_entry(self.lut)
+            mon_density = 1.0 - request.layer_sparsities[j - 1]
+            avg_density = 1.0 - entry.avg_layer_sparsities_t[j - 1]
+            if mon_density < _MIN_DENSITY:
+                mon_density = _MIN_DENSITY
+            if avg_density < _MIN_DENSITY:
+                avg_density = _MIN_DENSITY
+            gamma = 1.0 + entry.density_slope * (mon_density / avg_density - 1.0)
+            if gamma < _MIN_DENSITY:
+                gamma = _MIN_DENSITY
+            value = self._pred_alpha * gamma * entry.remaining_suffix_t[j]
+        else:
+            value = self.remaining_estimate(request)
+        queue.aux_set_for(_AUX_REM, request, value)
+
+    def bind_queue(self, queue: Optional[ReadyQueue]) -> None:
+        super().bind_queue(queue)
+        if queue is None:
+            self._t_rem = None
+            return
+        queue.register_aux(_AUX_REM, 0.0)
+        queue.register_aux(_AUX_ISO, 1e-12)
+        queue.register_aux(_AUX_NEG_ISO, -1e-12)
+        # The queue's list mirrors are stable objects (mutated in place,
+        # never rebound), so bind them once instead of re-fetching per
+        # decision.  Safe because Dysta never writes its aux columns through
+        # the vectorized (dirty-marking) interface — point writes only.
+        self._t_rem = queue.aux_list(_AUX_REM)
+        self._t_iso = queue.aux_list(_AUX_ISO)
+        self._t_ni = queue.aux_list(_AUX_NEG_ISO)
+        self._t_dl = queue.ls_deadline
+        self._t_lre = queue.ls_last_run_end
+        self._t_rid = queue.ls_rid
 
     def dynamic_score(self, request: Request, now: float, queue_len: int) -> float:
         remaining = self._quantize(self.remaining_estimate(request))
@@ -118,7 +208,96 @@ class DystaScheduler(Scheduler):
 
     def select(self, queue: Sequence[Request], now: float) -> Request:
         n_queue = len(queue)
-        return min(queue, key=lambda r: (self.dynamic_score(r, now, n_queue), r.rid))
+        chosen = min(queue, key=lambda r: (self.dynamic_score(r, now, n_queue), r.rid))
+        if self._track_resident:
+            self._resident = chosen.rid
+        return chosen
+
+    # -- vectorized fast path ----------------------------------------------
+
+    def select_single(self, queue: "ReadyQueue", now: float) -> Request:
+        chosen = queue._requests[0]
+        if self._track_resident:
+            self._resident = chosen.rid
+        return chosen
+
+    def select_batch(self, queue: "ReadyQueue", now: float) -> Request:
+        n = queue._n
+        if self.score_dtype == "fp16" or n >= self.numpy_min_queue:
+            chosen = self._select_np(queue, now, n)
+        else:
+            # Tight scalar loop over the list mirrors; same arithmetic as
+            # `dynamic_score`, term for term.
+            eta = self.eta
+            res = self._resident
+            swc = self.switch_cost if res is not None else 0.0
+            rem_l = self._t_rem
+            iso_l = self._t_iso
+            ni_l = self._t_ni
+            dl_l = self._t_dl
+            lre_l = self._t_lre
+            rid_l = self._t_rid
+            best = 0
+            best_score = None
+            if swc:
+                best_rid = 0
+                for i in range(n):
+                    rem = rem_l[i]
+                    slack = dl_l[i] - now - rem
+                    neg_iso = ni_l[i]
+                    if slack < neg_iso:
+                        slack = neg_iso
+                    wait = now - lre_l[i]
+                    if wait < 0.0:
+                        wait = 0.0
+                    score = rem + eta * (slack + (wait / iso_l[i]) / n)
+                    rid = rid_l[i]
+                    if rid != res:
+                        score += swc
+                    if best_score is None or score < best_score or (
+                        score == best_score and rid < best_rid
+                    ):
+                        best_score = score
+                        best_rid = rid
+                        best = i
+            else:
+                # Common case (no switch-cost term): rids only matter on
+                # ties, so skip the per-element rid read.
+                for i in range(n):
+                    rem = rem_l[i]
+                    slack = dl_l[i] - now - rem
+                    neg_iso = ni_l[i]
+                    if slack < neg_iso:
+                        slack = neg_iso
+                    wait = now - lre_l[i]
+                    if wait < 0.0:
+                        wait = 0.0
+                    score = rem + eta * (slack + (wait / iso_l[i]) / n)
+                    if best_score is None or score < best_score:
+                        best_score = score
+                        best = i
+                    elif score == best_score and rid_l[i] < rid_l[best]:
+                        best = i
+            chosen = queue._requests[best]
+        if self._track_resident:
+            self._resident = chosen.rid
+        return chosen
+
+    def _select_np(self, queue: "ReadyQueue", now: float, n: int) -> Request:
+        rem = queue.aux_np(_AUX_REM)[:n]
+        iso = queue.aux_np(_AUX_ISO)[:n]
+        if self.score_dtype == "fp16":
+            rem = rem.astype(np.float16).astype(np.float64)
+        slack = np.maximum(queue.np_deadline[:n] - now - rem,
+                           queue.aux_np(_AUX_NEG_ISO)[:n])
+        wait = np.maximum(now - queue.np_last_run_end[:n], 0.0)
+        score = rem + self.eta * (slack + (wait / iso) / n)
+        if self.score_dtype == "fp16":
+            score = score.astype(np.float16).astype(np.float64)
+        rid = queue.np_rid[:n]
+        if self.switch_cost and self._resident is not None:
+            score = np.where(rid != self._resident, score + self.switch_cost, score)
+        return queue[np_lexmin(score, rid)]
 
 
 @register_scheduler("dysta")
@@ -151,12 +330,15 @@ class DystaSwitchAware(DystaScheduler):
     hardware cost.
     """
 
+    _track_resident = True
+    trivial_single = False  # select_single updates the resident-model state
+
     def __init__(self, lut: ModelInfoLUT, switch_cost: float = 0.0, **kwargs):
         super().__init__(lut, **kwargs)
         if switch_cost < 0:
             raise ValueError(f"switch cost must be >= 0, got {switch_cost}")
         self.switch_cost = switch_cost
-        self._resident: Optional[int] = None
+        self._resident = None
 
     def reset(self) -> None:
         self._resident = None
@@ -166,11 +348,6 @@ class DystaSwitchAware(DystaScheduler):
         if self._resident is not None and request.rid != self._resident:
             score += self.switch_cost
         return score
-
-    def select(self, queue: Sequence[Request], now: float) -> Request:
-        chosen = super().select(queue, now)
-        self._resident = chosen.rid
-        return chosen
 
 
 @register_scheduler("dysta_static")
@@ -185,6 +362,11 @@ class DystaStaticOnly(Scheduler):
     contribution of the dynamic level.
     """
 
+    supports_batch = True
+    batch_columns = ()
+    single_drain_safe = True
+    trivial_single = True
+
     def __init__(self, lut: ModelInfoLUT, beta: float = 0.5):
         super().__init__(lut)
         self.beta = beta
@@ -193,12 +375,43 @@ class DystaStaticOnly(Scheduler):
     def reset(self) -> None:
         self._scores: dict = {}
 
+    def bind_queue(self, queue: Optional[ReadyQueue]) -> None:
+        super().bind_queue(queue)
+        if queue is not None:
+            queue.register_aux("static_score", 0.0)
+
     def on_arrival(self, request: Request, now: float) -> None:
         lat = self.estimated_isolated(request)
-        self._scores[request.rid] = lat + self.beta * (request.slo - lat)
+        score = lat + self.beta * (request.slo - lat)
+        self._scores[request.rid] = score
+        queue = self._bound
+        if queue is not None:
+            i = queue.index_of(request)
+            if i >= 0:
+                queue.aux_set("static_score", i, score)
 
     def on_complete(self, request: Request, now: float) -> None:
         self._scores.pop(request.rid, None)
 
     def select(self, queue: Sequence[Request], now: float) -> Request:
         return min(queue, key=lambda r: (self._scores.get(r.rid, 0.0), r.rid))
+
+    def select_single(self, queue: "ReadyQueue", now: float) -> Request:
+        return queue[0]
+
+    def select_batch(self, queue: "ReadyQueue", now: float) -> Request:
+        n = len(queue)
+        if n >= self.numpy_min_queue:
+            return queue[np_lexmin(queue.aux_np("static_score")[:n], queue.np_rid[:n])]
+        sc_l = queue.aux_list("static_score")
+        rid_l = queue.ls_rid
+        best = 0
+        best_score = sc_l[0]
+        best_rid = rid_l[0]
+        for i in range(1, n):
+            score = sc_l[i]
+            if score < best_score or (score == best_score and rid_l[i] < best_rid):
+                best_score = score
+                best_rid = rid_l[i]
+                best = i
+        return queue[best]

@@ -11,7 +11,7 @@ request's ground-truth trace (that privilege is the Oracle's).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +33,10 @@ class LUTEntry:
     #: alpha — "how effectively sparsity can deliver real latency reduction"
     #: on the target hardware — calibrated from the offline profile.
     density_slope: float
+    #: Plain-tuple mirrors of the arrays above (bit-identical values via
+    #: tolist); scalar hot paths index these to skip numpy boxing.
+    avg_layer_sparsities_t: Tuple[float, ...] = ()
+    remaining_suffix_t: Tuple[float, ...] = ()
 
 
 def _calibrate_density_slope(trace: TraceSet) -> float:
@@ -77,6 +81,8 @@ class ModelInfoLUT:
                 remaining_suffix=suffix,
                 network_avg_sparsity=float(trace.avg_layer_sparsities.mean()),
                 density_slope=_calibrate_density_slope(trace),
+                avg_layer_sparsities_t=tuple(trace.avg_layer_sparsities.tolist()),
+                remaining_suffix_t=tuple(suffix.tolist()),
             )
 
     def __contains__(self, key: str) -> bool:
@@ -91,6 +97,10 @@ class ModelInfoLUT:
             return self._entries[key]
         except KeyError:
             raise SchedulingError(f"no LUT entry for {key!r}") from None
+
+    def entry_or_none(self, key: str) -> Optional[LUTEntry]:
+        """The interned :class:`LUTEntry` for ``key``, or None if absent."""
+        return self._entries.get(key)
 
     def avg_total_latency(self, key: str) -> float:
         """Average isolated latency of the (model, pattern) pair."""

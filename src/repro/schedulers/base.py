@@ -11,21 +11,80 @@ sparsities); only the Oracle may touch ground truth.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, List, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Sequence, Tuple
 
 from repro.core.lut import ModelInfoLUT
 from repro.errors import SchedulingError
 from repro.sim.request import Request
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.ready_queue import ReadyQueue
+
 
 class Scheduler(abc.ABC):
-    """Base class for all scheduling policies."""
+    """Base class for all scheduling policies.
+
+    Policies implement the scalar :meth:`select`.  Converted policies
+    additionally opt into the vectorized fast path by setting
+    ``supports_batch = True`` and implementing :meth:`select_batch` over the
+    engines' :class:`~repro.sim.ready_queue.ReadyQueue`; unconverted
+    policies transparently keep the scalar path.  Both paths must make
+    bit-identical decisions (the golden schedule-equivalence tests enforce
+    it), which the converted policies achieve by replicating the scalar
+    arithmetic operation-for-operation over the queue's cached columns.
+    """
 
     #: Registry / display name; subclasses override.
     name: str = "base"
 
+    #: Converted policies set True and implement :meth:`select_batch`.
+    supports_batch: bool = False
+
+    #: Ready-queue columns the batch path reads (see
+    #: :data:`repro.sim.ready_queue.KNOWN_COLUMNS`).
+    batch_columns: Tuple[str, ...] = ()
+
+    #: True when (a) ``select`` on a singleton queue is stateless or
+    #: idempotent and (b) ``on_layer_complete`` only overwrites per-request
+    #: state (never accumulates).  The engine may then run a lone request
+    #: for several consecutive layer blocks without re-invoking selection.
+    single_drain_safe: bool = False
+
+    #: Queue depth at which the batch path switches from a tight scalar
+    #: loop over the list mirrors to numpy over the array columns (numpy's
+    #: per-ufunc dispatch overhead dominates below this).
+    numpy_min_queue: int = 32
+
+    #: True when ``select_single`` is exactly "return queue[0]" with no state
+    #: update; the engine then skips the call entirely on singleton queues.
+    trivial_single: bool = False
+
     def __init__(self, lut: ModelInfoLUT):
         self.lut = lut
+        self._bound: "ReadyQueue" = None  # type: ignore[assignment]
+
+    def bind_queue(self, queue: "ReadyQueue") -> None:
+        """Attach the engine's ready queue for this run (batch mode only).
+
+        Subclasses that keep per-request aux state register their columns
+        here (and must call ``super().bind_queue(queue)``).
+        """
+        self._bound = queue
+
+    def select_single(self, queue: Sequence[Request], now: float) -> Request:
+        """Fast path for a singleton queue (batch mode).
+
+        The default defers to the full scalar path; converted policies
+        override it to return ``queue[0]`` directly (updating any per-select
+        state first), which must be decision- and state-equivalent.
+        """
+        return self.select(queue, now)
+
+    def select_batch(self, queue: "ReadyQueue", now: float) -> Request:
+        """Vectorized selection over the ready queue's columns."""
+        raise SchedulingError(
+            f"scheduler {self.name!r} does not implement select_batch"
+        )
 
     def reset(self) -> None:
         """Clear any cross-run state; called by the engine before a run."""
@@ -49,11 +108,17 @@ class Scheduler(abc.ABC):
 
     def estimated_isolated(self, request: Request) -> float:
         """Offline-average isolated latency of the request's (model, pattern)."""
-        return self.lut.avg_total_latency(request.key)
+        entry = request.lut_entry(self.lut)
+        if entry is None:
+            raise SchedulingError(f"no LUT entry for {request.key!r}")
+        return entry.avg_total_latency
 
     def estimated_remaining(self, request: Request) -> float:
         """Offline-average remaining latency given executed-layer progress."""
-        return self.lut.static_remaining(request.key, request.next_layer)
+        entry = request.lut_entry(self.lut)
+        if entry is None:
+            raise SchedulingError(f"no LUT entry for {request.key!r}")
+        return entry.remaining_suffix_t[request.next_layer]
 
 
 _REGISTRY: Dict[str, Callable[..., Scheduler]] = {}

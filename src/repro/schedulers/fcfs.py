@@ -5,12 +5,17 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.schedulers.base import Scheduler, register_scheduler
+from repro.sim.ready_queue import ReadyQueue, np_lexmin
 from repro.sim.request import Request
 
 
 @register_scheduler("fcfs")
 class FCFSScheduler(Scheduler):
     """Run the earliest-arrived request to completion before the next one."""
+
+    supports_batch = True
+    batch_columns = ("arrival",)
+    single_drain_safe = True
 
     def reset(self) -> None:
         self._current: Optional[Request] = None
@@ -19,4 +24,30 @@ class FCFSScheduler(Scheduler):
         if self._current is not None and not self._current.is_done and self._current in queue:
             return self._current
         self._current = min(queue, key=lambda r: (r.arrival, r.rid))
+        return self._current
+
+    def select_single(self, queue: "ReadyQueue", now: float) -> Request:
+        # A singleton queue: the lone request is both the earliest arrival
+        # and (if valid) the current one.
+        self._current = queue[0]
+        return self._current
+
+    def select_batch(self, queue: "ReadyQueue", now: float) -> Request:
+        cur = self._current
+        if cur is not None and not cur.is_done and cur in queue:
+            return cur
+        n = len(queue)
+        if n >= self.numpy_min_queue:
+            best = np_lexmin(queue.np_arrival[:n], queue.np_rid[:n])
+        else:
+            arr_l = queue.ls_arrival
+            rid_l = queue.ls_rid
+            best = 0
+            b_arr = arr_l[0]
+            b_rid = rid_l[0]
+            for i in range(1, n):
+                arr = arr_l[i]
+                if arr < b_arr or (arr == b_arr and rid_l[i] < b_rid):
+                    best, b_arr, b_rid = i, arr, rid_l[i]
+        self._current = queue[best]
         return self._current

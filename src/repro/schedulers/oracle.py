@@ -10,8 +10,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.lut import ModelInfoLUT
 from repro.schedulers.base import Scheduler, register_scheduler
+from repro.sim.ready_queue import ReadyQueue, np_lexmin
 from repro.sim.request import Request
 
 
@@ -22,6 +25,11 @@ class OracleScheduler(Scheduler):
     Args:
         eta: Weight of the slack + penalty terms, as in Dysta.
     """
+
+    supports_batch = True
+    batch_columns = ("true_remaining", "true_isolated", "deadline", "last_run_end")
+    single_drain_safe = True
+    trivial_single = True
 
     def __init__(self, lut: ModelInfoLUT, eta: float = 0.02):
         super().__init__(lut)
@@ -40,3 +48,43 @@ class OracleScheduler(Scheduler):
             return remaining + self.eta * (slack + penalty)
 
         return min(queue, key=lambda r: (score(r), r.rid))
+
+    # -- vectorized fast path ----------------------------------------------
+
+    def select_single(self, queue: "ReadyQueue", now: float) -> Request:
+        return queue[0]
+
+    def select_batch(self, queue: "ReadyQueue", now: float) -> Request:
+        n = queue._n
+        eta = self.eta
+        if n >= self.numpy_min_queue:
+            rem = queue.np_true_remaining[:n]
+            iso = np.maximum(queue.np_true_isolated[:n], 1e-12)
+            slack = np.maximum(queue.np_deadline[:n] - now - rem, -iso)
+            penalty = ((now - queue.np_last_run_end[:n]) / iso) / n
+            score = rem + eta * (slack + penalty)
+            return queue[np_lexmin(score, queue.np_rid[:n])]
+        rem_l = queue.ls_true_remaining
+        iso_l = queue.ls_true_isolated
+        dl_l = queue.ls_deadline
+        lre_l = queue.ls_last_run_end
+        rid_l = queue.ls_rid
+        best = 0
+        best_score = None
+        best_rid = 0
+        for i in range(n):
+            iso = iso_l[i]
+            if iso < 1e-12:
+                iso = 1e-12
+            rem = rem_l[i]
+            slack = dl_l[i] - now - rem
+            neg_iso = -iso
+            if slack < neg_iso:
+                slack = neg_iso
+            score = rem + eta * (slack + ((now - lre_l[i]) / iso) / n)
+            rid = rid_l[i]
+            if best_score is None or score < best_score or (
+                score == best_score and rid < best_rid
+            ):
+                best, best_score, best_rid = i, score, rid
+        return queue._requests[best]

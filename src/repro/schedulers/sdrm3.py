@@ -13,8 +13,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.lut import ModelInfoLUT
 from repro.schedulers.base import Scheduler, register_scheduler
+from repro.sim.ready_queue import ReadyQueue, np_lexmin
 from repro.sim.request import Request
 
 
@@ -26,6 +29,11 @@ class SDRM3Scheduler(Scheduler):
         alpha: Weight of the fairness term relative to urgency (SDRM3's
             tunable alpha; the paper tunes it per SDRM3's methodology).
     """
+
+    supports_batch = True
+    batch_columns = ("est_remaining", "deadline", "arrival", "executed_time")
+    single_drain_safe = True
+    trivial_single = True
 
     def __init__(self, lut: ModelInfoLUT, alpha: float = 2.0):
         super().__init__(lut)
@@ -55,3 +63,60 @@ class SDRM3Scheduler(Scheduler):
                 -r.rid,
             ),
         )
+
+    # -- vectorized fast path ----------------------------------------------
+
+    def select_single(self, queue: "ReadyQueue", now: float) -> Request:
+        return queue[0]
+
+    def select_batch(self, queue: "ReadyQueue", now: float) -> Request:
+        n = queue._n
+        alpha = self.alpha
+        if n >= self.numpy_min_queue:
+            window = queue.np_deadline[:n] - now
+            safe_w = np.where(window > 0, window, 1.0)
+            urgency = np.where(
+                window <= 0, 10.0,
+                np.minimum(queue.np_est_remaining[:n] / safe_w, 10.0),
+            )
+            age = now - queue.np_arrival[:n]
+            safe_age = np.where(age > 0, age, 1.0)
+            fairness = np.where(
+                age <= 0, 0.0,
+                1.0 - np.minimum(queue.np_executed_time[:n] / safe_age, 1.0),
+            )
+            score = urgency + alpha * fairness
+            # max score; ties broken towards the smallest rid (scalar uses
+            # key (score, -rid) under max).
+            return queue[np_lexmin(np.negative(score), queue.np_rid[:n])]
+        rem_l = queue.ls_est_remaining
+        dl_l = queue.ls_deadline
+        arr_l = queue.ls_arrival
+        ex_l = queue.ls_executed_time
+        rid_l = queue.ls_rid
+        best = 0
+        best_score = None
+        best_rid = 0
+        for i in range(n):
+            window = dl_l[i] - now
+            if window <= 0:
+                urgency = 10.0
+            else:
+                urgency = rem_l[i] / window
+                if urgency > 10.0:
+                    urgency = 10.0
+            age = now - arr_l[i]
+            if age <= 0:
+                fairness = 0.0
+            else:
+                share = ex_l[i] / age
+                if share > 1.0:
+                    share = 1.0
+                fairness = 1.0 - share
+            score = urgency + alpha * fairness
+            rid = rid_l[i]
+            if best_score is None or score > best_score or (
+                score == best_score and rid < best_rid
+            ):
+                best, best_score, best_rid = i, score, rid
+        return queue._requests[best]

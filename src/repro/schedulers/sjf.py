@@ -5,6 +5,10 @@ Preemptive at layer boundaries: picks the request with the smallest
 average latencies (the "without sparsity info" setting of Fig 5(a)) — SJF is
 sparsity-oblivious, so a high-sparsity fast sample and a low-sparsity slow
 sample of the same model look identical to it.
+
+The vectorized path reads the ready queue's incrementally maintained
+``est_remaining`` column (refreshed on layer completion from the cached LUT
+suffix array) instead of re-deriving the estimate per request per decision.
 """
 
 from __future__ import annotations
@@ -12,6 +16,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.schedulers.base import Scheduler, register_scheduler
+from repro.sim.ready_queue import ReadyQueue, np_lexmin
 from repro.sim.request import Request
 
 
@@ -19,5 +24,40 @@ from repro.sim.request import Request
 class SJFScheduler(Scheduler):
     """Shortest estimated-remaining-time first (static estimates)."""
 
+    supports_batch = True
+    batch_columns = ("est_remaining", "arrival")
+    single_drain_safe = True
+    trivial_single = True
+
     def select(self, queue: Sequence[Request], now: float) -> Request:
         return min(queue, key=lambda r: (self.estimated_remaining(r), r.arrival, r.rid))
+
+    def select_single(self, queue: "ReadyQueue", now: float) -> Request:
+        return queue[0]
+
+    def select_batch(self, queue: "ReadyQueue", now: float) -> Request:
+        n = queue._n
+        if n >= self.numpy_min_queue:
+            return queue[np_lexmin(
+                queue.np_est_remaining[:n],
+                queue.np_arrival[:n],
+                queue.np_rid[:n],
+            )]
+        rem_l = queue.ls_est_remaining
+        arr_l = queue.ls_arrival
+        rid_l = queue.ls_rid
+        best = 0
+        b_rem = rem_l[0]
+        b_arr = arr_l[0]
+        b_rid = rid_l[0]
+        for i in range(1, n):
+            rem = rem_l[i]
+            if rem > b_rem:
+                continue
+            if rem < b_rem:
+                best, b_rem, b_arr, b_rid = i, rem, arr_l[i], rid_l[i]
+                continue
+            arr = arr_l[i]
+            if arr < b_arr or (arr == b_arr and rid_l[i] < b_rid):
+                best, b_arr, b_rid = i, arr, rid_l[i]
+        return queue._requests[best]

@@ -2,6 +2,7 @@
 preemptive engine, and the paper's metrics (ANTT, SLO violation rate, STP)."""
 
 from repro.sim.request import Request
+from repro.sim.ready_queue import ReadyQueue
 from repro.sim.workload import WorkloadSpec, generate_workload, iter_workload
 from repro.sim.engine import SimResult, simulate
 from repro.sim.multi import simulate_multi
@@ -18,6 +19,7 @@ __all__ = [
     "per_class_breakdown",
     "turnaround_percentile",
     "waiting_time_stats",
+    "ReadyQueue",
     "Request",
     "WorkloadSpec",
     "generate_workload",

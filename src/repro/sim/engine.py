@@ -7,15 +7,33 @@ for its next layer, then re-invokes the scheduler — giving every policy the
 chance to preempt at each layer boundary, exactly as the Dysta hardware
 scheduler is triggered (Algorithm 2, line 6).  Arrivals are admitted at layer
 boundaries (the hardware scheduler cannot interrupt a running layer).
+
+Two execution paths share these semantics:
+
+* the **scalar path** (``use_batch=False``, and the automatic fallback for
+  schedulers without batch support) keeps the ready queue as a plain list
+  and calls ``scheduler.select`` at every boundary — the reference
+  implementation;
+* the **vectorized path** (default for converted schedulers) backs the
+  queue with :class:`~repro.sim.ready_queue.ReadyQueue` and dispatches to
+  ``select_single`` / ``select_batch``; when a lone request is the only
+  work and no arrival is due, drain-safe schedulers run it for consecutive
+  blocks without re-entering selection (each skipped boundary still counts
+  as a scheduler invocation — the decision is forced).
+
+Both paths produce identical completion schedules for converted policies
+(golden equivalence tests), because the batch implementations replicate the
+scalar scoring arithmetic bit for bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.errors import SchedulingError
 from repro.sim.metrics import summarize
+from repro.sim.ready_queue import ReadyQueue
 from repro.sim.request import Request
 
 if TYPE_CHECKING:  # avoid a runtime circular import with repro.schedulers
@@ -35,6 +53,10 @@ class SimResult:
     #: Largest ready-queue occupancy seen at any scheduling decision — the
     #: quantity the hardware scheduler's FIFO depth must cover (Sec 5.2.1).
     max_queue_length: int = 0
+    #: Decisions served by the vectorized fast path (select_single /
+    #: select_batch); 0 on the scalar path.  The CI perf smoke asserts this
+    #: is nonzero so the fast path cannot silently regress to the fallback.
+    num_batch_selects: int = 0
     metrics: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -69,12 +91,25 @@ class SimResult:
         return self.metrics["p99"]
 
 
+def _validate(requests, switch_cost: float, block_size: int) -> None:
+    if not requests:
+        raise SchedulingError("cannot simulate an empty workload")
+    if switch_cost < 0:
+        raise SchedulingError(f"switch cost must be >= 0, got {switch_cost}")
+    if block_size < 1:
+        raise SchedulingError(f"block size must be >= 1, got {block_size}")
+    for req in requests:
+        if req.next_layer != 0 or req.finish_time is not None:
+            raise SchedulingError(f"request {req.rid} was already (partially) executed")
+
+
 def simulate(
     requests: Sequence[Request],
     scheduler: "Scheduler",
     *,
     switch_cost: float = 0.0,
     block_size: int = 1,
+    use_batch: Optional[bool] = None,
 ) -> SimResult:
     """Run the full request stream to completion under ``scheduler``.
 
@@ -91,19 +126,22 @@ def simulate(
             is "per-layer or per-layer-block" (Sec 4.2.2); 1 = per layer
             (default).  Larger blocks mean fewer scheduler invocations and
             coarser preemption points.
+        use_batch: ``None`` (default) uses the vectorized path when the
+            scheduler supports it; ``False`` forces the scalar reference
+            path; ``True`` behaves like ``None`` (unconverted schedulers
+            still fall back — the fast path is opt-in per policy).
     """
-    if not requests:
-        raise SchedulingError("cannot simulate an empty workload")
-    if switch_cost < 0:
-        raise SchedulingError(f"switch cost must be >= 0, got {switch_cost}")
-    if block_size < 1:
-        raise SchedulingError(f"block size must be >= 1, got {block_size}")
-    for req in requests:
-        if req.next_layer != 0 or req.finish_time is not None:
-            raise SchedulingError(f"request {req.rid} was already (partially) executed")
-
+    _validate(requests, switch_cost, block_size)
     pending = sorted(requests, key=lambda r: (r.arrival, r.rid))
     scheduler.reset()
+    if use_batch is not False and getattr(scheduler, "supports_batch", False):
+        return _simulate_batch(pending, scheduler, switch_cost, block_size)
+    scheduler.bind_queue(None)
+    return _simulate_scalar(pending, scheduler, switch_cost, block_size)
+
+
+def _simulate_scalar(pending, scheduler, switch_cost, block_size) -> SimResult:
+    """Reference scalar path: list-backed queue, ``select`` per boundary."""
     queue: List[Request] = []
     completed: List[Request] = []
     now = 0.0
@@ -161,4 +199,139 @@ def simulate(
         num_preemptions=preemptions,
         num_scheduler_invocations=invocations,
         max_queue_length=max_queue,
+    )
+
+
+def _simulate_batch(pending, scheduler, switch_cost, block_size) -> SimResult:
+    """Vectorized path: array-backed queue, batch scoring, singleton drain."""
+    queue = ReadyQueue(scheduler.lut, columns=scheduler.batch_columns)
+    scheduler.bind_queue(queue)
+    drain_ok = scheduler.single_drain_safe
+    trivial_single = scheduler.trivial_single
+    has_switch_cost = switch_cost > 0.0
+    arrivals = [r.arrival for r in pending]
+
+    completed: List[Request] = []
+    now = 0.0
+    i = 0
+    n = len(pending)
+    preemptions = 0
+    invocations = 0
+    max_queue = 0
+    batch_selects = 0
+    last_running = None
+    resident_request = None
+
+    # Local bindings for the hot loop.
+    on_arrival = scheduler.on_arrival
+    on_layer_complete = scheduler.on_layer_complete
+    on_complete = scheduler.on_complete
+    select_scalar = scheduler.select
+    select_single = scheduler.select_single
+    select_batch = scheduler.select_batch
+    q_add = queue.add
+    q_update = queue.update_progress
+
+    while i < n or queue._n:
+        while i < n and arrivals[i] <= now + _EPS:
+            req = pending[i]
+            q_add(req)
+            on_arrival(req, now)
+            i += 1
+        nq = queue._n
+        if not nq:
+            now = arrivals[i]
+            continue
+
+        if queue._missing:
+            # A request without a LUT entry: estimate-based policies must
+            # raise their usual error, so take the scalar path (which also
+            # keeps the membership safety check for arbitrary selections).
+            chosen = select_scalar(queue, now)
+            if chosen not in queue:
+                raise SchedulingError(
+                    f"scheduler {scheduler.name!r} selected a request outside the queue"
+                )
+        elif nq == 1:
+            chosen = queue._requests[0] if trivial_single else select_single(queue, now)
+            batch_selects += 1
+        else:
+            chosen = select_batch(queue, now)
+            batch_selects += 1
+        invocations += 1
+        if nq > max_queue:
+            max_queue = nq
+        if (
+            last_running is not None
+            and chosen is not last_running
+            and last_running.next_layer < last_running._num_layers
+        ):
+            preemptions += 1
+        last_running = chosen
+
+        if chosen.first_dispatch_time is None:
+            chosen.first_dispatch_time = now
+        if has_switch_cost and chosen is not resident_request:
+            now += switch_cost
+        resident_request = chosen
+
+        lats = chosen.layer_latencies
+        num_layers = chosen._num_layers
+        nl = chosen.next_layer
+        et = chosen.executed_time
+        if block_size == 1:
+            dt = lats[nl]
+            now += dt
+            nl += 1
+            et += dt
+        else:
+            for _ in range(min(block_size, num_layers - nl)):
+                dt = lats[nl]
+                now += dt
+                nl += 1
+                et += dt
+        if drain_ok and nl < num_layers and nq == 1:
+            # Lone request, nothing else to schedule: keep executing blocks
+            # until it finishes or an arrival lands at a boundary.  Each
+            # skipped boundary is a forced decision and still counts as an
+            # invocation; `on_layer_complete` only needs the final call for
+            # drain-safe schedulers (overwrite-only monitor updates).
+            if block_size == 1:
+                next_arrival = arrivals[i] if i < n else None
+                while nl < num_layers and (next_arrival is None or next_arrival > now + _EPS):
+                    dt = lats[nl]
+                    now += dt
+                    nl += 1
+                    et += dt
+                    invocations += 1
+                    batch_selects += 1
+            else:
+                while nl < num_layers and (i >= n or arrivals[i] > now + _EPS):
+                    for _ in range(min(block_size, num_layers - nl)):
+                        dt = lats[nl]
+                        now += dt
+                        nl += 1
+                        et += dt
+                    invocations += 1
+                    batch_selects += 1
+        chosen.next_layer = nl
+        chosen.executed_time = et
+        chosen.last_run_end = now
+        if nl >= num_layers:
+            chosen.finish_time = now
+            queue.remove(chosen)
+            completed.append(chosen)
+            on_layer_complete(chosen, now)
+            on_complete(chosen, now)
+        else:
+            q_update(chosen)
+            on_layer_complete(chosen, now)
+
+    return SimResult(
+        requests=completed,
+        makespan=now,
+        num_preemptions=preemptions,
+        num_scheduler_invocations=invocations,
+        max_queue_length=max_queue,
+        num_batch_selects=batch_selects,
     )

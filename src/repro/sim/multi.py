@@ -14,6 +14,12 @@ also re-queues the running request at every layer boundary.  The engine's
 ``switch_cost`` and ``block_size`` knobs are supported with the same
 semantics: each NPU tracks which model instance's weights are resident and
 pays the reload cost when it switches to a different request.
+
+Like the single-NPU engine, converted schedulers run on the vectorized
+path: the shared queue is a :class:`~repro.sim.ready_queue.ReadyQueue`, a
+running request leaves the queue with its aux state stashed and re-enters
+with it restored, and selections dispatch to ``select_single`` /
+``select_batch``.  ``use_batch=False`` forces the scalar reference path.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.errors import SchedulingError
 from repro.sim.engine import SimResult
+from repro.sim.ready_queue import ReadyQueue
 from repro.sim.request import Request
 
 if TYPE_CHECKING:  # avoid a runtime circular import with repro.schedulers
@@ -39,6 +46,7 @@ def simulate_multi(
     num_accelerators: int = 2,
     switch_cost: float = 0.0,
     block_size: int = 1,
+    use_batch: Optional[bool] = None,
 ) -> SimResult:
     """Run the request stream on a pool of identical accelerators.
 
@@ -54,6 +62,8 @@ def simulate_multi(
             engine).
         block_size: Scheduling granularity in layers, as in the single-NPU
             engine; 1 = per layer (default).
+        use_batch: ``None``/``True`` uses the vectorized path for schedulers
+            that support it; ``False`` forces the scalar reference path.
     """
     if not requests:
         raise SchedulingError("cannot simulate an empty workload")
@@ -69,7 +79,13 @@ def simulate_multi(
 
     pending = sorted(requests, key=lambda r: (r.arrival, r.rid))
     scheduler.reset()
-    queue: List[Request] = []
+    batch_on = use_batch is not False and getattr(scheduler, "supports_batch", False)
+    if batch_on:
+        queue = ReadyQueue(scheduler.lut, columns=scheduler.batch_columns)
+        scheduler.bind_queue(queue)
+    else:
+        scheduler.bind_queue(None)
+        queue = []  # type: ignore[assignment]
     completed: List[Request] = []
     # Block-completion events: (time, tiebreak, npu_id, request, n_layers, dt).
     counter = itertools.count()
@@ -82,6 +98,7 @@ def simulate_multi(
     preemptions = 0
     invocations = 0
     max_queue = 0
+    batch_selects = 0
     last_on_npu: List[Optional[Request]] = [None] * num_accelerators
     # Whose weights currently sit in each accelerator (switch-cost tracking).
     resident: List[Optional[Request]] = [None] * num_accelerators
@@ -95,12 +112,20 @@ def simulate_multi(
 
     def dispatch(now: float) -> None:
         """Hand queued requests to idle accelerators (lowest NPU id first)."""
-        nonlocal preemptions, invocations, max_queue
+        nonlocal preemptions, invocations, max_queue, batch_selects
         while idle and queue:
             npu = heapq.heappop(idle)
-            chosen = scheduler.select(queue, now)
+            nq = len(queue)
+            if not batch_on or queue.missing_entries:
+                chosen = scheduler.select(queue, now)
+            elif nq == 1:
+                chosen = scheduler.select_single(queue, now)
+                batch_selects += 1
+            else:
+                chosen = scheduler.select_batch(queue, now)
+                batch_selects += 1
             invocations += 1
-            max_queue = max(max_queue, len(queue))
+            max_queue = max(max_queue, nq)
             if chosen not in queue:
                 raise SchedulingError(
                     f"scheduler {scheduler.name!r} selected a request outside the queue"
@@ -115,11 +140,18 @@ def simulate_multi(
             if switch_cost > 0.0 and chosen is not resident[npu]:
                 start += switch_cost
             resident[npu] = chosen
-            queue.remove(chosen)
-            layers = min(block_size, chosen.num_layers - chosen.next_layer)
-            dt = sum(
-                chosen.layer_latencies[chosen.next_layer + k] for k in range(layers)
-            )
+            if batch_on:
+                queue.remove(chosen, requeue=True)
+            else:
+                queue.remove(chosen)
+            nl = chosen.next_layer
+            layers = min(block_size, chosen.num_layers - nl)
+            if layers == 1:
+                dt = chosen.layer_latencies[nl]
+            else:
+                dt = sum(
+                    chosen.layer_latencies[nl + k] for k in range(layers)
+                )
             heapq.heappush(events, (start + dt, next(counter), npu, chosen, layers, dt))
 
     next_wake: Optional[float] = None
@@ -147,13 +179,18 @@ def simulate_multi(
         req.next_layer += layers
         req.executed_time += dt
         req.last_run_end = now
-        scheduler.on_layer_complete(req, now)
         if req.is_done:
+            if batch_on:
+                queue.forget(req.rid)
+            scheduler.on_layer_complete(req, now)
             req.finish_time = now
             completed.append(req)
             scheduler.on_complete(req, now)
         else:
+            # Re-admit before the monitor callback so batch schedulers can
+            # refresh the request's row (aux state was stashed at dispatch).
             queue.append(req)
+            scheduler.on_layer_complete(req, now)
         heapq.heappush(idle, npu)
         admit(now)
         dispatch(now)
@@ -169,4 +206,5 @@ def simulate_multi(
         num_preemptions=preemptions,
         num_scheduler_invocations=invocations,
         max_queue_length=max_queue,
+        num_batch_selects=batch_selects if batch_on else 0,
     )

@@ -1,0 +1,395 @@
+"""Array-backed ready queue: the vectorized scheduling core's data plane.
+
+The scalar engines kept the ready queue as a plain ``List[Request]`` and let
+every scheduler re-derive per-request scalars (deadline, LUT-average
+remaining time, waiting clock, ...) through Python properties and dict
+lookups at every layer boundary — O(queue) interpreter round trips per
+decision.  :class:`ReadyQueue` instead keeps the scheduler-visible scalar
+state in parallel **numpy arrays** (plus plain-list mirrors for the small-
+queue fast path), maintained incrementally:
+
+* **O(1) swap-remove** — removing a request moves the tail entry into its
+  slot in every column; order is not preserved (no converted policy is
+  order-sensitive: every selection key ends in the unique rid).
+* **O(1) incremental updates** — arrival fills a row from the request's
+  cached state; a layer completion refreshes only the affected row.
+* **column subsets** — the bound scheduler declares which columns it reads
+  (``Scheduler.batch_columns``), and only those are maintained.
+* **aux columns** — named scheduler-owned per-request state (PREMA tokens,
+  Dysta's cached remaining estimate) that rides along with swap-removes and
+  survives the remove/re-add cycle of the multi-accelerator engines via a
+  requeue stash.
+
+The queue also implements the ``Sequence`` protocol over the live
+:class:`~repro.sim.request.Request` objects, so unconverted schedulers'
+scalar ``select(queue, now)`` works on it unmodified.
+
+Numpy arrays are the single source of truth; list mirrors exist because at
+small queue depths (the common case at moderate load) a tight Python loop
+over list elements beats numpy's per-ufunc dispatch overhead.  Vectorized
+writers mark a column dirty and the mirror is rebuilt lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.sim.request import Request
+
+#: Columns a scheduler may declare in ``batch_columns``.  ``rid`` is always
+#: maintained.  ``est_*`` columns come from the (model, pattern) LUT entry;
+#: ``true_*`` columns are ground truth (Oracle only by convention).
+KNOWN_COLUMNS = (
+    "arrival",
+    "deadline",
+    "priority",
+    "est_isolated",
+    "est_remaining",
+    "true_isolated",
+    "true_remaining",
+    "last_run_end",
+    "executed_time",
+)
+
+_INITIAL_CAPACITY = 64
+
+
+class _AuxColumn:
+    """One scheduler-owned aux column: numpy array + list mirror.
+
+    A single holder object keeps the hot point-write path to one dict lookup;
+    ``arr`` is rebound on capacity growth, ``ls`` is mutated in place only.
+    """
+
+    __slots__ = ("arr", "ls", "default", "dirty")
+
+    def __init__(self, arr, ls, default):
+        self.arr = arr
+        self.ls = ls
+        self.default = default
+        self.dirty = False
+
+
+def np_lexmin(primary: np.ndarray, *ties: np.ndarray) -> int:
+    """Index of the lexicographic minimum of ``(primary, *ties)`` columns."""
+    cand = np.flatnonzero(primary == primary.min())
+    for arr in ties:
+        if cand.size == 1:
+            break
+        vals = arr[cand]
+        cand = cand[vals == vals.min()]
+    return int(cand[0])
+
+
+class ReadyQueue(Sequence):
+    """Parallel-array ready queue shared by all three scheduling engines."""
+
+    def __init__(self, lut=None, columns: Sequence[str] = (), capacity: int = _INITIAL_CAPACITY):
+        for col in columns:
+            if col not in KNOWN_COLUMNS:
+                raise SchedulingError(f"unknown ready-queue column {col!r}")
+        self._lut = lut
+        self._cols = frozenset(columns)
+        self._cap = max(int(capacity), 4)
+        self._n = 0
+        self._requests: List[Request] = []
+        self._pos: Dict[int, int] = {}
+        #: rid -> {aux name: value} for requests temporarily removed while
+        #: running on an accelerator (multi / cluster engines).
+        self._stash: Dict[int, Dict[str, float]] = {}
+        self._missing = 0  # live requests without a LUT entry
+
+        self.np_rid = np.empty(self._cap, dtype=np.int64)
+        self.ls_rid: List[int] = []
+        self._need_entry = "est_isolated" in self._cols or "est_remaining" in self._cols
+        self._ls_missing: List[bool] = []
+        for col in KNOWN_COLUMNS:
+            active = col in self._cols
+            setattr(self, f"np_{col}", np.empty(self._cap) if active else None)
+            setattr(self, f"ls_{col}", [] if active else None)
+        #: Precomputed attribute names for the hot swap-remove path.
+        self._col_attrs: Tuple[Tuple[str, str], ...] = tuple(
+            (f"np_{c}", f"ls_{c}") for c in sorted(self._cols)
+        )
+        # Which progress-dependent columns update_progress must refresh.
+        self._up_lre = "last_run_end" in self._cols
+        self._up_exec = "executed_time" in self._cols
+        self._up_true_rem = "true_remaining" in self._cols
+        self._up_est_rem = "est_remaining" in self._cols
+        if self._up_lre and not (self._up_exec or self._up_true_rem or self._up_est_rem):
+            # Single-column fast path (e.g. Dysta only tracks last_run_end).
+            self.update_progress = self._update_progress_lre_only
+
+        self._aux: Dict[str, _AuxColumn] = {}
+
+    # -- Sequence protocol (scalar schedulers see a sequence of requests) ---
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self._requests)
+
+    def __getitem__(self, idx):
+        return self._requests[idx]
+
+    def __contains__(self, item) -> bool:
+        i = self._pos.get(getattr(item, "rid", -1))
+        return i is not None and self._requests[i] is item
+
+    def index_of(self, request: Request) -> int:
+        """Slot index of ``request``, or -1 when absent."""
+        i = self._pos.get(request.rid)
+        if i is not None and self._requests[i] is request:
+            return i
+        return -1
+
+    @property
+    def missing_entries(self) -> int:
+        """Live requests whose (model, pattern) key is absent from the LUT.
+
+        When nonzero, the engines fall back to the scalar ``select`` so the
+        LUT-driven policies raise the same error they always did.
+        """
+        return self._missing
+
+    # -- aux columns --------------------------------------------------------
+
+    def register_aux(self, name: str, default: float = 0.0) -> None:
+        """Create a scheduler-owned per-request column (idempotent)."""
+        if name in self._aux:
+            return
+        arr = np.empty(self._cap)
+        arr[: self._n] = default
+        self._aux[name] = _AuxColumn(arr, [default] * self._n, default)
+
+    def aux_np(self, name: str) -> np.ndarray:
+        """Full-capacity aux array (slice with ``[:len(queue)]``); read-only
+        by convention — use :meth:`aux_np_writable` before vector writes."""
+        return self._aux[name].arr
+
+    def aux_np_writable(self, name: str) -> np.ndarray:
+        """Aux array for vectorized in-place writes; marks the mirror stale."""
+        col = self._aux[name]
+        col.dirty = True
+        return col.arr
+
+    def aux_list(self, name: str) -> List[float]:
+        """Plain-list mirror of an aux column (rebuilt if stale).
+
+        The returned list object is stable for the queue's lifetime (synced
+        in place), so hot paths may hold on to it as long as the column is
+        only ever point-written (never through :meth:`aux_np_writable`).
+        """
+        col = self._aux[name]
+        if col.dirty:
+            col.ls[:] = col.arr[: self._n].tolist()
+            col.dirty = False
+        return col.ls
+
+    def aux_set(self, name: str, i: int, value: float) -> None:
+        """Point write to one aux cell (keeps both stores coherent)."""
+        col = self._aux[name]
+        col.arr[i] = value
+        if not col.dirty:
+            col.ls[i] = value
+
+    def aux_set_for(self, name: str, request: Request, value: float) -> None:
+        """Fused ``aux_set(name, index_of(request), value)``; no-op when the
+        request is not in the queue (hot path of the monitor callbacks)."""
+        i = self._pos.get(request.rid)
+        if i is None or self._requests[i] is not request:
+            return
+        col = self._aux[name]
+        col.arr[i] = value
+        if not col.dirty:
+            col.ls[i] = value
+
+    def forget(self, rid: int) -> None:
+        """Drop any requeue stash for ``rid`` (call when a request finishes
+        outside the queue, so streaming replays stay bounded-memory)."""
+        self._stash.pop(rid, None)
+
+    # -- mutation -----------------------------------------------------------
+
+    def _grow(self) -> None:
+        new_cap = self._cap * 2
+        grown = np.empty(new_cap, dtype=np.int64)
+        grown[: self._n] = self.np_rid[: self._n]
+        self.np_rid = grown
+        for np_name, _ in self._col_attrs:
+            old = getattr(self, np_name)
+            arr = np.empty(new_cap)
+            arr[: self._n] = old[: self._n]
+            setattr(self, np_name, arr)
+        for col in self._aux.values():
+            arr = np.empty(new_cap)
+            arr[: self._n] = col.arr[: self._n]
+            col.arr = arr
+        self._cap = new_cap
+
+    def add(self, request: Request) -> int:
+        """Admit ``request``; fills every active column from its cached state.
+
+        Returns the slot index.  A request re-entering after running a layer
+        block (multi-accelerator engines) restores its stashed aux state.
+        """
+        i = self._n
+        if i == self._cap:
+            self._grow()
+        rid = request.rid
+        self._requests.append(request)
+        self._pos[rid] = i
+        self._n = i + 1
+        self.np_rid[i] = rid
+        self.ls_rid.append(rid)
+
+        cols = self._cols
+        if cols:
+            if "arrival" in cols:
+                v = request.arrival
+                self.np_arrival[i] = v
+                self.ls_arrival.append(v)
+            if "deadline" in cols:
+                v = request.deadline
+                self.np_deadline[i] = v
+                self.ls_deadline.append(v)
+            if "priority" in cols:
+                v = request.priority
+                self.np_priority[i] = v
+                self.ls_priority.append(v)
+            if "true_isolated" in cols:
+                v = request.isolated_latency
+                self.np_true_isolated[i] = v
+                self.ls_true_isolated.append(v)
+            if "true_remaining" in cols:
+                v = request.true_remaining
+                self.np_true_remaining[i] = v
+                self.ls_true_remaining.append(v)
+            if "last_run_end" in cols:
+                v = request.last_run_end
+                self.np_last_run_end[i] = v
+                self.ls_last_run_end.append(v)
+            if "executed_time" in cols:
+                v = request.executed_time
+                self.np_executed_time[i] = v
+                self.ls_executed_time.append(v)
+            if self._need_entry:
+                entry = request.lut_entry(self._lut) if self._lut is not None else None
+                missing = entry is None
+                self._ls_missing.append(missing)
+                if missing:
+                    self._missing += 1
+                if "est_isolated" in cols:
+                    v = np.nan if missing else entry.avg_total_latency
+                    self.np_est_isolated[i] = v
+                    self.ls_est_isolated.append(v)
+                if "est_remaining" in cols:
+                    v = np.nan if missing else entry.remaining_suffix_t[request.next_layer]
+                    self.np_est_remaining[i] = v
+                    self.ls_est_remaining.append(v)
+
+        if self._aux:
+            vals = self._stash.pop(rid, None)
+            for name, col in self._aux.items():
+                v = col.default if vals is None else vals[name]
+                col.arr[i] = v
+                # A stale mirror still tracks length; contents rebuilt on sync.
+                col.ls.append(v)
+        return i
+
+    #: Engines call ``queue.append(...)`` on both list- and array-backed
+    #: queues; alias keeps the call sites uniform.
+    append = add
+
+    def remove(self, request: Request, requeue: bool = False) -> None:
+        """Swap-remove ``request`` from every column in O(1).
+
+        Args:
+            requeue: The request is only leaving to run a layer block and
+                will be re-added (multi-accelerator engines); its aux state
+                is stashed and restored by the next :meth:`add`.
+        """
+        i = self._pos.get(request.rid)
+        if i is None or self._requests[i] is not request:
+            raise SchedulingError(
+                f"request {request.rid} is not in the ready queue"
+            )
+        del self._pos[request.rid]
+        last = self._n - 1
+        if requeue and self._aux:
+            self._stash[request.rid] = {
+                name: float(col.arr[i]) for name, col in self._aux.items()
+            }
+        reqs = self._requests
+        if i != last:
+            moved = reqs[last]
+            reqs[i] = moved
+            self._pos[moved.rid] = i
+            self.np_rid[i] = self.np_rid[last]
+            self.ls_rid[i] = self.ls_rid[last]
+            for np_name, ls_name in self._col_attrs:
+                arr = getattr(self, np_name)
+                arr[i] = arr[last]
+                ls = getattr(self, ls_name)
+                ls[i] = ls[last]
+            for col in self._aux.values():
+                col.arr[i] = col.arr[last]
+                if not col.dirty:
+                    col.ls[i] = col.ls[last]
+        reqs.pop()
+        self.ls_rid.pop()
+        for _, ls_name in self._col_attrs:
+            getattr(self, ls_name).pop()
+        for col in self._aux.values():
+            col.ls.pop()
+        if self._need_entry:
+            if i != last:
+                removed_missing = self._ls_missing[i]
+                self._ls_missing[i] = self._ls_missing[last]
+            else:
+                removed_missing = self._ls_missing[i]
+            self._ls_missing.pop()
+            if removed_missing:
+                self._missing -= 1
+        self._n = last
+
+    def _update_progress_lre_only(self, request: Request) -> None:
+        """update_progress specialization when only last_run_end is live."""
+        i = self._pos.get(request.rid)
+        if i is not None:
+            v = request.last_run_end
+            self.np_last_run_end[i] = v
+            self.ls_last_run_end[i] = v
+
+    def update_progress(self, request: Request) -> None:
+        """Refresh the row of an in-queue request after a layer advance.
+
+        The engine has already mutated ``next_layer`` / ``executed_time`` /
+        ``last_run_end``; this folds the new values into the columns in O(1)
+        (the multi-accelerator engines instead remove/re-add, which refreshes
+        everything).
+        """
+        i = self._pos.get(request.rid)
+        if i is None:
+            return
+        if self._up_lre:
+            v = request.last_run_end
+            self.np_last_run_end[i] = v
+            self.ls_last_run_end[i] = v
+        if self._up_exec:
+            v = request.executed_time
+            self.np_executed_time[i] = v
+            self.ls_executed_time[i] = v
+        if self._up_true_rem:
+            v = request.true_remaining
+            self.np_true_remaining[i] = v
+            self.ls_true_remaining[i] = v
+        if self._up_est_rem and not self._ls_missing[i]:
+            entry = request.lut_entry(self._lut)
+            v = entry.remaining_suffix_t[request.next_layer]
+            self.np_est_remaining[i] = v
+            self.ls_est_remaining[i] = v

@@ -6,17 +6,30 @@ monitored sparsities from the Phase-1 trace), an arrival time and a latency
 SLO.  The engine mutates the progress fields; schedulers may read everything
 except the *future* entries of ``layer_latencies``/``layer_sparsities`` —
 only the Oracle is allowed those.
+
+Requests use **identity semantics** (``eq=False``): two distinct request
+objects are never equal, membership tests and ``queue.remove`` are pointer
+comparisons instead of deep field-by-field trace comparisons, and requests
+are hashable (usable as set members / dict keys).  Derived quantities that
+the schedulers hammer on every decision — isolated latency, remaining time,
+the deadline, the LUT key — are cached at construction (latencies are
+immutable once the request exists), so they are O(1) instead of O(L).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import SchedulingError
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.lut import LUTEntry, ModelInfoLUT
 
-@dataclass
+
+@dataclass(eq=False)
 class Request:
     """One inference request flowing through the scheduler.
 
@@ -66,38 +79,61 @@ class Request:
         if self.priority <= 0:
             raise SchedulingError(f"request {self.rid}: priority must be positive")
         self.last_run_end = self.arrival
+        # Immutable derived state, cached once (np.cumsum accumulates
+        # sequentially, so the prefix total matches Python's sum() bit for
+        # bit).  prefix[j] = latency of layers 0..j-1; prefix[L] = T^Isol.
+        lat = np.asarray(self.layer_latencies, dtype=float)
+        prefix = np.empty(len(lat) + 1, dtype=float)
+        prefix[0] = 0.0
+        np.cumsum(lat, out=prefix[1:])
+        self._lat_prefix = prefix
+        self._num_layers = len(self.layer_latencies)
+        self._isolated = float(prefix[-1])
+        self._key = f"{self.model_name}/{self.pattern_key}"
+        self._deadline = self.arrival + self.slo
+        self._sparsity_arr = np.asarray(self.layer_sparsities, dtype=float)
+        self._lut_ref: Optional[Tuple[object, Optional["LUTEntry"]]] = None
 
     @property
     def key(self) -> str:
-        """Model-info LUT key."""
-        return f"{self.model_name}/{self.pattern_key}"
+        """Model-info LUT key (cached)."""
+        return self._key
 
     @property
     def num_layers(self) -> int:
-        return len(self.layer_latencies)
+        return self._num_layers
 
     @property
     def is_done(self) -> bool:
-        return self.next_layer >= self.num_layers
+        return self.next_layer >= self._num_layers
 
     @property
     def isolated_latency(self) -> float:
-        """Uninterrupted execution time of this exact sample (T^Isol)."""
-        return sum(self.layer_latencies)
+        """Uninterrupted execution time of this exact sample (T^Isol); O(1)."""
+        return self._isolated
 
     @property
     def deadline(self) -> float:
-        return self.arrival + self.slo
+        return self._deadline
+
+    @property
+    def latency_prefix(self) -> np.ndarray:
+        """Cached latency prefix sums: prefix[j] = sum of layers 0..j-1."""
+        return self._lat_prefix
 
     @property
     def true_remaining(self) -> float:
-        """Ground-truth remaining execution time (Oracle only)."""
-        return sum(self.layer_latencies[self.next_layer:])
+        """Ground-truth remaining execution time (Oracle only); O(1)."""
+        return self._isolated - float(self._lat_prefix[self.next_layer])
 
     @property
-    def monitored_sparsities(self) -> List[float]:
-        """Sparsities of the already-executed layers (visible to schedulers)."""
-        return self.layer_sparsities[: self.next_layer]
+    def monitored_sparsities(self) -> np.ndarray:
+        """Sparsities of the already-executed layers (visible to schedulers).
+
+        Returned as an O(1) read-only view over the cached sparsity array
+        rather than a freshly sliced list.
+        """
+        return self._sparsity_arr[: self.next_layer]
 
     @property
     def turnaround(self) -> float:
@@ -109,9 +145,23 @@ class Request:
     @property
     def normalized_turnaround(self) -> float:
         """T^Multi / T^Isol — the per-request ANTT contribution."""
-        return self.turnaround / self.isolated_latency
+        return self.turnaround / self._isolated
 
     @property
     def violated(self) -> bool:
         """Whether the request missed its latency SLO."""
         return self.turnaround > self.slo
+
+    def lut_entry(self, lut: "ModelInfoLUT") -> Optional["LUTEntry"]:
+        """The interned LUT entry for this request under ``lut``, or None.
+
+        Cached on the request after the first lookup (per LUT instance), so
+        schedulers and the ready queue resolve (model, pattern) averages
+        without re-hashing the string key on every scheduling decision.
+        """
+        ref = self._lut_ref
+        if ref is not None and ref[0] is lut:
+            return ref[1]
+        entry = lut.entry_or_none(self._key)
+        self._lut_ref = (lut, entry)
+        return entry

@@ -1,0 +1,197 @@
+"""Golden schedule-equivalence tests: vectorized vs scalar selection.
+
+Every converted scheduler must produce an *identical completion schedule* —
+same completion order, bit-identical finish times, same makespan/preemption/
+invocation counts — whether the engine runs the scalar reference path
+(``use_batch=False``) or the vectorized fast path (ready-queue columns +
+``select_single``/``select_batch``/singleton drain).  The batch
+implementations replicate the scalar arithmetic operation-for-operation, so
+these tests require exact equality, not approximation.
+
+Covered: all converted policies, the fp16 score-quantization mode, the
+switch-cost-aware Dysta variant, switch_cost/block_size engine variants, the
+small-queue tight loop *and* the large-queue numpy path (forced via
+``numpy_min_queue``), mixed attnn+cnn workloads on real profiled traces, the
+multi-accelerator engine, and the cluster tier.
+"""
+
+import pytest
+
+from repro.cluster import Pool, simulate_cluster
+from repro.errors import SchedulingError
+from repro.core.lut import ModelInfoLUT
+from repro.profiling.profiler import benchmark_suite
+from repro.schedulers.base import make_scheduler
+from repro.sim.engine import simulate
+from repro.sim.multi import simulate_multi
+from repro.sim.workload import WorkloadSpec, generate_workload
+
+#: Policies with a vectorized select (dysta_switchaware gets switch_cost).
+CONVERTED = (
+    "dysta",
+    "dysta_nosparse",
+    "dysta_switchaware",
+    "dysta_static",
+    "sjf",
+    "fcfs",
+    "prema",
+    "sdrm3",
+    "oracle",
+)
+
+
+def scheduler_for(name, lut, **extra):
+    kwargs = {"switch_cost": 0.002} if name == "dysta_switchaware" else {}
+    kwargs.update(extra)
+    return make_scheduler(name, lut, **kwargs)
+
+
+def toy_workload(toy_traces, n=120, rate=150.0, seed=0):
+    """Overloaded toy stream: queues build up, so selection really decides."""
+    spec = WorkloadSpec(rate, n_requests=n, slo_multiplier=5.0, seed=seed)
+    return generate_workload(toy_traces, spec)
+
+
+def assert_identical(a, b):
+    assert [r.rid for r in a.requests] == [r.rid for r in b.requests]
+    assert [r.finish_time for r in a.requests] == [r.finish_time for r in b.requests]
+    assert a.makespan == b.makespan
+    assert a.num_preemptions == b.num_preemptions
+    assert a.num_scheduler_invocations == b.num_scheduler_invocations
+    assert a.max_queue_length == b.max_queue_length
+
+
+class TestSingleEngineEquivalence:
+    @pytest.mark.parametrize("name", CONVERTED)
+    def test_tight_loop_matches_scalar(self, toy_traces, toy_lut, name):
+        scalar = simulate(toy_workload(toy_traces), scheduler_for(name, toy_lut),
+                          use_batch=False)
+        batch = simulate(toy_workload(toy_traces), scheduler_for(name, toy_lut),
+                         use_batch=True)
+        assert_identical(scalar, batch)
+        assert scalar.num_batch_selects == 0
+        assert batch.num_batch_selects > 0  # fast path actually engaged
+
+    @pytest.mark.parametrize("name", CONVERTED)
+    def test_numpy_path_matches_scalar(self, toy_traces, toy_lut, name):
+        scalar = simulate(toy_workload(toy_traces), scheduler_for(name, toy_lut),
+                          use_batch=False)
+        sched = scheduler_for(name, toy_lut)
+        sched.numpy_min_queue = 2  # force the numpy branch at any depth
+        batch = simulate(toy_workload(toy_traces), sched, use_batch=True)
+        assert_identical(scalar, batch)
+
+    @pytest.mark.parametrize("name", ("dysta", "sjf", "prema"))
+    @pytest.mark.parametrize("engine_kw", (
+        {"switch_cost": 0.001},
+        {"block_size": 3},
+        {"switch_cost": 0.0005, "block_size": 2},
+    ))
+    def test_engine_variants(self, toy_traces, toy_lut, name, engine_kw):
+        scalar = simulate(toy_workload(toy_traces), scheduler_for(name, toy_lut),
+                          use_batch=False, **engine_kw)
+        batch = simulate(toy_workload(toy_traces), scheduler_for(name, toy_lut),
+                         use_batch=True, **engine_kw)
+        assert_identical(scalar, batch)
+
+    def test_fp16_score_quantization(self, toy_traces, toy_lut):
+        # The hardware scheduler computes scores in FP16 (Sec 5.2.2); the
+        # vectorized path must quantize at the same points as the scalar one.
+        scalar = simulate(toy_workload(toy_traces),
+                          make_scheduler("dysta", toy_lut, score_dtype="fp16"),
+                          use_batch=False)
+        batch = simulate(toy_workload(toy_traces),
+                         make_scheduler("dysta", toy_lut, score_dtype="fp16"),
+                         use_batch=True)
+        assert_identical(scalar, batch)
+
+    def test_switchaware_with_engine_switch_cost(self, toy_traces, toy_lut):
+        kw = {"switch_cost": 0.002}
+        scalar = simulate(toy_workload(toy_traces),
+                          scheduler_for("dysta_switchaware", toy_lut),
+                          use_batch=False, **kw)
+        batch = simulate(toy_workload(toy_traces),
+                         scheduler_for("dysta_switchaware", toy_lut),
+                         use_batch=True, **kw)
+        assert_identical(scalar, batch)
+
+    def test_unconverted_policy_falls_back_transparently(self, toy_traces, toy_lut):
+        # planaria has no batch path: the engine must transparently run the
+        # scalar select and report zero batch selections.
+        result = simulate(toy_workload(toy_traces),
+                          make_scheduler("planaria", toy_lut))
+        assert result.num_batch_selects == 0
+        assert len(result.requests) == 120
+
+
+class TestMultiEngineEquivalence:
+    @pytest.mark.parametrize("name", ("dysta", "prema", "sdrm3", "fcfs", "oracle"))
+    def test_two_accelerators(self, toy_traces, toy_lut, name):
+        scalar = simulate_multi(toy_workload(toy_traces),
+                                scheduler_for(name, toy_lut),
+                                num_accelerators=2, use_batch=False)
+        batch = simulate_multi(toy_workload(toy_traces),
+                               scheduler_for(name, toy_lut),
+                               num_accelerators=2, use_batch=True)
+        assert_identical(scalar, batch)
+        assert batch.num_batch_selects > 0
+
+    def test_switch_cost_and_blocks(self, toy_traces, toy_lut):
+        kw = {"num_accelerators": 3, "switch_cost": 0.001, "block_size": 2}
+        scalar = simulate_multi(toy_workload(toy_traces),
+                                scheduler_for("dysta", toy_lut),
+                                use_batch=False, **kw)
+        batch = simulate_multi(toy_workload(toy_traces),
+                               scheduler_for("dysta", toy_lut),
+                               use_batch=True, **kw)
+        assert_identical(scalar, batch)
+
+
+class TestClusterEquivalence:
+    @pytest.mark.parametrize("name", ("dysta", "prema"))
+    def test_pool_batch_matches_scalar(self, toy_traces, toy_lut, name):
+        def run(use_batch):
+            reqs = toy_workload(toy_traces)
+            pools = [
+                Pool("a", scheduler_for(name, toy_lut), 2, use_batch=use_batch),
+                Pool("b", scheduler_for(name, toy_lut), 1, use_batch=use_batch),
+            ]
+            return simulate_cluster(reqs, pools, "jsq")
+
+        scalar = run(False)
+        batch = run(None)
+        assert {r.rid: r.finish_time for r in scalar.requests} == {
+            r.rid: r.finish_time for r in batch.requests
+        }
+        assert scalar.makespan == batch.makespan
+        assert scalar.num_preemptions == batch.num_preemptions
+        assert batch.num_batch_selects > 0
+        assert scalar.num_batch_selects == 0
+
+    def test_shared_scheduler_instance_rejected(self, toy_traces, toy_lut):
+        # A scheduler instance binds to one pool's queue (and carries
+        # per-run state), so sharing it across pools must fail loudly.
+        shared = make_scheduler("dysta", toy_lut)
+        pools = [Pool("a", shared, 1), Pool("b", shared, 1)]
+        with pytest.raises(SchedulingError, match="share one scheduler"):
+            simulate_cluster(toy_workload(toy_traces, n=5), pools, "jsq")
+
+
+@pytest.fixture(scope="module")
+def mixed_world():
+    """Small mixed attnn+cnn profile (module-cached: profiling is the cost)."""
+    traces = dict(benchmark_suite("attnn", n_samples=40, seed=0))
+    traces.update(benchmark_suite("cnn", n_samples=40, seed=0))
+    return traces, ModelInfoLUT(traces)
+
+
+class TestMixedFamilyWorkloads:
+    @pytest.mark.parametrize("name", CONVERTED)
+    def test_mixed_attnn_cnn_schedule_identical(self, mixed_world, name):
+        traces, lut = mixed_world
+        spec = WorkloadSpec(8.0, n_requests=80, slo_multiplier=10.0, seed=3)
+        scalar = simulate(generate_workload(traces, spec),
+                          scheduler_for(name, lut), use_batch=False)
+        batch = simulate(generate_workload(traces, spec),
+                         scheduler_for(name, lut), use_batch=True)
+        assert_identical(scalar, batch)

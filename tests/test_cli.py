@@ -18,6 +18,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["schedule", "--scheduler", "magic"])
 
+    def test_perf_subcommand_wired(self):
+        args = build_parser().parse_args(
+            ["perf", "--skip-cluster", "--rounds", "1", "--out", ""]
+        )
+        assert args.skip_cluster and args.rounds == 1
+        assert args.cluster_requests == 100_000
+        assert args.func is not None
+
 
 class TestCommands:
     def test_profile_writes_csvs(self, tmp_path, capsys):

@@ -81,10 +81,13 @@ class TestDynamicLevel:
         req = long_req(rid=1)
         base = sched.remaining_estimate(req)
         assert base == pytest.approx(toy_lut.static_remaining("long/dense", 0))
-        # After executing a much-denser-than-average layer, the estimate grows.
-        req.next_layer = 1
-        req.layer_sparsities[0] = 0.02
-        refined = sched.remaining_estimate(req)
+        # A much-denser-than-average first layer grows the estimate once
+        # that layer has executed (traces are fixed at construction).
+        dense = make_request(rid=2, model="long", arrival=0.0,
+                             latencies=(0.01, 0.01, 0.01),
+                             sparsities=(0.02, 0.3, 0.3))
+        dense.next_layer = 1
+        refined = sched.remaining_estimate(dense)
         assert refined > toy_lut.static_remaining("long/dense", 1)
 
     def test_nosparse_ignores_monitored_sparsity(self, toy_lut):

@@ -1,0 +1,187 @@
+"""Unit tests for the array-backed ready queue (vectorized scheduling core)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lut import ModelInfoLUT
+from repro.errors import SchedulingError
+from repro.sim.ready_queue import KNOWN_COLUMNS, ReadyQueue, np_lexmin
+
+from conftest import make_request
+
+
+def rq(toy_lut, columns=("arrival", "deadline", "est_isolated", "est_remaining",
+                         "true_remaining", "last_run_end", "executed_time",
+                         "priority", "true_isolated")):
+    return ReadyQueue(toy_lut, columns=columns, capacity=4)
+
+
+class TestBasics:
+    def test_unknown_column_rejected(self, toy_lut):
+        with pytest.raises(SchedulingError, match="unknown ready-queue column"):
+            ReadyQueue(toy_lut, columns=("bogus",))
+
+    def test_sequence_protocol(self, toy_lut):
+        q = rq(toy_lut)
+        reqs = [make_request(rid=i, arrival=float(i)) for i in range(3)]
+        for r in reqs:
+            q.add(r)
+        assert len(q) == 3
+        assert list(q) == reqs
+        assert q[0] is reqs[0]
+        assert all(r in q for r in reqs)
+        # membership is identity-based: an equal-looking stranger is absent
+        assert make_request(rid=1, arrival=1.0) not in q
+
+    def test_columns_mirror_request_state(self, toy_lut):
+        q = rq(toy_lut)
+        r = make_request(rid=7, arrival=2.0, slo=3.0)
+        i = q.add(r)
+        assert q.np_rid[i] == 7 and q.ls_rid[i] == 7
+        assert q.np_arrival[i] == 2.0
+        assert q.np_deadline[i] == r.deadline
+        assert q.np_true_isolated[i] == r.isolated_latency
+        assert q.np_true_remaining[i] == r.true_remaining
+        entry = r.lut_entry(toy_lut)
+        assert q.np_est_isolated[i] == entry.avg_total_latency
+        assert q.np_est_remaining[i] == entry.remaining_suffix_t[0]
+        # numpy and list mirrors agree
+        assert q.ls_est_remaining[i] == q.np_est_remaining[i]
+
+
+class TestSwapRemove:
+    def test_swap_remove_moves_tail_into_hole(self, toy_lut):
+        q = rq(toy_lut)
+        reqs = [make_request(rid=i, arrival=float(i)) for i in range(4)]
+        for r in reqs:
+            q.add(r)
+        q.remove(reqs[1])
+        assert len(q) == 3
+        assert reqs[1] not in q
+        # The tail (rid 3) took slot 1 in every column.
+        assert q[1] is reqs[3]
+        assert q.np_rid[1] == 3 and q.ls_rid[1] == 3
+        assert q.np_arrival[1] == 3.0 and q.ls_arrival[1] == 3.0
+        assert q.index_of(reqs[3]) == 1
+        # Remaining entries stay coherent.
+        for r in (reqs[0], reqs[2], reqs[3]):
+            i = q.index_of(r)
+            assert q.np_rid[i] == r.rid
+            assert q.np_arrival[i] == r.arrival
+
+    def test_remove_absent_request_rejected(self, toy_lut):
+        q = rq(toy_lut)
+        q.add(make_request(rid=0))
+        with pytest.raises(SchedulingError, match="not in the ready queue"):
+            q.remove(make_request(rid=5))
+
+    def test_growth_beyond_initial_capacity(self, toy_lut):
+        q = rq(toy_lut)  # capacity 4
+        reqs = [make_request(rid=i, arrival=float(i)) for i in range(20)]
+        for r in reqs:
+            q.add(r)
+        assert len(q) == 20
+        for r in reqs:
+            i = q.index_of(r)
+            assert q.np_rid[i] == r.rid
+            assert q.ls_arrival[i] == r.arrival
+
+
+class TestIncrementalUpdate:
+    def test_update_progress_refreshes_progress_columns(self, toy_lut):
+        q = rq(toy_lut)
+        r = make_request(rid=0, latencies=(0.001, 0.002), sparsities=(0.5, 0.5))
+        i = q.add(r)
+        r.next_layer = 1
+        r.executed_time = 0.001
+        r.last_run_end = 0.5
+        q.update_progress(r)
+        entry = r.lut_entry(toy_lut)
+        assert q.np_est_remaining[i] == entry.remaining_suffix_t[1]
+        assert q.np_true_remaining[i] == r.true_remaining
+        assert q.np_last_run_end[i] == 0.5 and q.ls_last_run_end[i] == 0.5
+        assert q.np_executed_time[i] == 0.001
+
+    def test_update_progress_ignores_absent_request(self, toy_lut):
+        q = rq(toy_lut)
+        q.update_progress(make_request(rid=9))  # no-op, no error
+
+
+class TestAux:
+    def test_aux_default_and_point_writes(self, toy_lut):
+        q = rq(toy_lut)
+        q.register_aux("tokens", 1.5)
+        a = q.add(make_request(rid=0))
+        b = q.add(make_request(rid=1))
+        assert q.aux_list("tokens") == [1.5, 1.5]
+        q.aux_set("tokens", b, 9.0)
+        assert q.aux_np("tokens")[b] == 9.0
+        assert q.aux_list("tokens")[a] == 1.5
+
+    def test_aux_vector_write_syncs_mirror_lazily(self, toy_lut):
+        q = rq(toy_lut)
+        q.register_aux("tokens", 0.0)
+        for i in range(3):
+            q.add(make_request(rid=i))
+        arr = q.aux_np_writable("tokens")
+        arr[:3] += 2.0
+        assert q.aux_list("tokens") == [2.0, 2.0, 2.0]
+
+    def test_requeue_stash_survives_remove_readd(self, toy_lut):
+        # Multi-accelerator engines remove a running request and re-add it at
+        # the block boundary; scheduler aux state must survive the round trip.
+        q = rq(toy_lut)
+        q.register_aux("tokens", 0.0)
+        r = make_request(rid=3)
+        i = q.add(r)
+        q.aux_set("tokens", i, 7.25)
+        q.remove(r, requeue=True)
+        assert r not in q
+        j = q.add(r)
+        assert q.aux_list("tokens")[j] == 7.25
+
+    def test_plain_remove_discards_stash(self, toy_lut):
+        q = rq(toy_lut)
+        q.register_aux("tokens", 0.0)
+        r = make_request(rid=3)
+        q.aux_set("tokens", q.add(r), 7.25)
+        q.remove(r)  # completion: no stash
+        assert q.aux_list("tokens")[q.add(r)] == 0.0
+
+    def test_forget_drops_stash(self, toy_lut):
+        q = rq(toy_lut)
+        q.register_aux("tokens", 0.0)
+        r = make_request(rid=3)
+        q.aux_set("tokens", q.add(r), 4.0)
+        q.remove(r, requeue=True)
+        q.forget(r.rid)
+        assert q.aux_list("tokens")[q.add(r)] == 0.0
+
+
+class TestMissingEntries:
+    def test_unknown_model_counts_as_missing(self, toy_lut):
+        q = rq(toy_lut)
+        known = make_request(rid=0)
+        stranger = make_request(rid=1, model="alexnet")
+        q.add(known)
+        assert q.missing_entries == 0
+        q.add(stranger)
+        assert q.missing_entries == 1
+        q.remove(stranger)
+        assert q.missing_entries == 0
+
+
+class TestLexmin:
+    def test_primary_only(self):
+        assert np_lexmin(np.array([3.0, 1.0, 2.0])) == 1
+
+    def test_tie_breaks_through_columns(self):
+        primary = np.array([1.0, 1.0, 1.0, 2.0])
+        second = np.array([5.0, 4.0, 4.0, 0.0])
+        third = np.array([9, 8, 7, 6])
+        assert np_lexmin(primary, second, third) == 2
+
+    def test_all_known_columns_constructible(self, toy_lut):
+        q = ReadyQueue(toy_lut, columns=KNOWN_COLUMNS)
+        q.add(make_request(rid=0))
+        assert len(q) == 1

@@ -62,14 +62,18 @@ class TestFairness:
 
 class TestBreakdown:
     def test_groups_by_key(self):
+        # 'long' requests need long latencies to exist (traces are fixed at
+        # construction, so build the request with them).
+        long_req = make_request(rid=2, model="long", arrival=0.0, slo=1.0,
+                                latencies=(0.01, 0.01, 0.01),
+                                sparsities=(0.3, 0.3, 0.3))
+        long_req.finish_time = 0.03
+        long_req.first_dispatch_time = 0.0
         reqs = [
             finished(0, model="short", finish=0.003),
             finished(1, model="short", finish=0.006),
-            finished(2, model="long", finish=0.03),
+            long_req,
         ]
-        # 'long' requests need long latencies to exist.
-        reqs[2].layer_latencies = [0.01, 0.01, 0.01]
-        reqs[2].layer_sparsities = [0.3, 0.3, 0.3]
         out = per_class_breakdown(reqs)
         assert set(out) == {"short/dense", "long/dense"}
         assert out["short/dense"].count == 2

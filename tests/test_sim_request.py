@@ -43,9 +43,25 @@ class TestLifecycle:
 
     def test_monitored_sparsities_window(self):
         req = make_request(latencies=(0.1, 0.2), sparsities=(0.4, 0.6))
-        assert req.monitored_sparsities == []
+        assert list(req.monitored_sparsities) == []
         req.next_layer = 1
-        assert req.monitored_sparsities == [0.4]
+        assert list(req.monitored_sparsities) == [0.4]
+
+    def test_identity_semantics_and_hashability(self):
+        # eq=False: equality is identity, so queue membership tests never
+        # deep-compare latency traces, and requests can live in sets/dicts.
+        a = make_request(rid=1)
+        b = make_request(rid=1)
+        assert a != b and a == a
+        assert len({a, b}) == 2
+        assert b in [b] and b not in [a]
+
+    def test_cached_derived_state(self):
+        req = make_request(latencies=(0.1, 0.2, 0.3), sparsities=(0.5, 0.5, 0.5))
+        assert req.isolated_latency == sum(req.layer_latencies)
+        assert list(req.latency_prefix) == pytest.approx([0.0, 0.1, 0.3, 0.6])
+        assert req.num_layers == 3
+        assert req.key == "short/dense"
 
     def test_deadline(self):
         req = make_request(arrival=1.0, slo=2.0)
