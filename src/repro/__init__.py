@@ -39,6 +39,16 @@ from repro.cluster import (
     make_router,
     simulate_cluster,
 )
+from repro.scenarios import (
+    Phase,
+    ScenarioSpec,
+    SweepConfig,
+    build_scenario,
+    generate_scenario,
+    iter_scenario,
+    replay_trace,
+    run_sweep,
+)
 
 __version__ = "0.1.0"
 
@@ -76,5 +86,13 @@ __all__ = [
     "StreamingMetrics",
     "make_router",
     "simulate_cluster",
+    "Phase",
+    "ScenarioSpec",
+    "SweepConfig",
+    "build_scenario",
+    "generate_scenario",
+    "iter_scenario",
+    "replay_trace",
+    "run_sweep",
     "__version__",
 ]

@@ -7,6 +7,7 @@ Installed as the ``repro`` console script::
     repro schedule --family cnn --scheduler dysta      # one policy
     repro compare --family attnn --rate 30             # Table-5-style table
     repro cluster --pools eyeriss:2,sanger:2 --router jsq   # cluster tier
+    repro scenario --scenarios diurnal flash_crowd     # parallel sweep
     repro predictor-rmse                               # Table-4-style table
     repro hw-report                                    # Fig 16 + Table 6
 """
@@ -14,6 +15,8 @@ Installed as the ``repro`` console script::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -34,6 +37,7 @@ from repro.errors import ReproError
 from repro.hw.report import normalized_usage, overhead_table
 from repro.profiling.profiler import benchmark_suite
 from repro.profiling.store import TraceStore
+from repro.scenarios import available_scenarios
 from repro.schedulers.base import available_schedulers, make_scheduler
 from repro.sim.analysis import (
     jains_fairness,
@@ -145,6 +149,29 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                       block_size=args.block_size, switch_cost=args.switch_cost)
     reqs = result.requests
     waits = waiting_time_stats(reqs)
+    if args.json:
+        print(json.dumps({
+            "scheduler": args.scheduler,
+            "family": args.family,
+            "arrival_rate": rate,
+            "slo_multiplier": args.slo,
+            "seed": args.seeds[0],
+            "n_requests": len(reqs),
+            "metrics": dict(result.metrics),
+            "jain_fairness": jains_fairness(reqs),
+            "num_preemptions": result.num_preemptions,
+            "queueing": {key: float(value) for key, value in waits.items()},
+            "per_class": {
+                key: {
+                    "count": s.count,
+                    "antt": s.antt,
+                    "violation_rate": s.violation_rate,
+                    "p99": s.p99_turnaround,
+                }
+                for key, s in per_class_breakdown(reqs).items()
+            },
+        }, indent=2, sort_keys=True))
+        return 0
     print(f"scheduler {args.scheduler} on {args.family} @ {rate:g} req/s")
     print(f"  ANTT {result.antt:.3f}  violations {100 * result.violation_rate:.2f}%  "
           f"STP {result.stp:.3f}")
@@ -228,6 +255,34 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     result = simulate_cluster(stream, pools, router, admission=admission,
                               retain_requests=not args.streaming)
 
+    if args.json:
+        print(json.dumps({
+            "pools": {p.name: p.num_accelerators for p in pools},
+            "router": router.name,
+            "scheduler": args.scheduler,
+            "traffic": args.traffic,
+            "arrival_rate": args.rate,
+            "slo_multiplier": args.slo,
+            "seed": args.seed,
+            "num_offered": result.num_offered,
+            "num_completed": result.num_completed,
+            "num_shed": result.num_shed,
+            "shed_reasons": result.shed_reasons,
+            "makespan": result.makespan,
+            "metrics": dict(result.metrics),
+            "pool_stats": {
+                name: {
+                    "num_accelerators": s.num_accelerators,
+                    "completed": s.completed,
+                    "shed": s.shed,
+                    "max_queue_length": s.max_queue_length,
+                    "utilization": s.utilization,
+                }
+                for name, s in result.pool_stats.items()
+            },
+        }, indent=2, sort_keys=True))
+        return 0
+
     pool_desc = ", ".join(f"{p.name} x{p.num_accelerators}" for p in pools)
     print(f"cluster         : {pool_desc}")
     print(f"router          : {router.name}   scheduler: {args.scheduler}   "
@@ -253,6 +308,70 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         },
         float_fmt="{:.1f}",
     ))
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    """Parallel scenario sweep: scenario x scheduler x seed grid."""
+    from repro.scenarios import (
+        SweepConfig,
+        aggregate,
+        cell_key,
+        run_sweep,
+        scenario_descriptions,
+    )
+
+    if args.list:
+        for name, desc in scenario_descriptions().items():
+            print(f"{name:14s} {desc}")
+        return 0
+
+    config = SweepConfig(
+        scenarios=tuple(args.scenarios),
+        schedulers=tuple(args.schedulers),
+        seeds=tuple(args.seeds),
+        family=args.family,
+        base_rate=args.rate,
+        duration=args.duration,
+        slo_multiplier=args.slo,
+        n_profile_samples=args.samples,
+        block_size=args.block_size,
+        switch_cost=args.switch_cost,
+    )
+
+    def progress(key: str, done: int, total: int) -> None:
+        print(f"  [{done}/{total}] {key}")
+
+    result = run_sweep(config, out_path=args.out, workers=args.workers,
+                       force=args.force, progress=progress)
+    grid = (f"{len(config.scenarios)} scenarios x "
+            f"{len(config.schedulers)} schedulers x {len(config.seeds)} seeds")
+    print(f"sweep           : {grid} = {len(config.cells())} cells "
+          f"({result.n_run} run, {result.n_skipped} skipped)")
+    print(f"workload        : {config.family} @ base {config.rate:g} req/s, "
+          f"{config.duration:g} s per scenario, SLO {config.slo_multiplier:g}x")
+    # Aggregate only this invocation's grid: a shared store may hold cells
+    # from wider past sweeps that were not asked about here.
+    requested = {cell_key(*cell) for cell in config.cells()}
+    this_grid = {
+        "cells": {key: cell for key, cell in result.cells.items()
+                  if key in requested}
+    }
+    print()
+    print(render_table(
+        "mean metrics per (scenario, scheduler) across seeds",
+        ["ANTT", "viol %", "p99", "STP"],
+        {
+            f"{scenario}/{scheduler}": [
+                row["antt"], 100 * row["violation_rate"], row["p99"], row["stp"],
+            ]
+            for (scenario, scheduler), row in aggregate(this_grid).items()
+        },
+        float_fmt="{:.2f}",
+    ))
+    if result.out_path is not None:
+        print(f"\nwrote {result.out_path} "
+              f"({len(result.cells)} cells; re-runs skip completed cells)")
     return 0
 
 
@@ -366,6 +485,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p_analyze)
     p_analyze.add_argument("--scheduler", default="dysta",
                            choices=available_schedulers())
+    p_analyze.add_argument("--json", action="store_true",
+                           help="emit machine-readable JSON instead of tables")
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_cluster = sub.add_parser(
@@ -405,7 +526,45 @@ def build_parser() -> argparse.ArgumentParser:
                                 "without retaining request objects")
     p_cluster.add_argument("--block-size", type=int, default=1)
     p_cluster.add_argument("--switch-cost", type=float, default=0.0)
+    p_cluster.add_argument("--json", action="store_true",
+                           help="emit machine-readable JSON instead of tables")
     p_cluster.set_defaults(func=_cmd_cluster)
+
+    p_scen = sub.add_parser(
+        "scenario",
+        help="run a scenario x scheduler x seed sweep in parallel",
+    )
+    p_scen.add_argument("--scenarios", nargs="+",
+                        choices=available_scenarios(),
+                        default=["diurnal", "flash_crowd"],
+                        help="named traffic scenarios to sweep")
+    p_scen.add_argument("--schedulers", nargs="+",
+                        choices=available_schedulers(),
+                        default=["dysta", "sjf"])
+    p_scen.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2],
+                        help="workload seeds per cell")
+    p_scen.add_argument("--family", choices=("attnn", "cnn"), default="attnn")
+    p_scen.add_argument("--rate", type=float, default=None,
+                        help="base arrival rate in req/s (default: family's)")
+    p_scen.add_argument("--duration", type=float, default=30.0,
+                        help="scenario timeline length in seconds")
+    p_scen.add_argument("--slo", type=float, default=10.0,
+                        help="latency SLO multiplier")
+    p_scen.add_argument("--samples", type=int, default=100,
+                        help="profiling samples per (model, pattern)")
+    p_scen.add_argument("--workers", type=int,
+                        default=max(1, min(4, os.cpu_count() or 1)),
+                        help="worker processes (results identical for any count)")
+    p_scen.add_argument("--out", default="scenario_results.json",
+                        help="JSON results store; completed cells are "
+                             "skipped on re-runs")
+    p_scen.add_argument("--force", action="store_true",
+                        help="discard an existing results store")
+    p_scen.add_argument("--list", action="store_true",
+                        help="list available scenarios")
+    p_scen.add_argument("--block-size", type=int, default=1)
+    p_scen.add_argument("--switch-cost", type=float, default=0.0)
+    p_scen.set_defaults(func=_cmd_scenario)
 
     p_perf = sub.add_parser(
         "perf",

@@ -1,0 +1,77 @@
+"""Scenario engine: composable traffic shapes, trace replay, parallel sweeps.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.scenarios.shapes` — arrival-intensity shapes (constant, ramp,
+  diurnal, flash-crowd spike, superposition) sampled as non-homogeneous
+  Poisson via thinning, plus recorded-traffic CSV replay;
+* :mod:`repro.scenarios.spec` — ``ScenarioSpec``: named phases (shape x
+  duration x SLO/priority/model mix) stitched into one lazy request stream
+  that drives every simulation engine;
+* :mod:`repro.scenarios.runner` — a multiprocessing sweep over the
+  scenario x scheduler x seed grid with a resumable JSON results store.
+"""
+
+from repro.scenarios.shapes import (
+    Constant,
+    Diurnal,
+    Ramp,
+    Scale,
+    Shape,
+    Spike,
+    Superpose,
+    TraceEvent,
+    load_trace_csv,
+    record_trace,
+    replay_trace,
+    sample_arrivals,
+    save_trace_csv,
+)
+from repro.scenarios.spec import (
+    Phase,
+    ScenarioSpec,
+    available_scenarios,
+    build_scenario,
+    generate_scenario,
+    iter_scenario,
+    scenario_descriptions,
+)
+from repro.scenarios.runner import (
+    METRIC_KEYS,
+    SweepConfig,
+    SweepResult,
+    aggregate,
+    cell_key,
+    run_sweep,
+    workload_seed,
+)
+
+__all__ = [
+    "Shape",
+    "Constant",
+    "Ramp",
+    "Diurnal",
+    "Spike",
+    "Superpose",
+    "Scale",
+    "sample_arrivals",
+    "TraceEvent",
+    "save_trace_csv",
+    "load_trace_csv",
+    "replay_trace",
+    "record_trace",
+    "Phase",
+    "ScenarioSpec",
+    "iter_scenario",
+    "generate_scenario",
+    "available_scenarios",
+    "scenario_descriptions",
+    "build_scenario",
+    "SweepConfig",
+    "SweepResult",
+    "METRIC_KEYS",
+    "aggregate",
+    "cell_key",
+    "run_sweep",
+    "workload_seed",
+]

@@ -1,0 +1,308 @@
+"""Parallel scenario sweep runner with a resumable JSON results store.
+
+A sweep is the cartesian grid **scenario x scheduler x seed**.  Every cell
+is an independent deterministic simulation: its workload seed derives only
+from (scenario, seed) — never from the scheduler — so competing policies
+see bit-identical request streams, and never from the process that happens
+to run it — so the results JSON is identical whatever ``workers`` is.
+
+Cells are keyed ``scenario/scheduler/seed<N>`` in the store; re-running a
+sweep against an existing store skips completed cells (crash-safe,
+incremental grids: add a scheduler or seed and only the new cells run).
+The store refuses to mix grids generated under different workload
+configurations.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import zlib
+from dataclasses import asdict, dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.sim.engine import simulate
+
+from repro.scenarios.spec import available_scenarios, build_scenario, generate_scenario
+
+#: Per-cell metrics copied from the simulation summary into the store.
+METRIC_KEYS = ("antt", "violation_rate", "stp", "p50", "p95", "p99")
+
+#: Arrival rates matched to the families' service rates (paper Sec 6.2).
+_DEFAULT_BASE_RATE = {"attnn": 20.0, "cnn": 2.5}
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """The full specification of one sweep grid.
+
+    Everything that affects a cell's numbers lives here.  The JSON store
+    records the workload parameters verbatim and refuses to resume under
+    different ones; the grid axes (scenarios, schedulers, seeds) may grow
+    across runs — only the missing cells execute.
+    """
+
+    scenarios: Tuple[str, ...]
+    schedulers: Tuple[str, ...]
+    seeds: Tuple[int, ...]
+    family: str = "attnn"
+    base_rate: Optional[float] = None
+    duration: float = 30.0
+    slo_multiplier: float = 10.0
+    n_profile_samples: int = 100
+    block_size: int = 1
+    switch_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.scenarios or not self.schedulers or not self.seeds:
+            raise SchedulingError(
+                "sweep needs at least one scenario, scheduler and seed"
+            )
+        unknown = sorted(set(self.scenarios) - set(available_scenarios()))
+        if unknown:
+            raise SchedulingError(
+                f"unknown scenarios {unknown}; available: {available_scenarios()}"
+            )
+        from repro.schedulers.base import available_schedulers
+
+        bad = sorted(set(self.schedulers) - set(available_schedulers()))
+        if bad:
+            raise SchedulingError(
+                f"unknown schedulers {bad}; available: {available_schedulers()}"
+            )
+        if self.family not in _DEFAULT_BASE_RATE:
+            raise SchedulingError(
+                f"family must be one of {sorted(_DEFAULT_BASE_RATE)}, "
+                f"got {self.family!r}"
+            )
+        if self.duration <= 0:
+            raise SchedulingError(f"duration must be positive, got {self.duration}")
+        if self.base_rate is not None and self.base_rate <= 0:
+            raise SchedulingError(
+                f"base rate must be positive, got {self.base_rate}"
+            )
+        if self.slo_multiplier <= 0:
+            raise SchedulingError(
+                f"slo multiplier must be positive, got {self.slo_multiplier}"
+            )
+        if self.n_profile_samples <= 0:
+            raise SchedulingError(
+                f"profile samples must be positive, got {self.n_profile_samples}"
+            )
+
+    @property
+    def rate(self) -> float:
+        """The effective base arrival rate (family default when unset)."""
+        return (self.base_rate if self.base_rate is not None
+                else _DEFAULT_BASE_RATE[self.family])
+
+    def cells(self) -> List[Tuple[str, str, int]]:
+        """The grid in deterministic (scenario, scheduler, seed) order."""
+        return [
+            (scenario, scheduler, seed)
+            for scenario in self.scenarios
+            for scheduler in self.schedulers
+            for seed in self.seeds
+        ]
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :func:`run_sweep` call."""
+
+    store: Dict
+    n_run: int
+    n_skipped: int
+    out_path: Optional[Path] = None
+
+    @property
+    def cells(self) -> Dict[str, Dict]:
+        return self.store["cells"]
+
+
+def cell_key(scenario: str, scheduler: str, seed: int) -> str:
+    return f"{scenario}/{scheduler}/seed{seed}"
+
+
+def workload_seed(scenario: str, seed: int) -> int:
+    """Deterministic per-cell workload seed, independent of the scheduler.
+
+    Decorrelates equal seed numbers across scenarios via a stable CRC of
+    the scenario name (never ``hash()`` — that is salted per process and
+    would break cross-run resume).
+    """
+    return (zlib.crc32(scenario.encode()) + seed) & 0x7FFFFFFF
+
+
+@lru_cache(maxsize=4)
+def _profiled_suite(family: str, n_samples: int):
+    """Per-process trace-suite cache: workers profile each family once."""
+    from repro.profiling.profiler import benchmark_suite
+
+    return benchmark_suite(family, n_samples=n_samples, seed=0)
+
+
+def _run_cell(args: Tuple) -> Tuple[str, Dict]:
+    """Run one (scenario, scheduler, seed) cell; top-level for pickling."""
+    (scenario, scheduler_name, seed, family, rate, duration, slo,
+     n_samples, block_size, switch_cost) = args
+    from repro.core.lut import ModelInfoLUT
+    from repro.schedulers.base import make_scheduler
+
+    traces = _profiled_suite(family, n_samples)
+    spec = build_scenario(scenario, base_rate=rate, duration=duration,
+                          slo_multiplier=slo)
+    wseed = workload_seed(scenario, seed)
+    requests = generate_scenario(traces, spec, seed=wseed)
+    if not requests:
+        raise SchedulingError(
+            f"cell {cell_key(scenario, scheduler_name, seed)} generated no "
+            f"requests; increase --rate or --duration"
+        )
+    result = simulate(
+        requests,
+        make_scheduler(scheduler_name, ModelInfoLUT(traces)),
+        block_size=block_size,
+        switch_cost=switch_cost,
+    )
+    cell = {
+        "scenario": scenario,
+        "scheduler": scheduler_name,
+        "seed": seed,
+        "workload_seed": wseed,
+        "n_requests": len(requests),
+        "makespan": result.makespan,
+        "num_preemptions": result.num_preemptions,
+    }
+    cell.update({key: float(result.metrics[key]) for key in METRIC_KEYS})
+    return cell_key(scenario, scheduler_name, seed), cell
+
+
+def _load_store(path: Path, workload_dict: Dict, force: bool) -> Dict:
+    if force or not path.exists():
+        return {"workload": workload_dict, "cells": {}}
+    try:
+        store = json.loads(path.read_text())
+    except ValueError as exc:
+        raise SchedulingError(f"{path}: corrupt sweep store ({exc})") from None
+    if not isinstance(store, dict):
+        raise SchedulingError(
+            f"{path}: corrupt sweep store (expected a JSON object, "
+            f"got {type(store).__name__})"
+        )
+    if store.get("workload") != workload_dict:
+        raise SchedulingError(
+            f"{path} holds a sweep under different workload parameters "
+            f"({store.get('workload')} vs {workload_dict}); choose another "
+            f"output path or pass force to overwrite it"
+        )
+    store.setdefault("cells", {})
+    return store
+
+
+def _write_store(path: Path, store: Dict) -> None:
+    """Atomic, canonically-ordered write: same cells => same bytes."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(store, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def run_sweep(
+    config: SweepConfig,
+    *,
+    out_path: Optional[Union[str, Path]] = None,
+    workers: int = 1,
+    force: bool = False,
+    progress: Optional[Callable[[str, int, int], None]] = None,
+) -> SweepResult:
+    """Run (or resume) the sweep grid, optionally in parallel.
+
+    Args:
+        out_path: JSON results store.  When it already exists with the same
+            configuration, completed cells are skipped and only the missing
+            ones run; the store is rewritten after every completed cell, so
+            an interrupted sweep resumes where it stopped.  ``None`` keeps
+            the results in memory only.
+        workers: Worker processes; <= 1 runs inline (no multiprocessing).
+            Results are bit-identical for every worker count.
+        force: Discard an existing store instead of resuming it.
+        progress: Optional callback ``(cell_key, n_done, n_total)``.
+    """
+    # The store is keyed by workload parameters only: the grid axes
+    # (scenarios, schedulers, seeds) may grow across runs — new cells run,
+    # completed ones are skipped — but the numbers behind every cell must
+    # come from one consistent workload configuration.  base_rate is
+    # recorded resolved (config.rate), so an explicit rate equal to the
+    # family default matches a store created with the default, and a
+    # default-table change can never silently mix rates.  Round-trip
+    # through JSON so tuples compare equal to the lists an existing store
+    # holds.
+    workload_params = {
+        key: value for key, value in asdict(config).items()
+        if key not in ("scenarios", "schedulers", "seeds")
+    }
+    workload_params["base_rate"] = config.rate
+    workload_dict = json.loads(json.dumps(workload_params))
+    out = Path(out_path) if out_path is not None else None
+    store = (_load_store(out, workload_dict, force) if out is not None
+             else {"workload": workload_dict, "cells": {}})
+
+    grid = config.cells()
+    todo = [c for c in grid if cell_key(*c) not in store["cells"]]
+    n_skipped = len(grid) - len(todo)
+    done = n_skipped
+
+    def record(key: str, cell: Dict) -> None:
+        nonlocal done
+        store["cells"][key] = cell
+        done += 1
+        if out is not None:
+            _write_store(out, store)
+        if progress is not None:
+            progress(key, done, len(grid))
+
+    args_list = [
+        (scenario, scheduler, seed, config.family, config.rate,
+         config.duration, config.slo_multiplier, config.n_profile_samples,
+         config.block_size, config.switch_cost)
+        for scenario, scheduler, seed in todo
+    ]
+    if workers > 1 and len(args_list) > 1:
+        # Warm the trace-suite cache in the parent: under the default fork
+        # start method the workers inherit it copy-on-write instead of each
+        # re-profiling the suite (a no-op cost shift on spawn platforms).
+        _profiled_suite(config.family, config.n_profile_samples)
+        with multiprocessing.get_context().Pool(
+            processes=min(workers, len(args_list))
+        ) as pool:
+            for key, cell in pool.imap_unordered(_run_cell, args_list):
+                record(key, cell)
+    else:
+        for args in args_list:
+            key, cell = _run_cell(args)
+            record(key, cell)
+
+    if out is not None and (todo or not out.exists()):
+        _write_store(out, store)
+    return SweepResult(store=store, n_run=len(todo), n_skipped=n_skipped,
+                       out_path=out)
+
+
+def aggregate(store: Dict) -> Dict[Tuple[str, str], Dict[str, float]]:
+    """Mean metrics per (scenario, scheduler) across the store's seeds."""
+    groups: Dict[Tuple[str, str], List[Dict]] = {}
+    for cell in store["cells"].values():
+        groups.setdefault((cell["scenario"], cell["scheduler"]), []).append(cell)
+    return {
+        pair: {
+            key: float(np.mean([c[key] for c in cells])) for key in METRIC_KEYS
+        }
+        for pair, cells in sorted(groups.items())
+    }

@@ -21,6 +21,43 @@ from repro.sim.request import Request
 _TRAFFIC_SHAPES = ("poisson", "bursty")
 
 
+def check_class_mix(
+    label: str, classes: Optional[Tuple[Tuple[float, float], ...]]
+) -> None:
+    """Validate a (value, weight) class mixture (``None`` is always valid).
+
+    Shared by ``WorkloadSpec`` and the scenario engine's ``Phase`` so the
+    mixture semantics cannot diverge between the two workload paths.
+    """
+    if classes is None:
+        return
+    if not classes:
+        raise SchedulingError(f"{label} must be None or non-empty")
+    for value, weight in classes:
+        if value <= 0 or weight < 0:
+            raise SchedulingError(
+                f"invalid {label} entry (value={value}, weight={weight})"
+            )
+    if sum(w for _, w in classes) <= 0:
+        raise SchedulingError(f"{label} weights must not all be zero")
+
+
+def draw_class_mix(
+    classes: Optional[Tuple[Tuple[float, float], ...]],
+    default: float,
+    n: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw ``n`` values from a weighted class mixture (or the default)."""
+    if classes is None:
+        return np.full(n, default)
+    values = np.array([v for v, _ in classes])
+    weights = np.array([w for _, w in classes], dtype=float)
+    weights = weights / weights.sum()
+    picks = rng.choice(len(values), size=n, p=weights)
+    return values[picks]
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """Parameters of one generated workload.
@@ -39,6 +76,11 @@ class WorkloadSpec:
             ``slo_multiplier`` when set.
         priority_classes: Optional mixture of (priority, weight) classes
             (PREMA-style task priorities); default: every request at 1.0.
+        start_time: Offset added to every arrival time.  The arrival
+            *process* is unchanged (same gaps, same seed); the whole stream
+            is shifted, so phase-stitched scenario generators can place a
+            workload segment at any point on the timeline without rebasing
+            arrival arrays downstream.
     """
 
     arrival_rate: float
@@ -49,10 +91,13 @@ class WorkloadSpec:
     burst_size: int = 4
     slo_classes: Optional[Tuple[Tuple[float, float], ...]] = None
     priority_classes: Optional[Tuple[Tuple[float, float], ...]] = None
+    start_time: float = 0.0
 
     def __post_init__(self) -> None:
         if self.arrival_rate <= 0:
             raise SchedulingError(f"arrival rate must be positive, got {self.arrival_rate}")
+        if self.start_time < 0:
+            raise SchedulingError(f"start time must be >= 0, got {self.start_time}")
         if self.n_requests <= 0:
             raise SchedulingError(f"n_requests must be positive, got {self.n_requests}")
         if self.slo_multiplier <= 0:
@@ -65,47 +110,51 @@ class WorkloadSpec:
             )
         if self.traffic == "bursty" and self.burst_size <= 0:
             raise SchedulingError(f"burst size must be positive, got {self.burst_size}")
-        for label, classes in (("slo_classes", self.slo_classes),
-                               ("priority_classes", self.priority_classes)):
-            if classes is None:
-                continue
-            if not classes:
-                raise SchedulingError(f"{label} must be None or non-empty")
-            for value, weight in classes:
-                if value <= 0 or weight < 0:
-                    raise SchedulingError(
-                        f"invalid {label} entry (value={value}, weight={weight})"
-                    )
-            if sum(w for _, w in classes) <= 0:
-                raise SchedulingError(f"{label} weights must not all be zero")
+        check_class_mix("slo_classes", self.slo_classes)
+        check_class_mix("priority_classes", self.priority_classes)
 
 
 def _arrival_times(spec: WorkloadSpec, rng: np.random.Generator) -> np.ndarray:
     if spec.traffic == "poisson":
         gaps = rng.exponential(1.0 / spec.arrival_rate, size=spec.n_requests)
-        return np.cumsum(gaps)
+        return spec.start_time + np.cumsum(gaps)
     # Bursty: bursts of `burst_size` simultaneous requests; burst gaps keep
     # the long-run mean arrival rate equal to `arrival_rate`.
     n_bursts = -(-spec.n_requests // spec.burst_size)  # ceil division
     burst_gap_mean = spec.burst_size / spec.arrival_rate
     burst_times = np.cumsum(rng.exponential(burst_gap_mean, size=n_bursts))
     arrivals = np.repeat(burst_times, spec.burst_size)[: spec.n_requests]
-    return arrivals
+    return spec.start_time + arrivals
 
 
-def _draw_classes(
-    classes: Optional[Tuple[Tuple[float, float], ...]],
-    default: float,
-    n: int,
-    rng: np.random.Generator,
-) -> np.ndarray:
-    if classes is None:
-        return np.full(n, default)
-    values = np.array([v for v, _ in classes])
-    weights = np.array([w for _, w in classes], dtype=float)
-    weights = weights / weights.sum()
-    picks = rng.choice(len(values), size=n, p=weights)
-    return values[picks]
+def request_from_trace(
+    trace: TraceSet,
+    row: int,
+    *,
+    rid: int,
+    arrival: float,
+    slo_multiplier: float,
+    priority: float = 1.0,
+) -> Request:
+    """Build a request from one profiled input sample of a trace set.
+
+    The single place that turns (trace, sample row) into a ``Request`` —
+    per-layer latencies/sparsities copied from the profile, SLO derived as
+    ``T_isol x multiplier`` — shared by workload generation, the scenario
+    engine and trace replay so the recipe cannot diverge.
+    """
+    latencies = trace.latencies[row].tolist()
+    isolated = float(sum(latencies))
+    return Request(
+        rid=rid,
+        model_name=trace.model_name,
+        pattern_key=trace.pattern_key,
+        arrival=arrival,
+        slo=isolated * slo_multiplier,
+        layer_latencies=latencies,
+        layer_sparsities=trace.sparsities[row].tolist(),
+        priority=priority,
+    )
 
 
 def iter_workload(
@@ -124,24 +173,18 @@ def iter_workload(
     rng = np.random.default_rng(spec.seed)
     keys: Sequence[str] = sorted(traces)
     arrivals = _arrival_times(spec, rng)
-    multipliers = _draw_classes(spec.slo_classes, spec.slo_multiplier,
-                                spec.n_requests, rng)
-    priorities = _draw_classes(spec.priority_classes, 1.0, spec.n_requests, rng)
+    multipliers = draw_class_mix(spec.slo_classes, spec.slo_multiplier,
+                                 spec.n_requests, rng)
+    priorities = draw_class_mix(spec.priority_classes, 1.0, spec.n_requests, rng)
     for rid in range(spec.n_requests):
         key = keys[int(rng.integers(len(keys)))]
         trace = traces[key]
         row = int(rng.integers(trace.num_samples))
-        latencies = trace.latencies[row].tolist()
-        sparsities = trace.sparsities[row].tolist()
-        isolated = float(sum(latencies))
-        yield Request(
+        yield request_from_trace(
+            trace, row,
             rid=rid,
-            model_name=trace.model_name,
-            pattern_key=trace.pattern_key,
             arrival=float(arrivals[rid]),
-            slo=isolated * float(multipliers[rid]),
-            layer_latencies=latencies,
-            layer_sparsities=sparsities,
+            slo_multiplier=float(multipliers[rid]),
             priority=float(priorities[rid]),
         )
 

@@ -87,6 +87,21 @@ class TestCommands:
         assert "Jain fairness" in out
         assert "per-(model, pattern) class" in out
 
+    def test_analyze_json_output(self, capsys):
+        import json
+
+        rc = main(["analyze", "--family", "attnn", "--requests", "60",
+                   "--seeds", "0", "--samples", "50", "--scheduler", "sjf",
+                   "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scheduler"] == "sjf"
+        assert set(payload["metrics"]) >= {"antt", "violation_rate", "stp",
+                                           "p50", "p95", "p99"}
+        assert payload["per_class"]
+        for stats in payload["per_class"].values():
+            assert set(stats) == {"count", "antt", "violation_rate", "p99"}
+
     def test_schedule_from_trace_store(self, tmp_path, capsys):
         main(["profile", "--family", "attnn", "--samples", "20",
               "--out", str(tmp_path)])
@@ -129,6 +144,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "streaming metrics" in out
         assert "shed rate" in out
+
+    def test_cluster_json_output(self, capsys):
+        import json
+
+        rc = main(["cluster", "--pools", "eyeriss:2,sanger:2", "--router",
+                   "jsq", "--requests", "60", "--samples", "50", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["router"] == "jsq"
+        assert set(payload["pools"]) == {"eyeriss", "sanger"}
+        assert payload["num_offered"] == 60
+        assert set(payload["metrics"]) >= {"antt", "violation_rate", "stp",
+                                           "shed_rate", "p99"}
+        assert set(payload["pool_stats"]) == {"eyeriss", "sanger"}
 
     def test_cluster_bad_pool_spec(self, capsys):
         rc = main(["cluster", "--pools", "eyeriss", "--requests", "10",

@@ -1,0 +1,300 @@
+"""Unit tests for the scenario engine: shapes, specs, trace replay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scenarios import (
+    Constant,
+    Diurnal,
+    Phase,
+    Ramp,
+    ScenarioSpec,
+    Spike,
+    Superpose,
+    available_scenarios,
+    build_scenario,
+    generate_scenario,
+    iter_scenario,
+    load_trace_csv,
+    record_trace,
+    replay_trace,
+    sample_arrivals,
+    save_trace_csv,
+)
+from repro.scenarios.shapes import TraceEvent
+
+
+class TestShapeValidation:
+    def test_negative_rates_rejected(self):
+        with pytest.raises(SchedulingError):
+            Constant(-1.0)
+        with pytest.raises(SchedulingError):
+            Ramp(-1.0, 5.0, 10.0)
+        with pytest.raises(SchedulingError):
+            Diurnal(-2.0)
+
+    def test_diurnal_amplitude_bounded(self):
+        with pytest.raises(SchedulingError):
+            Diurnal(10.0, amplitude=1.5)
+
+    def test_spike_peak_below_base_rejected(self):
+        with pytest.raises(SchedulingError):
+            Spike(10.0, 5.0, at=1.0, width=1.0)
+
+    def test_empty_superposition_rejected(self):
+        with pytest.raises(SchedulingError):
+            Superpose()
+
+    def test_scale_negative_factor_rejected(self):
+        with pytest.raises(SchedulingError):
+            Constant(1.0) * -2.0
+
+
+class TestShapeAlgebra:
+    def test_superpose_adds_rates(self):
+        shape = Constant(3.0) + Diurnal(10.0, amplitude=0.5, period=8.0)
+        t = np.linspace(0.0, 8.0, 64)
+        expected = 3.0 + Diurnal(10.0, amplitude=0.5, period=8.0).rate(t)
+        np.testing.assert_allclose(shape.rate(t), expected)
+        assert shape.peak_rate(8.0) == pytest.approx(3.0 + 15.0)
+
+    def test_superpose_flattens(self):
+        nested = (Constant(1.0) + Constant(2.0)) + Constant(3.0)
+        assert len(nested.shapes) == 3
+        assert nested.mean_rate(5.0) == pytest.approx(6.0)
+
+    def test_scale(self):
+        shape = 2.0 * Constant(7.0)
+        assert shape.mean_rate(3.0) == pytest.approx(14.0)
+        assert shape.peak_rate(3.0) == pytest.approx(14.0)
+
+    def test_ramp_mean_rate_analytic(self):
+        # Linear 0 -> 10 over 10 s: mean over the ramp is 5; holding at 10
+        # for another 10 s lifts the overall mean to 7.5.
+        ramp = Ramp(0.0, 10.0, 10.0)
+        assert ramp.mean_rate(10.0) == pytest.approx(5.0)
+        assert ramp.mean_rate(20.0) == pytest.approx(7.5)
+
+
+class TestSampling:
+    def test_duration_must_be_positive(self):
+        with pytest.raises(SchedulingError):
+            sample_arrivals(Constant(1.0), 0.0, np.random.default_rng(0))
+
+    def test_zero_rate_yields_no_arrivals(self):
+        arr = sample_arrivals(Constant(0.0), 10.0, np.random.default_rng(0))
+        assert len(arr) == 0
+
+    def test_sorted_within_window_and_offset(self):
+        arr = sample_arrivals(Constant(20.0), 5.0, np.random.default_rng(3),
+                              start_time=100.0)
+        assert np.all(np.diff(arr) >= 0)
+        assert arr.min() >= 100.0 and arr.max() < 105.0
+
+    def test_deterministic_per_seed(self):
+        shape = Diurnal(15.0, amplitude=0.7, period=10.0)
+        a = sample_arrivals(shape, 20.0, np.random.default_rng(9))
+        b = sample_arrivals(shape, 20.0, np.random.default_rng(9))
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("shape", [
+        Diurnal(40.0, amplitude=0.8, period=15.0),
+        Spike(10.0, 60.0, at=15.0, width=2.5),
+        Ramp(10.0, 50.0, 20.0),
+    ], ids=["diurnal", "spike", "ramp"])
+    def test_mean_rate_preserved(self, shape):
+        # Thinning must reproduce the shape's intensity integral: the
+        # sampled count over a long window matches rate x time within
+        # Poisson noise (averaged over seeds to tighten the tolerance).
+        duration = 30.0
+        counts = [
+            len(sample_arrivals(shape, duration, np.random.default_rng(seed)))
+            for seed in range(8)
+        ]
+        expected = shape.mean_rate(duration) * duration
+        assert np.mean(counts) == pytest.approx(expected, rel=0.08)
+
+    def test_diurnal_mean_is_base_over_full_periods(self):
+        diurnal = Diurnal(25.0, amplitude=0.9, period=12.0)
+        assert diurnal.mean_rate(24.0) == pytest.approx(25.0, rel=1e-3)
+
+    def test_spike_concentrates_load(self):
+        # Arrivals inside the +/-2 sigma surge window dominate over an
+        # equal-width baseline slice.
+        shape = Spike(2.0, 50.0, at=20.0, width=2.0)
+        arr = sample_arrivals(shape, 40.0, np.random.default_rng(4))
+        surge = np.sum((arr > 16.0) & (arr < 24.0))
+        calm = np.sum(arr <= 8.0)
+        assert surge > 3 * calm
+
+
+class TestPhaseAndSpecValidation:
+    def test_phase_rejects_bad_duration(self):
+        with pytest.raises(SchedulingError):
+            Phase("p", Constant(1.0), 0.0)
+
+    def test_phase_rejects_bad_mixes(self):
+        with pytest.raises(SchedulingError):
+            Phase("p", Constant(1.0), 1.0, slo_classes=())
+        with pytest.raises(SchedulingError):
+            Phase("p", Constant(1.0), 1.0, priority_classes=((0.0, 1.0),))
+        with pytest.raises(SchedulingError):
+            Phase("p", Constant(1.0), 1.0, model_mix=(("m", -1.0),))
+
+    def test_spec_needs_phases(self):
+        with pytest.raises(SchedulingError):
+            ScenarioSpec("empty", ())
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SchedulingError):
+            build_scenario("tsunami", base_rate=1.0, duration=1.0)
+
+    def test_registry_contents(self):
+        assert {"steady", "ramp", "diurnal", "flash_crowd",
+                "multi_tenant"} <= set(available_scenarios())
+
+
+class TestScenarioGeneration:
+    def _spec(self, rate=200.0):
+        return ScenarioSpec("two_phase", (
+            Phase("a", Constant(rate), 1.0, slo_multiplier=5.0),
+            Phase("b", Constant(rate), 1.0, slo_multiplier=20.0),
+        ))
+
+    def test_lazy_iterator_and_ordering(self, toy_traces):
+        stream = iter_scenario(toy_traces, self._spec(), seed=0)
+        assert iter(stream) is stream  # generator, not a list
+        reqs = list(stream)
+        assert len(reqs) > 100
+        arrivals = [r.arrival for r in reqs]
+        assert arrivals == sorted(arrivals)
+        assert [r.rid for r in reqs] == list(range(len(reqs)))
+
+    def test_phases_stitch_onto_global_timeline(self, toy_traces):
+        reqs = generate_scenario(toy_traces, self._spec(), seed=1)
+        first = [r for r in reqs if r.arrival < 1.0]
+        second = [r for r in reqs if r.arrival >= 1.0]
+        assert first and second
+        # Phase content switches exactly at the boundary: SLO multipliers.
+        for r in first:
+            assert r.slo == pytest.approx(5.0 * r.isolated_latency)
+        for r in second:
+            assert r.slo == pytest.approx(20.0 * r.isolated_latency)
+        assert max(r.arrival for r in reqs) < 2.0
+
+    def test_deterministic_and_seed_sensitive(self, toy_traces):
+        spec = build_scenario("flash_crowd", base_rate=100.0, duration=4.0)
+        a = generate_scenario(toy_traces, spec, seed=3)
+        b = generate_scenario(toy_traces, spec, seed=3)
+        c = generate_scenario(toy_traces, spec, seed=4)
+        assert [r.arrival for r in a] == [r.arrival for r in b]
+        assert [r.model_name for r in a] == [r.model_name for r in b]
+        assert [r.arrival for r in a] != [r.arrival for r in c]
+
+    def test_editing_one_phase_leaves_others_untouched(self, toy_traces):
+        base = self._spec()
+        edited = ScenarioSpec("two_phase", (
+            Phase("a", Constant(500.0), 1.0, slo_multiplier=5.0),
+            base.phases[1],
+        ))
+        a = [r for r in generate_scenario(toy_traces, base, seed=0)
+             if r.arrival >= 1.0]
+        b = [r for r in generate_scenario(toy_traces, edited, seed=0)
+             if r.arrival >= 1.0]
+        # Per-phase RNG streams: phase b's draws are identical even though
+        # phase a produced a different number of requests.
+        assert [r.arrival for r in a] == [r.arrival for r in b]
+        assert [r.model_name for r in a] == [r.model_name for r in b]
+
+    def test_model_mix(self, toy_traces):
+        spec = ScenarioSpec("only_short", (
+            Phase("p", Constant(300.0), 1.0, model_mix=(("short/dense", 1.0),)),
+        ))
+        reqs = generate_scenario(toy_traces, spec, seed=0)
+        assert reqs and all(r.model_name == "short" for r in reqs)
+
+    def test_model_mix_unknown_key_rejected(self, toy_traces):
+        spec = ScenarioSpec("bad", (
+            Phase("p", Constant(10.0), 1.0, model_mix=(("nope/dense", 1.0),)),
+        ))
+        with pytest.raises(SchedulingError, match="model_mix"):
+            generate_scenario(toy_traces, spec, seed=0)
+
+    def test_empty_traces_rejected(self):
+        with pytest.raises(SchedulingError):
+            list(iter_scenario({}, self._spec()))
+
+    def test_multi_tenant_mixes_classes(self, toy_traces):
+        spec = build_scenario("multi_tenant", base_rate=400.0, duration=2.0)
+        reqs = generate_scenario(toy_traces, spec, seed=0)
+        assert len({r.priority for r in reqs}) == 2
+        mults = {round(r.slo / r.isolated_latency, 3) for r in reqs}
+        assert len(mults) == 2
+
+    def test_drives_the_engines(self, toy_traces, toy_lut):
+        from repro.schedulers.base import make_scheduler
+        from repro.sim.engine import simulate
+        from repro.cluster import Pool, simulate_cluster
+
+        spec = build_scenario("diurnal", base_rate=150.0, duration=2.0)
+        reqs = generate_scenario(toy_traces, spec, seed=2)
+        result = simulate(reqs, make_scheduler("dysta", toy_lut))
+        assert result.metrics["antt"] >= 1.0
+
+        pools = [Pool("p", make_scheduler("dysta", toy_lut), 2)]
+        stream = iter_scenario(toy_traces, spec, seed=2)
+        cluster = simulate_cluster(stream, pools, "jsq", retain_requests=False)
+        assert cluster.num_completed == len(reqs)
+
+
+class TestTraceReplay:
+    def test_event_validation(self):
+        with pytest.raises(SchedulingError):
+            TraceEvent(timestamp=-1.0, model="m", seq_len=0)
+        with pytest.raises(SchedulingError):
+            TraceEvent(timestamp=0.0, model="m", seq_len=-1)
+
+    def test_csv_round_trip_is_identical(self, toy_traces, tmp_path):
+        spec = build_scenario("flash_crowd", base_rate=120.0, duration=3.0)
+        recorded = generate_scenario(toy_traces, spec, seed=5)
+        path = tmp_path / "traffic.csv"
+        save_trace_csv(path, record_trace(recorded, toy_traces))
+
+        events = load_trace_csv(path)
+        assert len(events) == len(recorded)
+        replayed = list(replay_trace(path, toy_traces))
+        assert [r.arrival for r in replayed] == [r.arrival for r in recorded]
+        assert ([r.layer_latencies for r in replayed]
+                == [r.layer_latencies for r in recorded])
+        assert ([r.model_name for r in replayed]
+                == [r.model_name for r in recorded])
+
+    def test_replay_by_bare_model_name(self, toy_traces):
+        events = [TraceEvent(0.5, "short", 3), TraceEvent(1.0, "long", 1)]
+        reqs = list(replay_trace(events, toy_traces))
+        assert [r.model_name for r in reqs] == ["short", "long"]
+        assert reqs[0].layer_latencies == list(
+            toy_traces["short/dense"].latencies[0]
+        )  # 3 % num_samples(3) == 0
+
+    def test_replay_unknown_model_rejected(self, toy_traces):
+        with pytest.raises(SchedulingError, match="no trace-set key"):
+            list(replay_trace([TraceEvent(0.0, "mystery", 0)], toy_traces))
+
+    def test_replay_unsorted_rejected(self, toy_traces):
+        events = [TraceEvent(2.0, "short", 0), TraceEvent(1.0, "short", 0)]
+        with pytest.raises(SchedulingError, match="sorted"):
+            list(replay_trace(events, toy_traces))
+
+    def test_load_rejects_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,who\n1.0,bert\n")
+        with pytest.raises(SchedulingError, match="columns"):
+            load_trace_csv(path)
+
+    def test_empty_trace_rejected(self, toy_traces, tmp_path):
+        with pytest.raises(SchedulingError):
+            save_trace_csv(tmp_path / "x.csv", [])
+        with pytest.raises(SchedulingError):
+            list(replay_trace([], toy_traces))
