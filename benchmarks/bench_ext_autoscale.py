@@ -1,0 +1,101 @@
+"""Extension: autoscaling policies vs static provisioning on shaped traffic.
+
+The paper provisions a fixed accelerator count for the whole run; under the
+scenario engine's diurnal and flash-crowd load curves a fixed pool is either
+peak-sized (paying for idle capacity off-peak) or mean-sized (shedding the
+surge).  This suite replays the registry scenarios against the autoscaler
+tier and checks the acceptance contract from both sides:
+
+* every autoscaling policy sheds **strictly fewer** requests than the
+  mean-sized fixed baseline on the flash crowd, and
+* provisions **fewer accelerator-seconds** than a statically peak-sized
+  pool — while staying within its shed rate on the diurnal cycle.
+"""
+
+from repro.bench.figures import render_table
+from repro.cluster import (
+    AdmissionController,
+    Pool,
+    make_autoscaler,
+    simulate_cluster,
+)
+from repro.core.lut import ModelInfoLUT
+from repro.profiling.profiler import benchmark_suite
+from repro.scenarios import build_scenario, generate_scenario
+from repro.schedulers.base import make_scheduler
+
+from _config import FULL, N_PROFILE, once
+
+SCENARIOS = ("flash_crowd", "diurnal")
+POLICIES = ("reactive", "target-utilization", "predictive")
+DURATION = 60.0 if FULL else 20.0
+BASE_RATE = 40.0
+BASE_POOL = 2       # mean-sized baseline, and the autoscalers' floor
+PEAK_POOL = 8       # statically peak-sized baseline / autoscaler ceiling
+QUEUE_DEPTH = 8
+SEED = 0
+
+
+def bench_ext_autoscale(benchmark):
+    def run():
+        traces = benchmark_suite("attnn", n_samples=N_PROFILE, seed=0)
+        lut = ModelInfoLUT(traces)
+        results = {}
+        for scenario in SCENARIOS:
+            spec = build_scenario(scenario, base_rate=BASE_RATE,
+                                  duration=DURATION)
+            for config in ("fixed-small", "fixed-peak") + POLICIES:
+                requests = generate_scenario(traces, spec, seed=SEED)
+                n = PEAK_POOL if config == "fixed-peak" else BASE_POOL
+                pool = Pool("pool", make_scheduler("dysta", lut), n)
+                autoscaler = None
+                if config in POLICIES:
+                    # Floor at the mean-sized pool, ceiling at the peak:
+                    # the autoscaler adds surge capacity only.
+                    autoscaler = make_autoscaler(
+                        config, lut=lut, min_accelerators=BASE_POOL,
+                        max_accelerators=PEAK_POOL, interval=0.5,
+                        provision_latency=1.0, cooldown_down=2.0,
+                    )
+                results[(scenario, config)] = simulate_cluster(
+                    requests, [pool], "round-robin",
+                    admission=AdmissionController(max_queue_depth=QUEUE_DEPTH),
+                    autoscaler=autoscaler,
+                )
+        return results
+
+    results = once(benchmark, run)
+
+    print()
+    print(render_table(
+        f"autoscaling on shaped traffic (attnn, base {BASE_RATE:g} req/s, "
+        f"{DURATION:g} s, dysta per pool)",
+        ["shed", "lag shed", "ANTT", "p99", "prov acc-s", "util %"],
+        {
+            f"{scenario}/{config}": [
+                res.num_shed,
+                res.shed_under_scale_lag,
+                res.antt,
+                res.p99,
+                res.acc_seconds_provisioned,
+                100 * res.provisioned_utilization,
+            ]
+            for (scenario, config), res in results.items()
+        },
+        float_fmt="{:.1f}",
+    ))
+
+    for scenario in SCENARIOS:
+        small = results[(scenario, "fixed-small")]
+        peak = results[(scenario, "fixed-peak")]
+        # The surge must actually stress the mean-sized baseline.
+        assert small.num_shed > 0, scenario
+        for policy in POLICIES:
+            scaled = results[(scenario, policy)]
+            # Acceptance both ways: fewer sheds than the mean-sized pool,
+            # fewer provisioned accelerator-seconds than the peak-sized one.
+            assert scaled.num_shed < small.num_shed, (scenario, policy)
+            assert (scaled.acc_seconds_provisioned
+                    < peak.acc_seconds_provisioned), (scenario, policy)
+            assert scaled.scale_events, (scenario, policy)
+            assert scaled.antt <= small.antt * 1.1, (scenario, policy)

@@ -14,6 +14,12 @@ Typical usage — profile the benchmark, generate a workload, schedule it::
                                                       n_requests=500, seed=1))
     result = simulate(requests, make_scheduler("dysta", lut))
     print(result.antt, result.violation_rate)
+
+Beyond the paper, :mod:`repro.cluster` serves the same workloads on
+heterogeneous accelerator pools (routing, admission control, autoscaling
+with cost accounting, streaming metrics) and :mod:`repro.scenarios` shapes
+the traffic (diurnal/flash-crowd curves, trace replay, parallel sweeps) —
+see ``docs/architecture.md`` for the layer map.
 """
 
 from repro.errors import (

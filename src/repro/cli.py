@@ -26,9 +26,11 @@ from repro.bench.harness import BASE_ARRIVAL_RATE, PAPER_SCHEDULERS, run_compari
 from repro.cluster import (
     AdmissionController,
     Pool,
+    available_autoscale_policies,
     available_routers,
     build_heterogeneous_world,
     build_router,
+    make_autoscaler,
     simulate_cluster,
 )
 from repro.core.lut import ModelInfoLUT
@@ -245,14 +247,35 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     if args.max_queue_depth is not None or args.slo_guard:
         admission = AdmissionController(max_queue_depth=args.max_queue_depth,
                                         slo_guard=args.slo_guard, lut=lut)
+    autoscaler = None
+    if args.autoscale:
+        autoscaler = make_autoscaler(
+            args.autoscale, lut=lut,
+            min_accelerators=args.min_accelerators,
+            max_accelerators=args.max_accelerators,
+            interval=args.autoscale_interval,
+            provision_latency=args.provision_latency,
+        )
 
-    spec = WorkloadSpec(
-        arrival_rate=args.rate, n_requests=args.requests,
-        slo_multiplier=args.slo, seed=args.seed, traffic=args.traffic,
-    )
-    stream = (iter_workload(traces, spec) if args.streaming
-              else generate_workload(traces, spec))
+    if args.scenario:
+        from repro.scenarios import build_scenario, iter_scenario
+
+        spec = build_scenario(args.scenario, base_rate=args.rate,
+                              duration=args.duration, slo_multiplier=args.slo)
+        stream = iter_scenario(traces, spec, seed=args.seed)
+        if not args.streaming:
+            stream = list(stream)
+        traffic_desc = f"scenario:{args.scenario}"
+    else:
+        wspec = WorkloadSpec(
+            arrival_rate=args.rate, n_requests=args.requests,
+            slo_multiplier=args.slo, seed=args.seed, traffic=args.traffic,
+        )
+        stream = (iter_workload(traces, wspec) if args.streaming
+                  else generate_workload(traces, wspec))
+        traffic_desc = args.traffic
     result = simulate_cluster(stream, pools, router, admission=admission,
+                              autoscaler=autoscaler,
                               retain_requests=not args.streaming)
 
     if args.json:
@@ -260,23 +283,34 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             "pools": {p.name: p.num_accelerators for p in pools},
             "router": router.name,
             "scheduler": args.scheduler,
-            "traffic": args.traffic,
+            "traffic": traffic_desc,
             "arrival_rate": args.rate,
             "slo_multiplier": args.slo,
             "seed": args.seed,
+            "autoscale": args.autoscale,
             "num_offered": result.num_offered,
             "num_completed": result.num_completed,
             "num_shed": result.num_shed,
             "shed_reasons": result.shed_reasons,
             "makespan": result.makespan,
             "metrics": dict(result.metrics),
+            "scale_events": [
+                {"time": e.time, "pool": e.pool, "delta": e.delta,
+                 "capacity_after": e.capacity_after, "ready_at": e.ready_at}
+                for e in result.scale_events
+            ],
             "pool_stats": {
                 name: {
                     "num_accelerators": s.num_accelerators,
+                    "peak_accelerators": s.peak_accelerators,
                     "completed": s.completed,
                     "shed": s.shed,
+                    "shed_during_scale_lag": s.shed_during_scale_lag,
                     "max_queue_length": s.max_queue_length,
                     "utilization": s.utilization,
+                    "acc_seconds_provisioned": s.acc_seconds_provisioned,
+                    "scale_ups": s.scale_ups,
+                    "scale_downs": s.scale_downs,
                 }
                 for name, s in result.pool_stats.items()
             },
@@ -286,7 +320,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     pool_desc = ", ".join(f"{p.name} x{p.num_accelerators}" for p in pools)
     print(f"cluster         : {pool_desc}")
     print(f"router          : {router.name}   scheduler: {args.scheduler}   "
-          f"traffic: {args.traffic}")
+          f"traffic: {traffic_desc}")
     print(f"workload        : {result.num_offered} requests @ {args.rate:g} req/s, "
           f"SLO {args.slo:g}x"
           + ("  [streaming metrics]" if args.streaming else ""))
@@ -297,13 +331,20 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
           + (f"  {result.shed_reasons}" if result.shed_reasons else ""))
     print(f"p99 turnaround  : {result.p99:.2f}x isolated "
           f"(p50 {result.p50:.2f}  p95 {result.p95:.2f})")
+    if args.autoscale:
+        print(f"autoscaling     : policy {args.autoscale}, "
+              f"{len(result.scale_events)} scale events, "
+              f"{result.shed_under_scale_lag} shed under scale lag")
+        print(f"cost            : {result.acc_seconds_provisioned:.1f} acc-s "
+              f"provisioned, {result.acc_seconds_used:.1f} used "
+              f"({100 * result.provisioned_utilization:.1f}% of provisioned)")
     print()
     print(render_table(
         "per-pool breakdown",
-        ["accels", "completed", "shed", "peak queue", "util %"],
+        ["accels", "peak", "completed", "shed", "peak queue", "util %"],
         {
-            name: [s.num_accelerators, s.completed, s.shed,
-                   s.max_queue_length, 100 * s.utilization]
+            name: [s.num_accelerators, s.peak_accelerators, s.completed,
+                   s.shed, s.max_queue_length, 100 * s.utilization]
             for name, s in result.pool_stats.items()
         },
         float_fmt="{:.1f}",
@@ -337,6 +378,10 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         n_profile_samples=args.samples,
         block_size=args.block_size,
         switch_cost=args.switch_cost,
+        engine=args.engine,
+        pool_size=args.pool_size,
+        autoscale=args.autoscale,
+        max_queue_depth=args.max_queue_depth,
     )
 
     def progress(key: str, done: int, total: int) -> None:
@@ -514,6 +559,26 @@ def build_parser() -> argparse.ArgumentParser:
                            help="profiling samples per (model, pattern)")
     p_cluster.add_argument("--traffic", choices=("poisson", "bursty"),
                            default="poisson")
+    p_cluster.add_argument("--scenario", choices=available_scenarios(),
+                           default=None,
+                           help="drive the cluster with a named traffic "
+                                "scenario instead of --traffic/--requests")
+    p_cluster.add_argument("--duration", type=float, default=30.0,
+                           help="scenario timeline length in seconds "
+                                "(with --scenario)")
+    p_cluster.add_argument("--autoscale", choices=available_autoscale_policies(),
+                           default=None,
+                           help="grow/shrink pools against load with this "
+                                "autoscaling policy")
+    p_cluster.add_argument("--autoscale-interval", type=float, default=1.0,
+                           help="seconds between autoscaling decisions")
+    p_cluster.add_argument("--provision-latency", type=float, default=2.0,
+                           help="warm-up delay before scaled-up capacity "
+                                "becomes schedulable")
+    p_cluster.add_argument("--min-accelerators", type=int, default=1,
+                           help="per-pool lower bound for the autoscaler")
+    p_cluster.add_argument("--max-accelerators", type=int, default=8,
+                           help="per-pool upper bound for the autoscaler")
     p_cluster.add_argument("--mismatch-penalty", type=float, default=4.0,
                            help="slowdown of a pool serving the non-native family")
     p_cluster.add_argument("--max-queue-depth", type=int, default=None,
@@ -564,6 +629,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="list available scenarios")
     p_scen.add_argument("--block-size", type=int, default=1)
     p_scen.add_argument("--switch-cost", type=float, default=0.0)
+    p_scen.add_argument("--engine", choices=("single", "cluster"),
+                        default="single",
+                        help="replay cells on the single-NPU or cluster engine")
+    p_scen.add_argument("--pool-size", type=int, default=2,
+                        help="accelerators per cluster-engine cell pool")
+    p_scen.add_argument("--autoscale", choices=available_autoscale_policies(),
+                        default=None,
+                        help="autoscaling policy for cluster-engine cells")
+    p_scen.add_argument("--max-queue-depth", type=int, default=None,
+                        help="admission queue-depth limit for cluster cells")
     p_scen.set_defaults(func=_cmd_scenario)
 
     p_perf = sub.add_parser(

@@ -1,5 +1,5 @@
 """Datacenter cluster-serving tier: heterogeneous accelerator pools behind a
-request router with admission control and streaming metrics.
+request router, with admission control, autoscaling and streaming metrics.
 
 The paper evaluates a single time-shared NPU; this package scales that
 engine to the serving-cluster shape every production stack has::
@@ -13,6 +13,12 @@ engine to the serving-cluster shape every production stack has::
     ]
     result = simulate_cluster(requests, pools, router=make_router("jsq"))
     print(result.antt, result.shed_rate, result.p99)
+
+Pools are elastic: pass ``autoscaler=make_autoscaler("reactive")`` and the
+cluster grows and shrinks accelerator capacity against load, subject to a
+provisioning warm-up latency and drain-before-remove semantics, with the
+cost (accelerator-seconds provisioned vs used, scale events, sheds under
+scale lag) accounted in the result metrics.
 """
 
 from repro.cluster.admission import (
@@ -20,8 +26,20 @@ from repro.cluster.admission import (
     SHED_SLO_INFEASIBLE,
     AdmissionController,
 )
+from repro.cluster.autoscale import (
+    Autoscaler,
+    ScaleEvent,
+    cost_summary,
+    make_autoscaler,
+)
 from repro.cluster.engine import ClusterResult, PoolStats, simulate_cluster
 from repro.cluster.metrics import StreamingHistogram, StreamingMetrics
+from repro.cluster.policies import (
+    AutoscalePolicy,
+    available_autoscale_policies,
+    make_autoscale_policy,
+    register_autoscale_policy,
+)
 from repro.cluster.pool import Pool
 from repro.cluster.presets import (
     build_heterogeneous_world,
@@ -32,6 +50,7 @@ from repro.cluster.routing import (
     Router,
     available_routers,
     make_router,
+    predicted_remaining,
     register_router,
 )
 
@@ -39,6 +58,9 @@ __all__ = [
     "AdmissionController",
     "SHED_QUEUE_DEPTH",
     "SHED_SLO_INFEASIBLE",
+    "Autoscaler",
+    "AutoscalePolicy",
+    "ScaleEvent",
     "ClusterResult",
     "PoolStats",
     "simulate_cluster",
@@ -46,10 +68,16 @@ __all__ = [
     "StreamingMetrics",
     "Pool",
     "Router",
+    "available_autoscale_policies",
     "build_heterogeneous_world",
     "build_router",
+    "cost_summary",
     "family_affinity",
     "available_routers",
+    "make_autoscale_policy",
+    "make_autoscaler",
     "make_router",
+    "predicted_remaining",
+    "register_autoscale_policy",
     "register_router",
 ]

@@ -69,9 +69,11 @@ class AdmissionController:
 
     def admit(self, request: Request, pool: Pool, now: float) -> Optional[str]:
         """Return ``None`` to admit, or the shed-reason label to reject."""
+        # max(.., 1) guards the instant where an autoscaled pool's last
+        # draining accelerator retired while its replacements still warm.
         if (
             self.max_queue_depth is not None
-            and pool.backlog() >= self.max_queue_depth * pool.num_accelerators
+            and pool.backlog() >= self.max_queue_depth * max(pool.num_accelerators, 1)
         ):
             return SHED_QUEUE_DEPTH
         if self.slo_guard:
@@ -80,7 +82,9 @@ class AdmissionController:
                 for r in pool.pending()
             )
             service = self._estimated_remaining(request) / pool.service_speed(request)
-            estimated_finish = now + backlog_work / pool.num_accelerators + service
+            estimated_finish = (
+                now + backlog_work / max(pool.num_accelerators, 1) + service
+            )
             if estimated_finish > request.deadline + _EPS:
                 return SHED_SLO_INFEASIBLE
         return None

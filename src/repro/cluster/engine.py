@@ -12,6 +12,13 @@ Requests may be a list or any iterator sorted by arrival time; combined with
 engine replays 100k+ request streams in bounded memory — every finished
 request is folded into :class:`~repro.cluster.metrics.StreamingMetrics` and
 dropped.
+
+With an :class:`~repro.cluster.autoscale.Autoscaler` the cluster is
+elastic: the engine fires a policy tick at a fixed interval, applies the
+resulting capacity changes (scale-ups serve only after their warm-up
+delay; scale-downs drain before removing), and accounts the cost —
+accelerator-seconds provisioned vs used, scale events, and sheds that
+happened while capacity was still warming — into the result summary.
 """
 
 from __future__ import annotations
@@ -26,11 +33,19 @@ from repro.sim.metrics import summarize
 from repro.sim.request import Request
 
 from repro.cluster.admission import AdmissionController
+from repro.cluster.autoscale import Autoscaler, ScaleEvent, cost_summary
 from repro.cluster.metrics import StreamingMetrics
 from repro.cluster.pool import Pool, check_unique_names
 from repro.cluster.routing import Router, make_router
 
 _EPS = 1e-12
+
+# Event kinds on the cluster-wide heap (tiebroken by a unique counter, so
+# the kind itself is never compared).
+_BLOCK = 0   # a layer block finished on (pool, npu)
+_WAKE = 1    # an idle accelerator wakes for a pending arrival
+_TICK = 2    # autoscaler decision point
+_WARM = 3    # scaled-up capacity finished warming in a pool
 
 
 @dataclass(frozen=True)
@@ -38,6 +53,8 @@ class PoolStats:
     """Per-pool accounting of one cluster run."""
 
     name: str
+    #: Warm accelerators at the end of the run (the initial size for fixed
+    #: pools; whatever the autoscaler converged to for elastic ones).
     num_accelerators: int
     dispatched: int
     completed: int
@@ -46,10 +63,18 @@ class PoolStats:
     invocations: int
     max_queue_length: int
     busy_time: float
-    #: Fraction of accelerator-seconds spent serving over the makespan.
+    #: Fraction of provisioned accelerator-seconds spent serving.
     utilization: float
     #: Decisions served by the vectorized fast path (0 on the scalar path).
     batch_selects: int = 0
+    #: Highest provisioned capacity reached during the run.
+    peak_accelerators: int = 0
+    #: Integral of provisioned capacity over the run, in accelerator-seconds.
+    acc_seconds_provisioned: float = 0.0
+    scale_ups: int = 0
+    scale_downs: int = 0
+    #: Requests shed from this pool while it had capacity warming.
+    shed_during_scale_lag: int = 0
 
 
 @dataclass
@@ -74,6 +99,8 @@ class ClusterResult:
     metrics: Dict[str, float] = field(default_factory=dict)
     #: Decisions served by the vectorized fast path across all pools.
     num_batch_selects: int = 0
+    #: Applied capacity changes, in time order (empty without an autoscaler).
+    scale_events: List[ScaleEvent] = field(default_factory=list)
 
     @property
     def num_offered(self) -> int:
@@ -107,6 +134,22 @@ class ClusterResult:
     def p99(self) -> float:
         return self.metrics["p99"]
 
+    @property
+    def acc_seconds_provisioned(self) -> float:
+        return self.metrics["acc_seconds_provisioned"]
+
+    @property
+    def acc_seconds_used(self) -> float:
+        return self.metrics["acc_seconds_used"]
+
+    @property
+    def provisioned_utilization(self) -> float:
+        return self.metrics["provisioned_utilization"]
+
+    @property
+    def shed_under_scale_lag(self) -> int:
+        return int(self.metrics["shed_under_scale_lag"])
+
 
 def _request_stream(requests: Union[Sequence[Request], Iterable[Request]]) -> Iterator[Request]:
     """Arrival-ordered request iterator; sorts sequences, checks iterators."""
@@ -130,6 +173,7 @@ def simulate_cluster(
     router: Union[Router, str] = "round-robin",
     *,
     admission: Optional[AdmissionController] = None,
+    autoscaler: Optional[Autoscaler] = None,
     retain_requests: bool = True,
 ) -> ClusterResult:
     """Replay a request stream against a cluster of accelerator pools.
@@ -142,6 +186,10 @@ def simulate_cluster(
         router: A :class:`Router` instance, or a registry name for routers
             without constructor arguments (``"round-robin"``, ``"jsq"``).
         admission: Optional load-shedding policy; default admits everything.
+        autoscaler: Optional elastic-capacity controller; its policy is
+            ticked at a fixed interval and pool sizes follow its decisions
+            (subject to warm-up latency and drain-before-remove).  ``None``
+            keeps every pool at its constructed size.
         retain_requests: Keep finished/shed request objects on the result.
             ``False`` drops each request after folding it into the streaming
             metrics, so arbitrarily long replays use bounded memory.
@@ -153,11 +201,14 @@ def simulate_cluster(
     for pool in pools:
         pool.reset()
     router.reset(pools)
+    if autoscaler is not None:
+        autoscaler.reset(pools)
 
     metrics = StreamingMetrics()
     completed: List[Request] = []
     shed: List[Request] = []
-    events: List = []  # (time, tiebreak, pool, npu, request, layers, dt)
+    scale_events: List[ScaleEvent] = []
+    events: List = []  # (time, tiebreak, kind, pool, npu, request, layers, dt)
     counter = itertools.count()
     stream = _request_stream(requests)
     now = 0.0
@@ -176,7 +227,12 @@ def simulate_cluster(
 
     def push_event(time: float, pool: Pool, npu: int, req: Request,
                    layers: int, dt: float) -> None:
-        heapq.heappush(events, (time, next(counter), pool, npu, req, layers, dt))
+        heapq.heappush(
+            events, (time, next(counter), _BLOCK, pool, npu, req, layers, dt)
+        )
+
+    def push_control(time: float, kind: int, pool: Optional[Pool] = None) -> None:
+        heapq.heappush(events, (time, next(counter), kind, pool, -1, None, 0, 0.0))
 
     def admit_arrivals(now: float) -> None:
         """Route (and possibly shed) every request that has arrived by now."""
@@ -191,6 +247,8 @@ def simulate_cluster(
             reason = admission.admit(req, pool, now) if admission is not None else None
             if reason is not None:
                 pool.shed += 1
+                if pool.num_warming:
+                    pool.shed_during_scale_lag += 1
                 metrics.observe_shed(req, reason)
                 if retain_requests:
                     shed.append(req)
@@ -200,6 +258,21 @@ def simulate_cluster(
     def dispatch_all(now: float) -> None:
         for pool in pools:
             pool.dispatch(now, push_event)
+
+    def work_remains() -> bool:
+        return next_req is not None or any(
+            pool.queue or pool.running for pool in pools
+        )
+
+    def run_autoscaler(now: float) -> None:
+        """One policy tick: apply decisions, arm warm-ups and the next tick."""
+        for event in autoscaler.tick(pools, now):
+            scale_events.append(event)
+            if event.ready_at is not None:
+                pool = next(p for p in pools if p.name == event.pool)
+                push_control(event.ready_at, _WARM, pool)
+        if work_remains():
+            push_control(now + autoscaler.interval, _TICK)
 
     next_wake: Optional[float] = None
 
@@ -212,17 +285,28 @@ def simulate_cluster(
             and (next_wake is None or next_req.arrival < next_wake)
         ):
             next_wake = next_req.arrival
-            heapq.heappush(events, (next_wake, next(counter), None, -1, None, 0, 0.0))
+            push_control(next_wake, _WAKE)
 
     admit_arrivals(0.0)
     dispatch_all(0.0)
     arm_wake()
+    if autoscaler is not None:
+        push_control(autoscaler.interval, _TICK)
 
     while events:
-        now, _, pool, npu, req, layers, dt = heapq.heappop(events)
-        if req is None:
-            # Wake-up for idle accelerators at an arrival instant.
+        time, _, kind, pool, npu, req, layers, dt = heapq.heappop(events)
+        if kind in (_TICK, _WARM) and not work_remains():
+            # The stream is exhausted and every request served: discard
+            # trailing control events instead of stretching the makespan.
+            continue
+        now = time
+        if kind == _WAKE:
             next_wake = None
+        elif kind == _WARM:
+            pool.activate_ready(now)
+        elif kind == _TICK:
+            admit_arrivals(now)  # measure the queues the tick acts on
+            run_autoscaler(now)
         elif pool.complete_block(now, npu, req, layers, dt):
             metrics.observe(req)
             if retain_requests:
@@ -234,6 +318,10 @@ def simulate_cluster(
     if next_req is not None or any(pool.queue or pool.running for pool in pools):
         raise SchedulingError("simulation ended with unserved requests in the cluster")
 
+    makespan = now
+    for pool in pools:
+        pool.finalize_cost(makespan)
+
     if retain_requests and completed:
         # Exact batch metrics when the requests are on hand; the streaming
         # aggregates are identical for ANTT/violations/STP and within the
@@ -242,8 +330,8 @@ def simulate_cluster(
         summary["shed_rate"] = metrics.shed_rate
     else:
         summary = metrics.summary()
+    summary.update(cost_summary(pools, scale_events))
 
-    makespan = now
     pool_stats = {
         p.name: PoolStats(
             name=p.name,
@@ -256,9 +344,15 @@ def simulate_cluster(
             max_queue_length=p.max_queue_length,
             busy_time=p.busy_time,
             utilization=(
-                p.busy_time / (p.num_accelerators * makespan) if makespan > 0 else 0.0
+                p.busy_time / p.acc_seconds_provisioned
+                if p.acc_seconds_provisioned > 0 else 0.0
             ),
             batch_selects=p.batch_selects,
+            peak_accelerators=p.peak_accelerators,
+            acc_seconds_provisioned=p.acc_seconds_provisioned,
+            scale_ups=p.scale_ups,
+            scale_downs=p.scale_downs,
+            shed_during_scale_lag=p.shed_during_scale_lag,
         )
         for p in pools
     }
@@ -275,4 +369,5 @@ def simulate_cluster(
         pool_stats=pool_stats,
         metrics=summary,
         num_batch_selects=sum(p.batch_selects for p in pools),
+        scale_events=scale_events,
     )

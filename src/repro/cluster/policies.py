@@ -1,0 +1,285 @@
+"""Autoscaling policies: how much capacity a pool should have right now.
+
+An :class:`AutoscalePolicy` is consulted by the
+:class:`~repro.cluster.autoscale.Autoscaler` at every tick, once per pool,
+and returns the pool's *desired* provision target (warm + warming
+accelerators).  The autoscaler handles everything temporal — tick cadence,
+per-direction cooldowns, warm-up scheduling — so policies are pure
+state → capacity functions over the pool's placement-visible state, the
+same information boundary the routers and admission controller obey.
+
+Three built-in policies, mirroring the router registry idiom
+(``@register_autoscale_policy`` / ``make_autoscale_policy``):
+
+* **reactive** — queue-depth thresholds with hysteresis: scale up when the
+  backlog per provisioned accelerator crosses a high-water mark, down only
+  when it falls under a separate low-water mark *and* warm capacity sits
+  idle.  The gap between the marks is what keeps an oscillating load from
+  flapping capacity up and down.
+* **target-utilization** — proportional control on the pool's windowed
+  utilization (the busy-time delta since the previous decision):
+  ``desired = ceil(current * observed / target)``, with a deadband so
+  near-target noise changes nothing.  Saturated pools (utilization pinned
+  at 1 with a backlog) grow geometrically by ``1/target`` per tick.
+* **predictive** — feeds the predictive router's LUT latency estimates
+  forward over the provisioning horizon: size capacity to clear the
+  sparsity-corrected outstanding work *plus* the work expected to arrive
+  while new accelerators are still warming (EWMA arrival rate × predicted
+  mean service time × horizon) within a target drain time.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Callable, Dict, List
+
+from repro.core.lut import ModelInfoLUT
+from repro.core.predictor import PredictorStrategy, SparseLatencyPredictor
+from repro.errors import SchedulingError
+
+from repro.cluster.pool import Pool
+from repro.cluster.routing import predicted_remaining
+
+
+class AutoscalePolicy(abc.ABC):
+    """Base class for autoscaling policies.
+
+    Args:
+        min_accelerators: Lower clamp on the desired capacity (>= 1 so a
+            pool can never scale itself out of existence).
+        max_accelerators: Upper clamp on the desired capacity.
+    """
+
+    #: Registry / display name; subclasses override via the decorator.
+    name: str = "base"
+
+    def __init__(self, min_accelerators: int = 1, max_accelerators: int = 8):
+        if min_accelerators < 1:
+            raise SchedulingError(
+                f"min accelerators must be >= 1, got {min_accelerators}"
+            )
+        if max_accelerators < min_accelerators:
+            raise SchedulingError(
+                f"max accelerators ({max_accelerators}) must be >= min "
+                f"({min_accelerators})"
+            )
+        self.min_accelerators = min_accelerators
+        self.max_accelerators = max_accelerators
+
+    def reset(self, pools: List[Pool]) -> None:
+        """Clear per-run state; called by the autoscaler before a run."""
+
+    def clamp(self, capacity: int) -> int:
+        return min(max(capacity, self.min_accelerators), self.max_accelerators)
+
+    @abc.abstractmethod
+    def desired_capacity(self, pool: Pool, now: float, horizon: float) -> int:
+        """The provision target this policy wants for ``pool`` at ``now``.
+
+        ``horizon`` is the autoscaler's provisioning latency — how long new
+        capacity takes to become schedulable — for policies that plan ahead.
+        The return value is clamped by the caller; returning
+        ``pool.provision_target`` means "no change".
+        """
+
+
+_REGISTRY: Dict[str, Callable[..., AutoscalePolicy]] = {}
+
+
+def register_autoscale_policy(name: str) -> Callable[[type], type]:
+    """Class decorator adding a policy to the registry under ``name``."""
+
+    def deco(cls: type) -> type:
+        if name in _REGISTRY:
+            raise SchedulingError(f"autoscale policy {name!r} registered twice")
+        _REGISTRY[name] = cls
+        cls.name = name
+        return cls
+
+    return deco
+
+
+def available_autoscale_policies() -> List[str]:
+    """Registered autoscale policy names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_autoscale_policy(name: str, **kwargs) -> AutoscalePolicy:
+    """Instantiate a registered autoscale policy by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown autoscale policy {name!r}; available: "
+            f"{available_autoscale_policies()}"
+        ) from None
+    return factory(**kwargs)
+
+
+@register_autoscale_policy("reactive")
+class ReactivePolicy(AutoscalePolicy):
+    """Queue-depth thresholds with hysteresis.
+
+    Scale up when the backlog per provisioned accelerator exceeds
+    ``high_backlog`` — by enough capacity to bring it back under the mark,
+    at least ``step``.  Scale down by ``step`` only when the backlog falls
+    under ``low_backlog`` *and* at least one warm accelerator is idle (a
+    fully-busy pool is never drained).  The ``high``/``low`` gap is the
+    hysteresis band; a load oscillating inside it changes nothing.
+    """
+
+    def __init__(
+        self,
+        high_backlog: float = 4.0,
+        low_backlog: float = 1.0,
+        step: int = 1,
+        **limits,
+    ):
+        super().__init__(**limits)
+        if not 0.0 <= low_backlog < high_backlog:
+            raise SchedulingError(
+                f"need 0 <= low_backlog < high_backlog, got "
+                f"low={low_backlog}, high={high_backlog}"
+            )
+        if step < 1:
+            raise SchedulingError(f"step must be >= 1, got {step}")
+        self.high_backlog = high_backlog
+        self.low_backlog = low_backlog
+        self.step = step
+
+    def desired_capacity(self, pool: Pool, now: float, horizon: float) -> int:
+        target = pool.provision_target
+        per_acc = pool.backlog() / max(target, 1)
+        if per_acc > self.high_backlog:
+            need = math.ceil(pool.backlog() / self.high_backlog)
+            return self.clamp(max(target + self.step, need))
+        if per_acc < self.low_backlog and pool.idle:
+            return self.clamp(target - self.step)
+        return target
+
+
+@register_autoscale_policy("target-utilization")
+class TargetUtilizationPolicy(AutoscalePolicy):
+    """Proportional control toward a utilization set-point.
+
+    Observes the pool's utilization over the window since the previous
+    decision (busy-time delta over warm capacity × elapsed time) and
+    requests ``ceil(current * observed / target)`` accelerators — the
+    classic horizontal-autoscaler control law.  A relative ``tolerance``
+    deadband around the set-point suppresses noise-driven changes.
+    """
+
+    def __init__(self, target: float = 0.7, tolerance: float = 0.15, **limits):
+        super().__init__(**limits)
+        if not 0.0 < target <= 1.0:
+            raise SchedulingError(f"target utilization must be in (0, 1], got {target}")
+        if tolerance < 0.0:
+            raise SchedulingError(f"tolerance must be >= 0, got {tolerance}")
+        self.target = target
+        self.tolerance = tolerance
+        self._busy: Dict[str, float] = {}
+        self._clock: Dict[str, float] = {}
+
+    def reset(self, pools: List[Pool]) -> None:
+        self._busy = {pool.name: 0.0 for pool in pools}
+        self._clock = {pool.name: 0.0 for pool in pools}
+
+    def desired_capacity(self, pool: Pool, now: float, horizon: float) -> int:
+        prev_busy = self._busy.get(pool.name, 0.0)
+        prev_now = self._clock.get(pool.name, 0.0)
+        self._busy[pool.name] = pool.busy_time
+        self._clock[pool.name] = now
+        window = now - prev_now
+        if window <= 0.0:
+            return pool.provision_target
+        # Both the utilization measurement and the proportional law are over
+        # the *warm* capacity that produced the busy time: scaling the
+        # provision target (which counts still-warming accelerators) by a
+        # utilization the warming capacity didn't participate in would
+        # compound the desired size on every tick of a warm-up window.
+        warm = max(pool.num_accelerators, 1)
+        observed = (pool.busy_time - prev_busy) / (warm * window)
+        if abs(observed - self.target) <= self.tolerance * self.target:
+            return pool.provision_target
+        return self.clamp(math.ceil(warm * observed / self.target))
+
+
+@register_autoscale_policy("predictive")
+class PredictiveScalePolicy(AutoscalePolicy):
+    """Feed LUT latency estimates forward over the provisioning horizon.
+
+    Capacity is sized for the load the pool will face when a scale-up
+    decision made *now* actually lands, ``horizon`` seconds later:
+
+    * **offered load** — an EWMA of the pool's arrival rate × the
+      LUT-predicted mean service time: the accelerator-seconds per second
+      the pool must absorb just to keep up (Erlang offered load);
+    * **projected backlog** — the sparsity-corrected outstanding work (the
+      predictive router's per-request remaining estimate, at each request's
+      effective speed) rolled forward over the horizon: inflow accrues at
+      the offered-load rate while the current warm capacity drains it;
+    * the projected backlog must clear within ``target_delay`` seconds
+      once the new capacity is warm.
+
+    ``desired = ceil(offered + projected_backlog / target_delay)``.
+    """
+
+    def __init__(
+        self,
+        lut: ModelInfoLUT,
+        *,
+        strategy: PredictorStrategy = PredictorStrategy.LAST_ONE,
+        target_delay: float = 1.0,
+        smoothing: float = 0.5,
+        **limits,
+    ):
+        super().__init__(**limits)
+        if target_delay <= 0.0:
+            raise SchedulingError(
+                f"target delay must be positive, got {target_delay}"
+            )
+        if not 0.0 < smoothing <= 1.0:
+            raise SchedulingError(f"smoothing must be in (0, 1], got {smoothing}")
+        self.lut = lut
+        self.predictor = SparseLatencyPredictor(lut, strategy)
+        self.target_delay = target_delay
+        self.smoothing = smoothing
+        self._enqueued: Dict[str, int] = {}
+        self._clock: Dict[str, float] = {}
+        self._rate: Dict[str, float] = {}
+        self._service: Dict[str, float] = {}
+
+    def reset(self, pools: List[Pool]) -> None:
+        self._enqueued = {pool.name: 0 for pool in pools}
+        self._clock = {pool.name: 0.0 for pool in pools}
+        self._rate = {pool.name: 0.0 for pool in pools}
+        self._service = {pool.name: 0.0 for pool in pools}
+
+    def desired_capacity(self, pool: Pool, now: float, horizon: float) -> int:
+        predictor = self.predictor
+        work = 0.0       # sparsity-corrected outstanding accelerator-seconds
+        service = 0.0    # LUT-average full service time of the pending mix
+        backlog = 0
+        for request in pool.pending():
+            work += predicted_remaining(predictor, request) / pool.service_speed(request)
+            entry = request.lut_entry(self.lut)
+            if entry is not None:
+                service += entry.remaining_suffix_t[0] / pool.service_speed(request)
+            backlog += 1
+        window = now - self._clock.get(pool.name, 0.0)
+        if window > 0.0:
+            arrived = pool.enqueued - self._enqueued.get(pool.name, 0)
+            instant = arrived / window
+            ewma = self._rate.get(pool.name, 0.0)
+            self._rate[pool.name] = (
+                self.smoothing * instant + (1.0 - self.smoothing) * ewma
+            )
+            self._enqueued[pool.name] = pool.enqueued
+            self._clock[pool.name] = now
+        if backlog:
+            self._service[pool.name] = service / backlog
+        offered = self._rate.get(pool.name, 0.0) * self._service.get(pool.name, 0.0)
+        warm = max(pool.num_accelerators, 1)
+        projected = max(0.0, work + (offered - warm) * horizon)
+        return self.clamp(math.ceil(offered + projected / self.target_delay))

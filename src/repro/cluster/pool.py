@@ -6,6 +6,17 @@ scheduler instance (any policy from :mod:`repro.schedulers` — the
 semantics are exactly those of :func:`repro.sim.multi.simulate_multi`:
 layer-block-granularity preemption, per-NPU resident-weights switch cost.
 
+Capacity is **elastic**: :meth:`Pool.add_accelerators` provisions new
+accelerators that become schedulable only after a warm-up delay (cold
+capacity is provisioned — and paid for — but cannot serve), and
+:meth:`Pool.remove_accelerators` retires capacity with drain-before-remove
+semantics: warming capacity is cancelled first, then idle accelerators
+retire instantly, and busy accelerators are marked draining and retire at
+their next layer-block boundary — the in-flight request re-enters the ready
+queue (or finishes) and is never killed.  The pool integrates provisioned
+accelerator-seconds over time (``acc_seconds_provisioned``) so the cost of
+elasticity is a first-class metric next to ``busy_time`` (used seconds).
+
 Heterogeneity is expressed through service speed: ``speed`` scales the whole
 pool relative to the latencies recorded in the request traces, and
 ``affinity`` maps model names to per-model factors (e.g. an Eyeriss pool
@@ -25,7 +36,17 @@ property/dict traffic.
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Mapping, Optional
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.errors import SchedulingError
 from repro.sim.ready_queue import ReadyQueue
@@ -42,7 +63,8 @@ class Pool:
         name: Unique pool name (e.g. ``"eyeriss"``).
         scheduler: Per-pool scheduling policy instance (not shared between
             pools — schedulers carry per-run state).
-        num_accelerators: Number of identical accelerators in the pool.
+        num_accelerators: Initial number of identical accelerators; an
+            autoscaler may grow or shrink the pool during a run.
         speed: Pool-wide service-speed factor relative to the trace
             latencies (2.0 = twice as fast).
         affinity: Optional per-model speed factors multiplied with ``speed``;
@@ -83,7 +105,7 @@ class Pool:
             )
         self.name = name
         self.scheduler = scheduler
-        self.num_accelerators = num_accelerators
+        self._initial_accelerators = num_accelerators
         self.speed = speed
         self.affinity: Dict[str, float] = dict(affinity or {})
         for model, factor in self.affinity.items():
@@ -112,11 +134,15 @@ class Pool:
         else:
             self.scheduler.bind_queue(None)
             self.queue = []  # type: ignore[assignment]
-        self.idle: List[int] = list(range(self.num_accelerators))
+        n = self._initial_accelerators
+        self.idle: List[int] = list(range(n))
         heapq.heapify(self.idle)
         self.running: Dict[int, Request] = {}  # npu -> in-flight request
-        self._last_on_npu: List[Optional[Request]] = [None] * self.num_accelerators
-        self._resident: List[Optional[Request]] = [None] * self.num_accelerators
+        self._last_on_npu: Dict[int, Optional[Request]] = {i: None for i in range(n)}
+        self._resident: Dict[int, Optional[Request]] = {i: None for i in range(n)}
+        self._next_npu = n
+        self._warming: List[Tuple[float, int]] = []  # (ready_at, npu)
+        self._draining: Set[int] = set()
         self.preemptions = 0
         self.invocations = 0
         self.batch_selects = 0
@@ -124,7 +150,128 @@ class Pool:
         self.dispatched = 0  # requests first-dispatched in this pool
         self.completed = 0
         self.shed = 0
+        self.enqueued = 0  # requests admitted into the pool (policy rate signal)
         self.busy_time = 0.0
+        # -- cost accounting: integral of provisioned capacity over time ----
+        self._provisioned = n  # warm (incl. draining-busy) + warming
+        self._cost_clock = 0.0
+        self.acc_seconds_provisioned = 0.0
+        self.peak_accelerators = n
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.shed_during_scale_lag = 0
+
+    # -- elastic capacity (driven by the autoscaler) -------------------------
+
+    @property
+    def num_accelerators(self) -> int:
+        """Warm (schedulable or serving) accelerators, including draining
+        ones that are still finishing their current layer block."""
+        return len(self.idle) + len(self.running)
+
+    @property
+    def num_warming(self) -> int:
+        """Provisioned accelerators still inside their warm-up delay."""
+        return len(self._warming)
+
+    @property
+    def num_draining(self) -> int:
+        """Busy accelerators marked for removal at their next block boundary."""
+        return len(self._draining)
+
+    @property
+    def provision_target(self) -> int:
+        """Capacity the pool is converging to: warm - draining + warming."""
+        return self.num_accelerators - len(self._draining) + len(self._warming)
+
+    def _accrue_cost(self, now: float) -> None:
+        """Advance the provisioned accelerator-seconds integral to ``now``."""
+        if now > self._cost_clock:
+            self.acc_seconds_provisioned += self._provisioned * (now - self._cost_clock)
+            self._cost_clock = now
+
+    def add_accelerators(self, n: int, now: float, ready_at: float) -> int:
+        """Provision ``n`` accelerators; they serve only from ``ready_at``.
+
+        Draining accelerators are rescued first (cancelling a decommission
+        is instant warm capacity); the rest enter warm-up.  Cost accrues for
+        the full warm-up — provisioned-but-cold capacity is paid for.
+        Returns the number that actually entered warm-up (0 when every slot
+        was covered by rescued drains, in which case no warm-up event is
+        needed).
+        """
+        if n <= 0:
+            raise SchedulingError(f"pool {self.name!r}: add {n} accelerators")
+        if ready_at < now:
+            raise SchedulingError(
+                f"pool {self.name!r}: capacity cannot be ready in the past"
+            )
+        self._accrue_cost(now)
+        # Deterministic rescue order: highest npu id first, the inverse of
+        # the drain-marking order in remove_accelerators.
+        while n > 0 and self._draining:
+            self._draining.remove(max(self._draining))
+            n -= 1
+        for _ in range(n):
+            npu = self._next_npu
+            self._next_npu += 1
+            self._warming.append((ready_at, npu))
+        self._provisioned += n
+        self.scale_ups += 1
+        if self._provisioned > self.peak_accelerators:
+            self.peak_accelerators = self._provisioned
+        return n
+
+    def remove_accelerators(self, n: int, now: float) -> None:
+        """Retire ``n`` accelerators without killing in-flight work.
+
+        Preference order: cancel warming capacity (latest-ready first — the
+        least sunk cost), retire idle accelerators instantly, then mark busy
+        accelerators draining — they finish their current layer block, the
+        request rejoins the queue (or completes), and only then does the
+        accelerator leave the pool.  The pool never shrinks its target below
+        one accelerator.
+        """
+        if n <= 0:
+            raise SchedulingError(f"pool {self.name!r}: remove {n} accelerators")
+        n = min(n, self.provision_target - 1)
+        if n <= 0:
+            return
+        self._accrue_cost(now)
+        while n > 0 and self._warming:
+            self._warming.sort()
+            _, npu = self._warming.pop()
+            self._provisioned -= 1
+            n -= 1
+        while n > 0 and self.idle:
+            npu = heapq.heappop(self.idle)
+            self._last_on_npu.pop(npu, None)
+            self._resident.pop(npu, None)
+            self._provisioned -= 1
+            n -= 1
+        if n > 0:
+            candidates = sorted(
+                (npu for npu in self.running if npu not in self._draining),
+                reverse=True,
+            )
+            self._draining.update(candidates[:n])
+        self.scale_downs += 1
+
+    def activate_ready(self, now: float) -> int:
+        """Move warm-up capacity whose ready time has passed into service."""
+        due = [(t, npu) for t, npu in self._warming if t <= now + 1e-12]
+        if not due:
+            return 0
+        self._warming = [(t, npu) for t, npu in self._warming if t > now + 1e-12]
+        for _, npu in sorted(due, key=lambda pair: pair[1]):
+            self._last_on_npu[npu] = None
+            self._resident[npu] = None
+            heapq.heappush(self.idle, npu)
+        return len(due)
+
+    def finalize_cost(self, now: float) -> None:
+        """Close the provisioned-capacity integral at the end of a run."""
+        self._accrue_cost(now)
 
     # -- placement-visible state (read by routers / admission) --------------
 
@@ -146,6 +293,7 @@ class Pool:
     def enqueue(self, request: Request, now: float) -> None:
         """Admit one routed request into the pool's ready queue."""
         self.queue.append(request)
+        self.enqueued += 1
         self.scheduler.on_arrival(request, now)
 
     def dispatch(self, now: float, push_event: Callable[..., None]) -> None:
@@ -212,7 +360,16 @@ class Pool:
         owns completion accounting); otherwise the request rejoins the queue.
         """
         del self.running[npu]
-        heapq.heappush(self.idle, npu)
+        if npu in self._draining:
+            # Drain-before-remove: the block finished, the request lives on
+            # (requeued or complete below); only the accelerator retires.
+            self._draining.discard(npu)
+            self._accrue_cost(now)
+            self._provisioned -= 1
+            self._last_on_npu.pop(npu, None)
+            self._resident.pop(npu, None)
+        else:
+            heapq.heappush(self.idle, npu)
         request.next_layer += layers
         request.executed_time += dt
         request.last_run_end = now

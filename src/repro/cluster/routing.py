@@ -40,6 +40,41 @@ from repro.sim.request import Request
 from repro.cluster.pool import Pool
 
 
+def predicted_remaining(
+    predictor: SparseLatencyPredictor, request: Request
+) -> float:
+    """Sparsity-corrected remaining-latency estimate for one request.
+
+    For the LAST_ONE strategy this inlines the Algorithm-3 estimate over the
+    request's cached LUT entry — the same arithmetic as
+    ``predictor.predict_remaining``, term for term, without the per-call
+    string-key lookups.  The predictive router evaluates it for every
+    queued + in-flight request of every pool on every arrival (and the
+    predictive autoscale policy on every tick), so it dominates
+    streaming-replay cost.  Requests whose (model, pattern) is missing from
+    the LUT fall back to a neutral estimate of zero.
+    """
+    entry = request.lut_entry(predictor.lut)
+    if entry is None:
+        return 0.0
+    j = request.next_layer
+    if predictor.strategy is PredictorStrategy.LAST_ONE:
+        if j == 0:
+            gamma = 1.0
+        else:
+            mon_density = 1.0 - request.layer_sparsities[j - 1]
+            avg_density = 1.0 - entry.avg_layer_sparsities_t[j - 1]
+            if mon_density < _MIN_DENSITY:
+                mon_density = _MIN_DENSITY
+            if avg_density < _MIN_DENSITY:
+                avg_density = _MIN_DENSITY
+            gamma = 1.0 + entry.density_slope * (mon_density / avg_density - 1.0)
+            if gamma < _MIN_DENSITY:
+                gamma = _MIN_DENSITY
+        return predictor.alpha * gamma * entry.remaining_suffix_t[j]
+    return predictor.predict_remaining(request.key, j, request.monitored_sparsities)
+
+
 class Router(abc.ABC):
     """Base class for cluster routing policies."""
 
@@ -109,8 +144,9 @@ class JoinShortestQueueRouter(Router):
 
     def route(self, request: Request, pools: Sequence[Pool], now: float) -> Pool:
         # min() keeps the first pool on ties: deterministic tie-breaking in
-        # construction order.
-        return min(pools, key=lambda p: p.backlog() / p.num_accelerators)
+        # construction order.  max(.., 1) guards the instant where an
+        # autoscaled pool's last drain retired while replacements still warm.
+        return min(pools, key=lambda p: p.backlog() / max(p.num_accelerators, 1))
 
 
 @register_router("predictive")
@@ -135,42 +171,15 @@ class PredictiveRouter(Router):
     ):
         self.predictor = SparseLatencyPredictor(lut, strategy, alpha=alpha, n=n)
 
-    def _remaining(self, request: Request) -> float:
-        predictor = self.predictor
-        entry = request.lut_entry(predictor.lut)
-        if entry is None:
-            return 0.0
-        j = request.next_layer
-        if predictor.strategy is PredictorStrategy.LAST_ONE:
-            # Inlined Algorithm-3 last-one estimate over the request's cached
-            # LUT entry — the same arithmetic as predict_remaining, term for
-            # term, without the per-call string-key lookups.  The router
-            # evaluates this for every queued + in-flight request of every
-            # pool on every arrival, so it dominates streaming-replay cost.
-            if j == 0:
-                gamma = 1.0
-            else:
-                mon_density = 1.0 - request.layer_sparsities[j - 1]
-                avg_density = 1.0 - entry.avg_layer_sparsities_t[j - 1]
-                if mon_density < _MIN_DENSITY:
-                    mon_density = _MIN_DENSITY
-                if avg_density < _MIN_DENSITY:
-                    avg_density = _MIN_DENSITY
-                gamma = 1.0 + entry.density_slope * (mon_density / avg_density - 1.0)
-                if gamma < _MIN_DENSITY:
-                    gamma = _MIN_DENSITY
-            return predictor.alpha * gamma * entry.remaining_suffix_t[j]
-        return predictor.predict_remaining(
-            request.key, j, request.monitored_sparsities
-        )
-
     def predicted_finish(self, request: Request, pool: Pool) -> float:
         """Predicted completion delay of ``request`` if routed to ``pool``."""
+        predictor = self.predictor
         outstanding = sum(
-            self._remaining(r) / pool.service_speed(r) for r in pool.pending()
+            predicted_remaining(predictor, r) / pool.service_speed(r)
+            for r in pool.pending()
         )
-        service = self._remaining(request) / pool.service_speed(request)
-        return outstanding / pool.num_accelerators + service
+        service = predicted_remaining(predictor, request) / pool.service_speed(request)
+        return outstanding / max(pool.num_accelerators, 1) + service
 
     def route(self, request: Request, pools: Sequence[Pool], now: float) -> Pool:
         return min(pools, key=lambda p: self.predicted_finish(request, p))

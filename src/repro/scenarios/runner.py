@@ -11,6 +11,15 @@ sweep against an existing store skips completed cells (crash-safe,
 incremental grids: add a scheduler or seed and only the new cells run).
 The store refuses to mix grids generated under different workload
 configurations.
+
+Cells run on the single-NPU engine by default; ``engine="cluster"`` runs
+each cell through :func:`repro.cluster.engine.simulate_cluster` instead —
+one elastic pool of ``pool_size`` accelerators, optionally autoscaled
+(``autoscale="reactive" | "target-utilization" | "predictive"``) and
+depth-limited (``max_queue_depth``) — and records the autoscaler's cost
+metrics (accelerator-seconds provisioned vs used, scale events, sheds
+under scale lag) in the per-cell JSON.  Cluster cells keep the same
+determinism contract: the numbers are bit-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -33,6 +42,17 @@ from repro.scenarios.spec import available_scenarios, build_scenario, generate_s
 
 #: Per-cell metrics copied from the simulation summary into the store.
 METRIC_KEYS = ("antt", "violation_rate", "stp", "p50", "p95", "p99")
+
+#: Extra per-cell metrics recorded for cluster-engine cells (autoscaler
+#: cost accounting; present with zero scale events for fixed pools too).
+COST_KEYS = (
+    "shed_rate",
+    "acc_seconds_provisioned",
+    "acc_seconds_used",
+    "provisioned_utilization",
+    "num_scale_events",
+    "shed_under_scale_lag",
+)
 
 #: Arrival rates matched to the families' service rates (paper Sec 6.2).
 _DEFAULT_BASE_RATE = {"attnn": 20.0, "cnn": 2.5}
@@ -58,6 +78,17 @@ class SweepConfig:
     n_profile_samples: int = 100
     block_size: int = 1
     switch_cost: float = 0.0
+    #: ``"single"`` replays cells on the single-NPU engine; ``"cluster"``
+    #: on the cluster engine (one pool of ``pool_size`` accelerators).
+    engine: str = "single"
+    pool_size: int = 2
+    #: Autoscaling policy name for cluster cells (``None`` = fixed pool).
+    autoscale: Optional[str] = None
+    max_accelerators: int = 8
+    provision_latency: float = 2.0
+    autoscale_interval: float = 1.0
+    #: Queue-depth admission limit for cluster cells (``None`` = admit all).
+    max_queue_depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.scenarios or not self.schedulers or not self.seeds:
@@ -94,6 +125,26 @@ class SweepConfig:
         if self.n_profile_samples <= 0:
             raise SchedulingError(
                 f"profile samples must be positive, got {self.n_profile_samples}"
+            )
+        if self.engine not in ("single", "cluster"):
+            raise SchedulingError(
+                f"engine must be 'single' or 'cluster', got {self.engine!r}"
+            )
+        if self.autoscale is not None:
+            from repro.cluster.policies import available_autoscale_policies
+
+            if self.engine != "cluster":
+                raise SchedulingError(
+                    "autoscale requires engine='cluster'"
+                )
+            if self.autoscale not in available_autoscale_policies():
+                raise SchedulingError(
+                    f"unknown autoscale policy {self.autoscale!r}; available: "
+                    f"{available_autoscale_policies()}"
+                )
+        if self.pool_size < 1:
+            raise SchedulingError(
+                f"pool size must be >= 1, got {self.pool_size}"
             )
 
     @property
@@ -150,14 +201,14 @@ def _profiled_suite(family: str, n_samples: int):
 
 def _run_cell(args: Tuple) -> Tuple[str, Dict]:
     """Run one (scenario, scheduler, seed) cell; top-level for pickling."""
-    (scenario, scheduler_name, seed, family, rate, duration, slo,
-     n_samples, block_size, switch_cost) = args
+    scenario, scheduler_name, seed, config = args
     from repro.core.lut import ModelInfoLUT
     from repro.schedulers.base import make_scheduler
 
-    traces = _profiled_suite(family, n_samples)
-    spec = build_scenario(scenario, base_rate=rate, duration=duration,
-                          slo_multiplier=slo)
+    traces = _profiled_suite(config.family, config.n_profile_samples)
+    spec = build_scenario(scenario, base_rate=config.rate,
+                          duration=config.duration,
+                          slo_multiplier=config.slo_multiplier)
     wseed = workload_seed(scenario, seed)
     requests = generate_scenario(traces, spec, seed=wseed)
     if not requests:
@@ -165,21 +216,52 @@ def _run_cell(args: Tuple) -> Tuple[str, Dict]:
             f"cell {cell_key(scenario, scheduler_name, seed)} generated no "
             f"requests; increase --rate or --duration"
         )
-    result = simulate(
-        requests,
-        make_scheduler(scheduler_name, ModelInfoLUT(traces)),
-        block_size=block_size,
-        switch_cost=switch_cost,
-    )
+    lut = ModelInfoLUT(traces)
     cell = {
         "scenario": scenario,
         "scheduler": scheduler_name,
         "seed": seed,
         "workload_seed": wseed,
         "n_requests": len(requests),
-        "makespan": result.makespan,
-        "num_preemptions": result.num_preemptions,
     }
+    if config.engine == "cluster":
+        from repro.cluster import (
+            AdmissionController,
+            Pool,
+            make_autoscaler,
+            simulate_cluster,
+        )
+
+        pool = Pool(
+            "pool", make_scheduler(scheduler_name, lut), config.pool_size,
+            block_size=config.block_size, switch_cost=config.switch_cost,
+        )
+        autoscaler = None
+        if config.autoscale is not None:
+            autoscaler = make_autoscaler(
+                config.autoscale, lut=lut,
+                max_accelerators=config.max_accelerators,
+                interval=config.autoscale_interval,
+                provision_latency=config.provision_latency,
+            )
+        admission = None
+        if config.max_queue_depth is not None:
+            admission = AdmissionController(max_queue_depth=config.max_queue_depth)
+        result = simulate_cluster(
+            requests, [pool], "round-robin",
+            admission=admission, autoscaler=autoscaler,
+        )
+        cell["num_shed"] = result.num_shed
+        cell.update({key: float(result.metrics[key]) for key in COST_KEYS})
+    else:
+        result = simulate(
+            requests,
+            make_scheduler(scheduler_name, lut),
+            block_size=config.block_size,
+            switch_cost=config.switch_cost,
+        )
+    cell["makespan"] = result.makespan
+    cell["num_preemptions"] = result.num_preemptions
     cell.update({key: float(result.metrics[key]) for key in METRIC_KEYS})
     return cell_key(scenario, scheduler_name, seed), cell
 
@@ -269,9 +351,7 @@ def run_sweep(
             progress(key, done, len(grid))
 
     args_list = [
-        (scenario, scheduler, seed, config.family, config.rate,
-         config.duration, config.slo_multiplier, config.n_profile_samples,
-         config.block_size, config.switch_cost)
+        (scenario, scheduler, seed, config)
         for scenario, scheduler, seed in todo
     ]
     if workers > 1 and len(args_list) > 1:

@@ -1,5 +1,14 @@
 """Phase-2 scheduling evaluation: request generation, the layer-granularity
-preemptive engine, and the paper's metrics (ANTT, SLO violation rate, STP)."""
+preemptive engines, and the paper's metrics.
+
+Workloads (`WorkloadSpec`, lazy `iter_workload`, scenario streams) replay
+on a single time-shared NPU (:func:`simulate`) or a pool of identical NPUs
+behind one shared queue (:func:`simulate_multi`); the cluster tier in
+:mod:`repro.cluster` reuses the same per-pool semantics.  All engines share
+the vectorized scheduling core — the array-backed :class:`ReadyQueue` plus
+batch selection on converted schedulers, bit-identical to the scalar
+reference path — and report ANTT, SLO violation rate, STP and the
+p50/p95/p99 normalized-turnaround tails via :func:`summarize`."""
 
 from repro.sim.request import Request
 from repro.sim.ready_queue import ReadyQueue

@@ -1,0 +1,407 @@
+"""Tests for the autoscaler tier: elastic pools, policies, cost accounting.
+
+The anchors are the four production-safety contracts:
+
+* **scale-up latency** — capacity provisioned at t becomes schedulable only
+  at t + provision_latency; requests arriving in between queue on warm
+  capacity instead of running on cold accelerators;
+* **drain-before-remove** — a scale-down never kills an in-flight request:
+  busy accelerators finish their current layer block and the request
+  continues (requeued or complete);
+* **hysteresis + cooldown** — an oscillating load inside the reactive
+  policy's band does not flap capacity up and down;
+* **cost accounting** — provisioned accelerator-seconds integrate exactly
+  to capacity × wall-clock across every capacity change.
+"""
+
+import math
+
+import pytest
+
+from repro.core.lut import ModelInfoLUT
+from repro.errors import SchedulingError
+from repro.schedulers.base import make_scheduler
+from repro.sim.workload import WorkloadSpec, generate_workload
+from repro.cluster import (
+    AdmissionController,
+    Autoscaler,
+    Pool,
+    available_autoscale_policies,
+    make_autoscale_policy,
+    make_autoscaler,
+    simulate_cluster,
+)
+from repro.cluster.policies import ReactivePolicy
+
+from conftest import build_trace, make_request
+
+
+def burst(n, arrival=0.0, layer=0.01, layers=3, slo=10.0):
+    """n identical requests landing together (service = layers * layer)."""
+    return [
+        make_request(rid=i, model="long", arrival=arrival, slo=slo,
+                     latencies=(layer,) * layers, sparsities=(0.3,) * layers)
+        for i in range(n)
+    ]
+
+
+def surge_world(rate_hi=60.0, seed=0):
+    """A toy trace suite plus a calm/surge/calm request stream."""
+    sp = [[0.5, 0.5], [0.55, 0.52], [0.45, 0.48]]
+    lat = [[0.02 * (1 - a), 0.04 * (1 - b)] for a, b in sp]
+    trace = build_trace("tiny", "dense", lat, sp)
+    traces = {trace.key: trace}
+    spec = WorkloadSpec(arrival_rate=rate_hi, n_requests=400,
+                        slo_multiplier=10.0, seed=seed)
+    return traces, ModelInfoLUT(traces), generate_workload(traces, spec)
+
+
+class TestValidation:
+    def test_policy_registry(self):
+        assert {"reactive", "target-utilization", "predictive"} <= set(
+            available_autoscale_policies()
+        )
+        with pytest.raises(SchedulingError, match="unknown autoscale policy"):
+            make_autoscale_policy("nope")
+
+    def test_policy_limits_validated(self):
+        with pytest.raises(SchedulingError, match="min accelerators"):
+            make_autoscale_policy("reactive", min_accelerators=0)
+        with pytest.raises(SchedulingError, match="max"):
+            make_autoscale_policy("reactive", min_accelerators=4,
+                                  max_accelerators=2)
+        with pytest.raises(SchedulingError, match="low_backlog"):
+            make_autoscale_policy("reactive", high_backlog=1.0, low_backlog=2.0)
+        with pytest.raises(SchedulingError, match="target utilization"):
+            make_autoscale_policy("target-utilization", target=1.5)
+
+    def test_autoscaler_knobs_validated(self):
+        with pytest.raises(SchedulingError, match="interval"):
+            Autoscaler("reactive", interval=0.0)
+        with pytest.raises(SchedulingError, match="provision latency"):
+            Autoscaler("reactive", provision_latency=-1.0)
+        with pytest.raises(SchedulingError, match="cooldown"):
+            Autoscaler("reactive", cooldown_up=-1.0)
+
+    def test_predictive_needs_lut(self):
+        with pytest.raises(SchedulingError, match="ModelInfoLUT"):
+            make_autoscaler("predictive")
+
+    def test_pool_capacity_args_validated(self, toy_lut):
+        pool = Pool("a", make_scheduler("fcfs", toy_lut), 1)
+        with pytest.raises(SchedulingError, match="add"):
+            pool.add_accelerators(0, 0.0, 1.0)
+        with pytest.raises(SchedulingError, match="past"):
+            pool.add_accelerators(1, 5.0, 4.0)
+        with pytest.raises(SchedulingError, match="remove"):
+            pool.remove_accelerators(0, 0.0)
+
+
+class TestPoolElasticity:
+    def test_warmup_capacity_not_schedulable_until_ready(self, toy_lut):
+        pool = Pool("a", make_scheduler("fcfs", toy_lut), 1)
+        pool.reset()
+        assert pool.num_accelerators == 1
+        pool.add_accelerators(2, now=0.0, ready_at=5.0)
+        assert pool.num_accelerators == 1      # still cold
+        assert pool.num_warming == 2
+        assert pool.provision_target == 3
+        assert pool.activate_ready(4.999) == 0  # not yet
+        assert pool.num_accelerators == 1
+        assert pool.activate_ready(5.0) == 2
+        assert pool.num_accelerators == 3
+        assert pool.num_warming == 0
+
+    def test_requests_queue_rather_than_run_cold(self, toy_lut):
+        """During warm-up, queued work is only dispatched to warm capacity."""
+        pool = Pool("a", make_scheduler("fcfs", toy_lut), 1)
+        pool.reset()
+        pool.add_accelerators(1, now=0.0, ready_at=5.0)
+        for req in burst(3):
+            pool.enqueue(req, 0.0)
+        dispatched = []
+        pool.dispatch(0.0, lambda *ev: dispatched.append(ev))
+        assert len(dispatched) == 1            # one warm accelerator only
+        assert len(pool.queue) == 2
+        pool.activate_ready(5.0)
+        pool.dispatch(5.0, lambda *ev: dispatched.append(ev))
+        assert len(dispatched) == 2            # warm replacement picks up one
+
+    def test_remove_prefers_warming_then_idle(self, toy_lut):
+        pool = Pool("a", make_scheduler("fcfs", toy_lut), 2)
+        pool.reset()
+        pool.add_accelerators(1, now=0.0, ready_at=5.0)
+        pool.remove_accelerators(2, now=1.0)
+        # The warming accelerator is cancelled first, then one idle retires.
+        assert pool.num_warming == 0
+        assert pool.num_accelerators == 1
+        assert pool.provision_target == 1
+
+    def test_remove_never_below_one(self, toy_lut):
+        pool = Pool("a", make_scheduler("fcfs", toy_lut), 2)
+        pool.reset()
+        pool.remove_accelerators(10, now=0.0)
+        assert pool.provision_target == 1
+        assert pool.num_accelerators == 1
+
+    def test_busy_accelerators_drain(self, toy_lut):
+        pool = Pool("a", make_scheduler("fcfs", toy_lut), 2)
+        pool.reset()
+        events = []
+        for i, req in enumerate(burst(2)):
+            req.rid = i
+            pool.enqueue(req, 0.0)
+        pool.dispatch(0.0, lambda *ev: events.append(ev))
+        assert len(pool.running) == 2          # both accelerators busy
+        pool.remove_accelerators(1, now=0.001)
+        # No warming or idle capacity to retire: one busy NPU drains.
+        assert pool.num_draining == 1
+        assert pool.num_accelerators == 2      # still physically serving
+        draining_npu = next(iter(pool._draining))
+        end, p, npu, r, layers, dt = next(
+            ev for ev in events if ev[2] == draining_npu
+        )
+        assert pool.complete_block(end, npu, r, layers, dt) is False
+        # The drained accelerator retired; its request rejoined the queue.
+        assert pool.num_draining == 0
+        assert pool.num_accelerators == 1
+        assert r in list(pool.queue)
+
+    def test_rescued_drain_is_instant_capacity(self, toy_lut):
+        pool = Pool("a", make_scheduler("fcfs", toy_lut), 2)
+        pool.reset()
+        for i, req in enumerate(burst(2)):
+            req.rid = i
+            pool.enqueue(req, 0.0)
+        pool.dispatch(0.0, lambda *ev: None)
+        pool.remove_accelerators(1, now=0.001)
+        assert pool.num_draining == 1
+        warming = pool.add_accelerators(1, now=0.002, ready_at=2.0)
+        assert warming == 0                    # covered by the rescued drain
+        assert pool.num_draining == 0
+        assert pool.num_warming == 0
+
+    def test_cost_integral_is_exact(self, toy_lut):
+        pool = Pool("a", make_scheduler("fcfs", toy_lut), 2)
+        pool.reset()
+        pool.add_accelerators(1, now=1.0, ready_at=3.0)   # 2 -> 3 at t=1
+        pool.activate_ready(3.0)
+        pool.remove_accelerators(1, now=5.0)              # 3 -> 2 at t=5
+        pool.finalize_cost(10.0)
+        # 2 accels for [0,1) + 3 for [1,5) + 2 for [5,10] = 2 + 12 + 10.
+        assert pool.acc_seconds_provisioned == pytest.approx(24.0)
+        assert pool.peak_accelerators == 3
+        assert pool.scale_ups == 1 and pool.scale_downs == 1
+
+
+class TestEngineIntegration:
+    def test_fixed_pool_cost_is_wallclock_times_capacity(self, toy_lut):
+        """Without an autoscaler, provisioned acc-seconds == n x makespan."""
+        reqs = burst(8) + burst(8, arrival=0.05)
+        for i, r in enumerate(reqs):
+            r.rid = i
+        result = simulate_cluster(reqs, [Pool("a", make_scheduler("fcfs", toy_lut), 3)])
+        assert result.acc_seconds_provisioned == 3 * result.makespan
+        assert result.acc_seconds_used == pytest.approx(
+            result.pool_stats["a"].busy_time
+        )
+        assert result.scale_events == []
+
+    def test_infinite_provision_latency_equals_fixed_pool(self, toy_lut):
+        """Capacity that never warms must not serve: the completion schedule
+        matches the fixed-size baseline exactly."""
+        def world():
+            reqs = burst(12, layer=0.02)
+            for i, r in enumerate(reqs):
+                r.rid = i
+            return reqs
+
+        baseline = simulate_cluster(world(), [Pool("a", make_scheduler("fcfs", toy_lut), 1)])
+        scaler = make_autoscaler("reactive", interval=0.01,
+                                 provision_latency=1e9, max_accelerators=8)
+        scaled = simulate_cluster(
+            world(), [Pool("a", make_scheduler("fcfs", toy_lut), 1)],
+            autoscaler=scaler,
+        )
+        assert scaled.scale_events                       # it did try
+        assert scaled.makespan == pytest.approx(baseline.makespan)
+        assert (
+            sorted(r.finish_time for r in scaled.requests)
+            == pytest.approx(sorted(r.finish_time for r in baseline.requests))
+        )
+        # ... but the never-warm capacity was still paid for.
+        assert scaled.acc_seconds_provisioned > baseline.acc_seconds_provisioned
+
+    def test_drain_never_kills_inflight_requests(self, toy_lut):
+        """An aggressive scale-down mid-run loses no request: everything
+        offered completes, on capacity that demonstrably shrank."""
+        reqs = burst(20, layer=0.02, layers=4)
+        for i, r in enumerate(reqs):
+            r.rid = i
+        scaler = make_autoscaler(
+            "reactive", interval=0.02, provision_latency=0.05,
+            max_accelerators=6, cooldown_down=0.0,
+            high_backlog=2.0, low_backlog=1.9,
+        )
+        result = simulate_cluster(
+            reqs, [Pool("a", make_scheduler("fcfs", toy_lut), 4)],
+            autoscaler=scaler,
+        )
+        assert result.num_completed == 20
+        assert result.num_shed == 0
+        downs = [e for e in result.scale_events if e.delta < 0]
+        assert downs, "expected at least one scale-down"
+        stats = result.pool_stats["a"]
+        assert stats.peak_accelerators > 4
+        assert stats.num_accelerators < stats.peak_accelerators
+        for req in result.requests:
+            assert req.is_done and req.finish_time is not None
+
+    def test_hysteresis_and_cooldown_prevent_flapping(self, toy_lut):
+        """On a load oscillating around the thresholds, a wide hysteresis
+        band plus cooldowns produces strictly fewer capacity changes than a
+        tight band with no cooldown."""
+        def world():
+            reqs = []
+            rid = 0
+            for k in range(10):                 # bursts every 0.2 s
+                for r in burst(6 if k % 2 == 0 else 1, arrival=0.2 * k,
+                               layer=0.01, layers=2):
+                    r.rid = rid
+                    rid += 1
+                    reqs.append(r)
+            return reqs
+
+        def run(policy, **scaler_kwargs):
+            return simulate_cluster(
+                world(), [Pool("a", make_scheduler("fcfs", toy_lut), 1)],
+                autoscaler=Autoscaler(policy, interval=0.05,
+                                      provision_latency=0.05, **scaler_kwargs),
+            )
+
+        nervous = run(ReactivePolicy(high_backlog=2.0, low_backlog=1.9,
+                                     max_accelerators=6),
+                      cooldown_up=0.0, cooldown_down=0.0)
+        damped = run(ReactivePolicy(high_backlog=4.0, low_backlog=0.5,
+                                    max_accelerators=6),
+                     cooldown_up=0.2, cooldown_down=1.0)
+        assert len(damped.scale_events) < len(nervous.scale_events)
+        assert len(damped.scale_events) <= 4
+
+    def test_autoscaling_beats_fixed_small_and_peak_cost(self):
+        """The acceptance contract on a surge: reactive autoscaling sheds
+        strictly fewer requests than the fixed-size baseline while
+        provisioning fewer accelerator-seconds than a statically
+        peak-sized pool."""
+        traces, lut, _ = surge_world()
+
+        def run(autoscale, n):
+            _, _, reqs = surge_world()
+            scaler = make_autoscaler(
+                autoscale, lut=lut, interval=0.25, provision_latency=0.5,
+                max_accelerators=8,
+            ) if autoscale else None
+            return simulate_cluster(
+                reqs, [Pool("a", make_scheduler("sjf", lut), n)],
+                admission=AdmissionController(max_queue_depth=8),
+                autoscaler=scaler,
+            )
+
+        fixed_small = run(None, 1)
+        peak_sized = run(None, 8)
+        for policy in ("reactive", "target-utilization", "predictive"):
+            scaled = run(policy, 1)
+            assert scaled.num_shed < fixed_small.num_shed, policy
+            assert (scaled.acc_seconds_provisioned
+                    < peak_sized.acc_seconds_provisioned), policy
+            assert scaled.scale_events, policy
+
+    def test_shed_under_scale_lag_accounting(self):
+        """Sheds while capacity warms are tallied separately, and are a
+        subset of all sheds."""
+        traces, lut, reqs = surge_world()
+        scaler = make_autoscaler("reactive", lut=lut, interval=0.25,
+                                 provision_latency=1.0, max_accelerators=4,
+                                 high_backlog=2.0)
+        result = simulate_cluster(
+            reqs, [Pool("a", make_scheduler("sjf", lut), 1)],
+            admission=AdmissionController(max_queue_depth=4),
+            autoscaler=scaler,
+        )
+        lag = result.shed_under_scale_lag
+        assert 0 < lag <= result.num_shed
+        assert result.metrics["shed_under_scale_lag"] == lag
+        assert result.pool_stats["a"].shed_during_scale_lag == lag
+
+    def test_cost_metrics_present_in_both_summary_paths(self, toy_lut):
+        def world():
+            reqs = burst(10)
+            for i, r in enumerate(reqs):
+                r.rid = i
+            return reqs
+
+        retained = simulate_cluster(world(), [Pool("a", make_scheduler("fcfs", toy_lut), 2)])
+        streamed = simulate_cluster(iter(world()),
+                                    [Pool("a", make_scheduler("fcfs", toy_lut), 2)],
+                                    retain_requests=False)
+        for key in ("acc_seconds_provisioned", "acc_seconds_used",
+                    "provisioned_utilization", "num_scale_events",
+                    "shed_under_scale_lag"):
+            assert key in retained.metrics
+            assert key in streamed.metrics
+        assert retained.acc_seconds_provisioned == pytest.approx(
+            streamed.acc_seconds_provisioned
+        )
+
+
+class TestPolicyBehaviour:
+    def test_reactive_scales_up_on_backlog(self, toy_lut):
+        policy = make_autoscale_policy("reactive", high_backlog=2.0,
+                                       max_accelerators=8)
+        pool = Pool("a", make_scheduler("fcfs", toy_lut), 1)
+        pool.reset()
+        for req in burst(10):
+            pool.enqueue(req, 0.0)
+        desired = policy.desired_capacity(pool, 0.0, horizon=1.0)
+        assert desired == math.ceil(10 / 2.0)
+
+    def test_reactive_holds_inside_band(self, toy_lut):
+        policy = make_autoscale_policy("reactive", high_backlog=4.0,
+                                       low_backlog=1.0)
+        pool = Pool("a", make_scheduler("fcfs", toy_lut), 1)
+        pool.reset()
+        for req in burst(2):
+            pool.enqueue(req, 0.0)
+        assert policy.desired_capacity(pool, 0.0, horizon=1.0) == 1
+
+    def test_reactive_never_drains_busy_pool(self, toy_lut):
+        policy = make_autoscale_policy("reactive", low_backlog=1.5)
+        pool = Pool("a", make_scheduler("fcfs", toy_lut), 1)
+        pool.reset()
+        pool.enqueue(burst(1)[0], 0.0)
+        pool.dispatch(0.0, lambda *ev: None)
+        # Backlog (1 in-flight) is below low_backlog but nothing is idle.
+        assert policy.desired_capacity(pool, 1.0, horizon=1.0) == 1
+
+    def test_target_utilization_proportional_law(self, toy_lut):
+        policy = make_autoscale_policy("target-utilization", target=0.5,
+                                       max_accelerators=8)
+        policy.reset([])
+        pool = Pool("a", make_scheduler("fcfs", toy_lut), 2)
+        pool.reset()
+        pool.busy_time = 2.0   # utilization 1.0 over a 1 s window
+        assert policy.desired_capacity(pool, 1.0, horizon=1.0) == 4
+        pool.busy_time = 3.0   # utilization 0.5 == target: deadband holds
+        assert policy.desired_capacity(pool, 2.0, horizon=1.0) == 2
+
+    def test_predictive_scales_with_projected_load(self, toy_lut):
+        policy = make_autoscale_policy("predictive", lut=toy_lut,
+                                       max_accelerators=8)
+        pool = Pool("a", make_scheduler("fcfs", toy_lut), 1)
+        policy.reset([pool])
+        pool.reset()
+        assert policy.desired_capacity(pool, 1.0, horizon=1.0) == 1  # idle
+        for req in burst(150, layer=1 / 70, slo=10.0):
+            pool.enqueue(req, 1.0)
+        desired = policy.desired_capacity(pool, 2.0, horizon=1.0)
+        assert desired > 1

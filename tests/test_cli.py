@@ -159,6 +159,40 @@ class TestCommands:
                                            "shed_rate", "p99"}
         assert set(payload["pool_stats"]) == {"eyeriss", "sanger"}
 
+    def test_cluster_autoscale_scenario(self, capsys):
+        rc = main(["cluster", "--pools", "pool:1", "--scheduler", "sjf",
+                   "--scenario", "flash_crowd", "--rate", "20", "--duration",
+                   "6", "--samples", "20", "--families", "attnn",
+                   "--autoscale", "reactive", "--autoscale-interval", "0.25",
+                   "--provision-latency", "0.5", "--max-accelerators", "4",
+                   "--max-queue-depth", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scenario:flash_crowd" in out
+        assert "autoscaling" in out and "policy reactive" in out
+        assert "acc-s" in out and "provisioned" in out
+
+    def test_cluster_autoscale_json_has_cost_metrics(self, capsys):
+        import json
+
+        rc = main(["cluster", "--pools", "pool:1", "--scheduler", "sjf",
+                   "--scenario", "flash_crowd", "--rate", "20", "--duration",
+                   "6", "--samples", "20", "--families", "attnn",
+                   "--autoscale", "predictive", "--autoscale-interval", "0.25",
+                   "--provision-latency", "0.5", "--max-accelerators", "4",
+                   "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["autoscale"] == "predictive"
+        assert set(payload["metrics"]) >= {
+            "acc_seconds_provisioned", "acc_seconds_used",
+            "provisioned_utilization", "num_scale_events",
+            "shed_under_scale_lag",
+        }
+        assert isinstance(payload["scale_events"], list)
+        stats = payload["pool_stats"]["pool"]
+        assert stats["peak_accelerators"] >= stats["num_accelerators"]
+
     def test_cluster_bad_pool_spec(self, capsys):
         rc = main(["cluster", "--pools", "eyeriss", "--requests", "10",
                    "--samples", "20"])

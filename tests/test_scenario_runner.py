@@ -147,6 +147,43 @@ class TestSweep:
         with pytest.raises(SchedulingError, match="samples"):
             tiny_config(n_profile_samples=0)
 
+    def test_cluster_engine_rejects_bad_config(self):
+        with pytest.raises(SchedulingError, match="engine"):
+            tiny_config(engine="quantum")
+        with pytest.raises(SchedulingError, match="engine='cluster'"):
+            tiny_config(autoscale="reactive")
+        with pytest.raises(SchedulingError, match="unknown autoscale"):
+            tiny_config(engine="cluster", autoscale="psychic")
+        with pytest.raises(SchedulingError, match="pool size"):
+            tiny_config(engine="cluster", pool_size=0)
+
+    def test_cluster_cells_hold_cost_metrics(self):
+        config = tiny_config(scenarios=("flash_crowd",), seeds=(0,),
+                             engine="cluster", pool_size=1,
+                             autoscale="reactive", max_queue_depth=8)
+        result = run_sweep(config, workers=1)
+        cell = result.cells[cell_key("flash_crowd", "dysta", 0)]
+        for key in ("acc_seconds_provisioned", "acc_seconds_used",
+                    "provisioned_utilization", "num_scale_events",
+                    "shed_under_scale_lag", "shed_rate", "antt", "p99"):
+            assert isinstance(cell[key], float), key
+        assert cell["acc_seconds_provisioned"] >= cell["acc_seconds_used"] > 0
+        assert cell["num_shed"] >= 0
+
+    def test_cluster_cells_identical_across_worker_counts(self, tmp_path):
+        config = tiny_config(engine="cluster", pool_size=1,
+                             autoscale="predictive", max_queue_depth=8)
+        run_sweep(config, out_path=tmp_path / "w1.json", workers=1)
+        run_sweep(config, out_path=tmp_path / "w3.json", workers=3)
+        assert ((tmp_path / "w1.json").read_bytes()
+                == (tmp_path / "w3.json").read_bytes())
+
+    def test_cluster_store_never_resumes_single_engine_store(self, tmp_path):
+        path = tmp_path / "store.json"
+        run_sweep(tiny_config(), out_path=path, workers=1)
+        with pytest.raises(SchedulingError, match="different workload"):
+            run_sweep(tiny_config(engine="cluster"), out_path=path, workers=1)
+
     def test_progress_callback(self, tmp_path):
         seen = []
         run_sweep(tiny_config(scenarios=("steady",), seeds=(0,)), workers=1,

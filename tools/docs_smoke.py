@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Docs-integrity smoke runner: execute the documentation's code blocks.
+
+Extracts fenced ``bash``/``sh`` and ``python`` blocks from README.md and
+``docs/*.md`` and runs them, so documented commands cannot rot.  Within one
+file, blocks of the same language are concatenated into a single script in
+document order — exactly how a reader would paste them, which lets an early
+block define a shell function (the ``repro()`` shim) or bind Python names
+that later blocks use.
+
+A block is excluded by placing the marker comment
+
+    <!-- docs-smoke: skip -->
+
+on its own line within the two lines above the opening fence.  Use it for
+display-only menus and commands whose full-scale runtime does not belong in
+CI (``repro perf``, 100k-request replays).
+
+Scripts run from the repository root with ``PYTHONPATH=src`` prepended, a
+per-script timeout, and ``bash -eu`` strictness for shell blocks.  Exit
+status is non-zero if any script fails, with the failing file and captured
+output reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+#: Substring match, so the marker comment may carry a rationale, e.g.
+#: ``<!-- docs-smoke: skip (full-scale run, minutes) -->``.
+SKIP_MARKER = "docs-smoke: skip"
+_FENCE = re.compile(r"^```(\w+)\s*$")
+_LANGS = {"bash": "bash", "sh": "bash", "python": "python", "py": "python"}
+
+
+def extract_blocks(path: Path) -> List[Tuple[str, str]]:
+    """Return (language, source) for each runnable fenced block, in order."""
+    blocks: List[Tuple[str, str]] = []
+    lines = path.read_text().splitlines()
+    i = 0
+    while i < len(lines):
+        match = _FENCE.match(lines[i])
+        lang = _LANGS.get(match.group(1)) if match else None
+        if lang is None:
+            i += 1
+            continue
+        skip = any(
+            SKIP_MARKER in lines[j]
+            for j in range(max(0, i - 2), i)
+        )
+        body: List[str] = []
+        i += 1
+        while i < len(lines) and lines[i].rstrip() != "```":
+            body.append(lines[i])
+            i += 1
+        i += 1  # closing fence
+        if not skip:
+            blocks.append((lang, "\n".join(body)))
+    return blocks
+
+
+def scripts_for(path: Path) -> Dict[str, str]:
+    """Concatenate the file's blocks into one script per language."""
+    scripts: Dict[str, List[str]] = {}
+    for lang, body in extract_blocks(path):
+        scripts.setdefault(lang, []).append(body)
+    return {lang: "\n\n".join(parts) for lang, parts in scripts.items()}
+
+
+def run_script(lang: str, source: str, timeout: float) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if lang == "bash":
+        argv = ["bash", "-eu", "-c", source]
+    else:
+        argv = [sys.executable, "-c", source]
+    return subprocess.run(
+        argv, cwd=REPO_ROOT, env=env, timeout=timeout,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="markdown files (default: README.md docs/*.md)")
+    parser.add_argument("--timeout", type=float, default=900.0,
+                        help="per-script timeout in seconds")
+    parser.add_argument("--list", action="store_true",
+                        help="show what would run without executing")
+    args = parser.parse_args(argv)
+
+    paths = args.paths or [REPO_ROOT / "README.md",
+                           *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    failures = 0
+    for path in paths:
+        rel = path.relative_to(REPO_ROOT) if path.is_absolute() else path
+        for lang, source in sorted(scripts_for(path).items()):
+            n_lines = len(source.splitlines())
+            if args.list:
+                print(f"-- {rel} [{lang}] {n_lines} lines")
+                continue
+            print(f"== {rel} [{lang}] ({n_lines} lines) ...", flush=True)
+            try:
+                proc = run_script(lang, source, args.timeout)
+            except subprocess.TimeoutExpired:
+                print(f"FAIL {rel} [{lang}]: timed out after {args.timeout:g}s")
+                failures += 1
+                continue
+            if proc.returncode != 0:
+                print(f"FAIL {rel} [{lang}] (exit {proc.returncode}):")
+                print(proc.stdout)
+                failures += 1
+            else:
+                print(f"ok   {rel} [{lang}]")
+    if failures:
+        print(f"\n{failures} documentation script(s) failed")
+        return 1
+    if not args.list:
+        print("\nall documentation scripts passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
