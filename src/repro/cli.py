@@ -8,6 +8,7 @@ Installed as the ``repro`` console script::
     repro compare --family attnn --rate 30             # Table-5-style table
     repro cluster --pools eyeriss:2,sanger:2 --router jsq   # cluster tier
     repro scenario --scenarios diurnal flash_crowd     # parallel sweep
+    repro energy --family attnn                        # joule models + EDP
     repro predictor-rmse                               # Table-4-style table
     repro hw-report                                    # Fig 16 + Table 6
 """
@@ -139,16 +140,25 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_accountant(lut: ModelInfoLUT):
+    """Energy accountant over ``lut`` (lazy import: energy is optional)."""
+    from repro.energy import EnergyAccountant
+
+    return EnergyAccountant.from_model_lut(lut)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     """One detailed run: tail latency, fairness and per-class breakdown."""
     traces = _load_traces(args)
     lut = ModelInfoLUT(traces)
+    accountant = _build_accountant(lut) if args.energy else None
     rate = args.rate if args.rate is not None else BASE_ARRIVAL_RATE[args.family]
     spec = WorkloadSpec(arrival_rate=rate, n_requests=args.requests,
                         slo_multiplier=args.slo, seed=args.seeds[0])
     requests = generate_workload(traces, spec)
     result = simulate(requests, make_scheduler(args.scheduler, lut),
-                      block_size=args.block_size, switch_cost=args.switch_cost)
+                      block_size=args.block_size, switch_cost=args.switch_cost,
+                      energy=accountant)
     reqs = result.requests
     waits = waiting_time_stats(reqs)
     if args.json:
@@ -185,6 +195,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(f"  queueing delay mean {1e3 * waits['mean_wait']:.2f} ms  "
           f"p95 {1e3 * waits['p95_wait']:.2f} ms  "
           f"max {1e3 * waits['max_wait']:.2f} ms")
+    if accountant is not None:
+        print(f"  energy {1e3 * result.energy_per_request:.2f} mJ/req  "
+              f"EDP {1e3 * result.edp:.3f} mJ*s  "
+              f"total {result.total_joules:.2f} J  "
+              f"weight loads {sum(r.num_weight_loads for r in reqs)}")
     print()
     print(render_table(
         "per-(model, pattern) class",
@@ -227,6 +242,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         args.families, n_samples=args.samples,
         mismatch_penalty=args.mismatch_penalty,
     )
+    accountant = _build_accountant(lut) if args.energy else None
 
     pools = []
     for name, count, speed in _parse_pools(args.pools):
@@ -276,7 +292,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         traffic_desc = args.traffic
     result = simulate_cluster(stream, pools, router, admission=admission,
                               autoscaler=autoscaler,
-                              retain_requests=not args.streaming)
+                              retain_requests=not args.streaming,
+                              energy=accountant)
 
     if args.json:
         print(json.dumps({
@@ -311,6 +328,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                     "acc_seconds_provisioned": s.acc_seconds_provisioned,
                     "scale_ups": s.scale_ups,
                     "scale_downs": s.scale_downs,
+                    "joules_busy": s.joules_busy,
+                    "joules_idle": s.joules_idle,
                 }
                 for name, s in result.pool_stats.items()
             },
@@ -338,13 +357,24 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         print(f"cost            : {result.acc_seconds_provisioned:.1f} acc-s "
               f"provisioned, {result.acc_seconds_used:.1f} used "
               f"({100 * result.provisioned_utilization:.1f}% of provisioned)")
+    if accountant is not None:
+        print(f"energy          : {1e3 * result.energy_per_request:.2f} mJ/req, "
+              f"EDP {1e3 * result.edp:.3f} mJ*s")
+        print(f"energy cost     : {result.joules_provisioned:.2f} J provisioned "
+              f"({result.joules_used:.2f} J serving, "
+              f"{result.metrics['joules_idle']:.2f} J idle draw)")
     print()
+    columns = ["accels", "peak", "completed", "shed", "peak queue", "util %"]
+    if accountant is not None:
+        columns += ["busy J", "idle J"]
     print(render_table(
         "per-pool breakdown",
-        ["accels", "peak", "completed", "shed", "peak queue", "util %"],
+        columns,
         {
             name: [s.num_accelerators, s.peak_accelerators, s.completed,
                    s.shed, s.max_queue_length, 100 * s.utilization]
+                  + ([s.joules_busy, s.joules_idle]
+                     if accountant is not None else [])
             for name, s in result.pool_stats.items()
         },
         float_fmt="{:.1f}",
@@ -382,6 +412,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         pool_size=args.pool_size,
         autoscale=args.autoscale,
         max_queue_depth=args.max_queue_depth,
+        energy=args.energy,
     )
 
     def progress(key: str, done: int, total: int) -> None:
@@ -402,14 +433,18 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         "cells": {key: cell for key, cell in result.cells.items()
                   if key in requested}
     }
+    columns = ["ANTT", "viol %", "p99", "STP"]
+    if args.energy:
+        columns += ["mJ/req", "EDP mJ*s"]
     print()
     print(render_table(
         "mean metrics per (scenario, scheduler) across seeds",
-        ["ANTT", "viol %", "p99", "STP"],
+        columns,
         {
             f"{scenario}/{scheduler}": [
                 row["antt"], 100 * row["violation_rate"], row["p99"], row["stp"],
-            ]
+            ] + ([1e3 * row["energy_per_request"], 1e3 * row["edp"]]
+                 if args.energy else [])
             for (scenario, scheduler), row in aggregate(this_grid).items()
         },
         float_fmt="{:.2f}",
@@ -417,6 +452,85 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     if result.out_path is not None:
         print(f"\nwrote {result.out_path} "
               f"({len(result.cells)} cells; re-runs skip completed cells)")
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    """Energy subsystem report: joule models per pair, schedulers on EDP."""
+    from repro.energy import EnergyAccountant, EnergyLUT
+
+    traces = {}
+    for family in args.families:
+        traces.update(benchmark_suite(family, n_samples=args.samples, seed=0))
+    lut = ModelInfoLUT(traces)
+    energy_lut = EnergyLUT.from_model_lut(lut)
+    accountant = EnergyAccountant(energy_lut)
+
+    model_rows = {}
+    for key in energy_lut.keys:
+        entry = energy_lut.entry(key)
+        latency = lut.entry_or_none(key)
+        dynamic = float(entry.table.dynamic(latency.avg_layer_sparsities).sum())
+        model_rows[key] = {
+            "mj_per_inf": 1e3 * entry.avg_total_energy,
+            "avg_w": entry.avg_power_w,
+            "dynamic_pct": 100.0 * dynamic / entry.avg_total_energy,
+            "reload_mj": 1e3 * entry.table.switch_joules,
+        }
+
+    rate = args.rate
+    if rate is None:
+        rate = sum(BASE_ARRIVAL_RATE[family] for family in args.families)
+    spec = WorkloadSpec(arrival_rate=rate, n_requests=args.requests,
+                        slo_multiplier=args.slo, seed=args.seed)
+    from repro.energy.schedulers import ENERGY_SCHEDULERS
+
+    sched_rows = {}
+    for name in args.schedulers:
+        requests = generate_workload(traces, spec)
+        kwargs = ({"energy_lut": energy_lut}
+                  if name in ENERGY_SCHEDULERS else {})
+        result = simulate(requests, make_scheduler(name, lut, **kwargs),
+                          switch_cost=args.switch_cost, energy=accountant)
+        sched_rows[name] = {
+            "edp_mjs": 1e3 * result.edp,
+            "mj_per_req": 1e3 * result.energy_per_request,
+            "violation_pct": 100.0 * result.violation_rate,
+            "antt": result.antt,
+            "weight_loads": sum(r.num_weight_loads for r in result.requests),
+        }
+
+    if args.json:
+        print(json.dumps({
+            "families": list(args.families),
+            "arrival_rate": rate,
+            "slo_multiplier": args.slo,
+            "seed": args.seed,
+            "n_requests": args.requests,
+            "idle_power_w": accountant.idle_power_w,
+            "models": model_rows,
+            "schedulers": sched_rows,
+        }, indent=2, sort_keys=True))
+        return 0
+
+    print(render_table(
+        "per-(model, pattern) energy (offline averages)",
+        ["mJ/inf", "avg W", "dynamic %", "reload mJ"],
+        {key: [row["mj_per_inf"], row["avg_w"], row["dynamic_pct"],
+               row["reload_mj"]]
+         for key, row in model_rows.items()},
+        float_fmt="{:.2f}",
+    ))
+    print()
+    print(render_table(
+        f"schedulers on energy-delay product "
+        f"({'+'.join(args.families)} @ {rate:g} req/s, SLO {args.slo:g}x)",
+        ["EDP mJ*s", "mJ/req", "viol %", "ANTT", "weight loads"],
+        {name: [row["edp_mjs"], row["mj_per_req"], row["violation_pct"],
+                row["antt"], row["weight_loads"]]
+         for name, row in sched_rows.items()},
+        float_fmt="{:.2f}",
+    ))
     return 0
 
 
@@ -532,6 +646,9 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=available_schedulers())
     p_analyze.add_argument("--json", action="store_true",
                            help="emit machine-readable JSON instead of tables")
+    p_analyze.add_argument("--energy", action="store_true",
+                           help="account joules (energy/request, EDP) "
+                                "alongside the latency metrics")
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_cluster = sub.add_parser(
@@ -591,6 +708,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "without retaining request objects")
     p_cluster.add_argument("--block-size", type=int, default=1)
     p_cluster.add_argument("--switch-cost", type=float, default=0.0)
+    p_cluster.add_argument("--energy", action="store_true",
+                           help="account joules per pool and request "
+                                "(idle power charged for provisioned-but-"
+                                "unused capacity)")
     p_cluster.add_argument("--json", action="store_true",
                            help="emit machine-readable JSON instead of tables")
     p_cluster.set_defaults(func=_cmd_cluster)
@@ -639,7 +760,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="autoscaling policy for cluster-engine cells")
     p_scen.add_argument("--max-queue-depth", type=int, default=None,
                         help="admission queue-depth limit for cluster cells")
+    p_scen.add_argument("--energy", action="store_true",
+                        help="record energy columns (mJ/request, EDP) in "
+                             "every cell of the results store")
     p_scen.set_defaults(func=_cmd_scenario)
+
+    p_energy = sub.add_parser(
+        "energy",
+        help="energy models per (model, pattern) and schedulers on EDP",
+    )
+    p_energy.add_argument("--families", nargs="+", choices=("attnn", "cnn"),
+                          default=["attnn"],
+                          help="model families profiled into the workload")
+    p_energy.add_argument("--schedulers", nargs="+",
+                          choices=available_schedulers(),
+                          default=["energy_edp", "sjf", "fcfs"],
+                          help="policies compared on energy-delay product")
+    p_energy.add_argument("--rate", type=float, default=None,
+                          help="arrival rate in req/s (default: sum of the "
+                               "families' paper rates)")
+    p_energy.add_argument("--requests", type=int, default=400)
+    p_energy.add_argument("--slo", type=float, default=10.0,
+                          help="latency SLO multiplier")
+    p_energy.add_argument("--seed", type=int, default=0)
+    p_energy.add_argument("--samples", type=int, default=300,
+                          help="profiling samples per (model, pattern)")
+    p_energy.add_argument("--switch-cost", type=float, default=0.0,
+                          help="weight-reload cost per model switch, seconds")
+    p_energy.add_argument("--json", action="store_true",
+                          help="emit machine-readable JSON instead of tables")
+    p_energy.set_defaults(func=_cmd_energy)
 
     p_perf = sub.add_parser(
         "perf",

@@ -26,11 +26,14 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.errors import SchedulingError
 from repro.sim.metrics import summarize
 from repro.sim.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.energy.accounting import EnergyAccountant
 
 from repro.cluster.admission import AdmissionController
 from repro.cluster.autoscale import Autoscaler, ScaleEvent, cost_summary
@@ -75,6 +78,16 @@ class PoolStats:
     scale_downs: int = 0
     #: Requests shed from this pool while it had capacity warming.
     shed_during_scale_lag: int = 0
+    #: Joules drawn by executed work in this pool (0.0 without an
+    #: energy accountant).
+    joules_busy: float = 0.0
+    #: Idle-power joules over provisioned-but-unused accelerator-seconds.
+    joules_idle: float = 0.0
+
+    @property
+    def joules_total(self) -> float:
+        """What this pool's meter would read: busy plus idle joules."""
+        return self.joules_busy + self.joules_idle
 
 
 @dataclass
@@ -150,6 +163,33 @@ class ClusterResult:
     def shed_under_scale_lag(self) -> int:
         return int(self.metrics["shed_under_scale_lag"])
 
+    # Energy metrics exist when the run was given an EnergyAccountant.
+
+    @property
+    def energy_per_request(self) -> float:
+        """Mean joules per completed inference (energy runs only)."""
+        return self.metrics["energy_per_request"]
+
+    @property
+    def total_joules(self) -> float:
+        """Joules drawn by all completed work (energy runs only)."""
+        return self.metrics["total_joules"]
+
+    @property
+    def edp(self) -> float:
+        """Mean per-request energy-delay product, J*s (energy runs only)."""
+        return self.metrics["edp"]
+
+    @property
+    def joules_used(self) -> float:
+        """Busy joules across all pools — the twin of acc_seconds_used."""
+        return self.metrics["joules_used"]
+
+    @property
+    def joules_provisioned(self) -> float:
+        """Busy plus idle joules — the twin of acc_seconds_provisioned."""
+        return self.metrics["joules_provisioned"]
+
 
 def _request_stream(requests: Union[Sequence[Request], Iterable[Request]]) -> Iterator[Request]:
     """Arrival-ordered request iterator; sorts sequences, checks iterators."""
@@ -175,6 +215,7 @@ def simulate_cluster(
     admission: Optional[AdmissionController] = None,
     autoscaler: Optional[Autoscaler] = None,
     retain_requests: bool = True,
+    energy: Optional["EnergyAccountant"] = None,
 ) -> ClusterResult:
     """Replay a request stream against a cluster of accelerator pools.
 
@@ -193,6 +234,14 @@ def simulate_cluster(
         retain_requests: Keep finished/shed request objects on the result.
             ``False`` drops each request after folding it into the streaming
             metrics, so arbitrarily long replays use bounded memory.
+        energy: Optional :class:`~repro.energy.accounting.EnergyAccountant`.
+            Pools then integrate busy joules per executed block (plus weight
+            reloads), the result metrics gain ``energy_per_request`` /
+            ``total_joules`` / ``edp`` and the joule-denominated capacity
+            cost (``joules_used`` / ``joules_idle`` / ``joules_provisioned``
+            — idle power charged for provisioned-but-unused seconds), and
+            every ``PoolStats`` carries its per-pool joules.  Accounting is
+            passive: schedules are bit-identical with or without it.
     """
     pools = list(pools)
     check_unique_names(pools)
@@ -200,6 +249,7 @@ def simulate_cluster(
         router = make_router(router)
     for pool in pools:
         pool.reset()
+        pool.bind_energy(energy)
     router.reset(pools)
     if autoscaler is not None:
         autoscaler.reset(pools)
@@ -308,7 +358,16 @@ def simulate_cluster(
             admit_arrivals(now)  # measure the queues the tick acts on
             run_autoscaler(now)
         elif pool.complete_block(now, npu, req, layers, dt):
-            metrics.observe(req)
+            # Per-request joules fold into the streaming aggregates only on
+            # the bounded-memory path; with retained requests the batch
+            # summary computes them once at the end instead.
+            metrics.observe(
+                req,
+                energy_joules=(
+                    energy.request_energy(req)
+                    if energy is not None and not retain_requests else None
+                ),
+            )
             if retain_requests:
                 completed.append(req)
         admit_arrivals(now)
@@ -326,11 +385,19 @@ def simulate_cluster(
         # Exact batch metrics when the requests are on hand; the streaming
         # aggregates are identical for ANTT/violations/STP and within the
         # histogram's resolution for the percentiles.
-        summary = dict(summarize(completed))
+        summary = dict(summarize(completed, energy=energy))
         summary["shed_rate"] = metrics.shed_rate
     else:
         summary = metrics.summary()
     summary.update(cost_summary(pools, scale_events))
+    pool_joules_idle: Dict[str, float] = {p.name: 0.0 for p in pools}
+    if energy is not None:
+        from repro.energy.accounting import energy_cost_summary, pool_idle_joules
+
+        summary.update(energy_cost_summary(pools, energy))
+        pool_joules_idle = {
+            p.name: pool_idle_joules(p, energy.idle_power_w) for p in pools
+        }
 
     pool_stats = {
         p.name: PoolStats(
@@ -353,6 +420,8 @@ def simulate_cluster(
             scale_ups=p.scale_ups,
             scale_downs=p.scale_downs,
             shed_during_scale_lag=p.shed_during_scale_lag,
+            joules_busy=p.joules_busy,
+            joules_idle=pool_joules_idle[p.name],
         )
         for p in pools
     }

@@ -81,9 +81,17 @@ class StreamingMetrics:
         self._violations = 0
         self._first_arrival = math.inf
         self._last_finish = -math.inf
+        self._joules_sum = 0.0
+        self._edp_sum = 0.0
+        self._energy_observed = False
 
-    def observe(self, request: Request) -> None:
-        """Fold one *finished* request into the aggregates."""
+    def observe(self, request: Request, energy_joules: Optional[float] = None) -> None:
+        """Fold one *finished* request into the aggregates.
+
+        ``energy_joules`` (the accountant's per-request total) extends the
+        summary with the energy axis; it is folded exactly — per-request
+        energy and EDP means are running sums, not histogram estimates.
+        """
         if request.finish_time is None:
             raise SchedulingError(f"request {request.rid} never finished")
         norm = request.normalized_turnaround
@@ -93,6 +101,10 @@ class StreamingMetrics:
         self._first_arrival = min(self._first_arrival, request.arrival)
         self._last_finish = max(self._last_finish, request.finish_time)
         self._hist.observe(norm)
+        if energy_joules is not None:
+            self._energy_observed = True
+            self._joules_sum += energy_joules
+            self._edp_sum += energy_joules * request.turnaround
 
     def observe_shed(self, request: Request, reason: str) -> None:
         """Record one load-shed (never-executed) request."""
@@ -130,9 +142,22 @@ class StreamingMetrics:
         """Approximate percentile of the normalized-turnaround distribution."""
         return self._hist.percentile(pct)
 
+    @property
+    def energy_per_request(self) -> float:
+        return self._joules_sum / self.completed if self.completed else float("nan")
+
+    @property
+    def total_joules(self) -> float:
+        return self._joules_sum
+
+    @property
+    def edp(self) -> float:
+        return self._edp_sum / self.completed if self.completed else float("nan")
+
     def summary(self) -> Dict[str, float]:
-        """Same shape as :func:`repro.sim.metrics.summarize`, plus shed rate."""
-        return {
+        """Same shape as :func:`repro.sim.metrics.summarize`, plus shed rate
+        (and the energy keys when per-request energy was observed)."""
+        out = {
             "antt": self.antt,
             "violation_rate": self.violation_rate,
             "stp": self.stp,
@@ -141,3 +166,8 @@ class StreamingMetrics:
             "p99": self.percentile(99),
             "shed_rate": self.shed_rate,
         }
+        if self._energy_observed:
+            out["energy_per_request"] = self.energy_per_request
+            out["total_joules"] = self.total_joules
+            out["edp"] = self.edp
+        return out

@@ -119,6 +119,9 @@ class Pool:
         self._batch = use_batch is not False and getattr(
             scheduler, "supports_batch", False
         )
+        #: Energy accountant bound by the cluster engine for this run
+        #: (survives reset(); ``None`` disables joule accounting).
+        self._energy = None
         self.reset()
 
     # -- run state ----------------------------------------------------------
@@ -140,6 +143,8 @@ class Pool:
         self.running: Dict[int, Request] = {}  # npu -> in-flight request
         self._last_on_npu: Dict[int, Optional[Request]] = {i: None for i in range(n)}
         self._resident: Dict[int, Optional[Request]] = {i: None for i in range(n)}
+        # Which (model, pattern) weights each NPU holds (weight-load counting).
+        self._resident_key: Dict[int, Optional[str]] = {i: None for i in range(n)}
         self._next_npu = n
         self._warming: List[Tuple[float, int]] = []  # (ready_at, npu)
         self._draining: Set[int] = set()
@@ -160,6 +165,14 @@ class Pool:
         self.scale_ups = 0
         self.scale_downs = 0
         self.shed_during_scale_lag = 0
+        #: Joules drawn by executed work (per-block dynamic + static energy,
+        #: plus weight reloads); 0.0 unless an accountant is bound.
+        self.joules_busy = 0.0
+
+    def bind_energy(self, accountant) -> None:
+        """Attach (or detach, with ``None``) an
+        :class:`~repro.energy.accounting.EnergyAccountant` for this run."""
+        self._energy = accountant
 
     # -- elastic capacity (driven by the autoscaler) -------------------------
 
@@ -247,6 +260,7 @@ class Pool:
             npu = heapq.heappop(self.idle)
             self._last_on_npu.pop(npu, None)
             self._resident.pop(npu, None)
+            self._resident_key.pop(npu, None)
             self._provisioned -= 1
             n -= 1
         if n > 0:
@@ -266,6 +280,7 @@ class Pool:
         for _, npu in sorted(due, key=lambda pair: pair[1]):
             self._last_on_npu[npu] = None
             self._resident[npu] = None
+            self._resident_key[npu] = None
             heapq.heappush(self.idle, npu)
         return len(due)
 
@@ -332,9 +347,15 @@ class Pool:
                 chosen.first_dispatch_time = now
                 self.dispatched += 1
             start = now
-            if self.switch_cost > 0.0 and chosen is not self._resident[npu]:
-                start += self.switch_cost
-            self._resident[npu] = chosen
+            if chosen is not self._resident[npu]:
+                if self.switch_cost > 0.0:
+                    start += self.switch_cost
+                self._resident[npu] = chosen
+                if chosen.key != self._resident_key[npu]:
+                    chosen.num_weight_loads += 1
+                    self._resident_key[npu] = chosen.key
+                    if self._energy is not None:
+                        self.joules_busy += self._energy.switch_energy(chosen.key)
             if batch_on:
                 queue.remove(chosen, requeue=True)
             else:
@@ -368,8 +389,13 @@ class Pool:
             self._provisioned -= 1
             self._last_on_npu.pop(npu, None)
             self._resident.pop(npu, None)
+            self._resident_key.pop(npu, None)
         else:
             heapq.heappush(self.idle, npu)
+        if self._energy is not None:
+            self.joules_busy += self._energy.block_energy(
+                request, request.next_layer, layers, dt
+            )
         request.next_layer += layers
         request.executed_time += dt
         request.last_run_end = now

@@ -1,0 +1,61 @@
+"""Energy subsystem: sparsity-dependent joule models, accounting, policies.
+
+The joule twin of the latency stack, layer for layer:
+
+* :mod:`repro.energy.model` — per-layer accelerator energy models
+  (Eyeriss-V2, Sanger) with dynamic (per-effectual-MAC) and static
+  (power x time) components, compiled into per-(model, pattern)
+  coefficient tables;
+* :mod:`repro.energy.lut` — :class:`EnergyLUT`: offline average energies
+  and remaining-energy suffixes derived from a latency
+  :class:`~repro.core.lut.ModelInfoLUT`, mirroring its structure;
+* :mod:`repro.energy.accounting` — :class:`EnergyAccountant`: integrates
+  ground-truth joules per request / per block / per pool during
+  simulation (passive — enabling it never changes a schedule), plus the
+  cluster's joule-denominated provisioning cost;
+* :mod:`repro.energy.schedulers` — ``energy_edp`` (Smith's rule on energy
+  weights) and ``energy_powercap`` (EDP under a rolling power cap).
+
+Typical use::
+
+    from repro.energy import EnergyAccountant
+    accountant = EnergyAccountant.from_model_lut(lut)
+    result = simulate(requests, scheduler, energy=accountant)
+    print(result.energy_per_request, result.edp, result.total_joules)
+"""
+
+from repro.energy.accounting import (
+    EnergyAccountant,
+    energy_cost_summary,
+    energy_summary,
+    pool_idle_joules,
+)
+from repro.energy.lut import EnergyEntry, EnergyLUT
+from repro.energy.model import (
+    EnergyModel,
+    EyerissEnergy,
+    LayerEnergyTable,
+    SangerEnergy,
+    default_energy_model,
+    parse_pattern_key,
+    synthetic_table,
+)
+from repro.energy.schedulers import EnergyEDPScheduler, PowerCappedEDPScheduler
+
+__all__ = [
+    "EnergyAccountant",
+    "EnergyEDPScheduler",
+    "EnergyEntry",
+    "EnergyLUT",
+    "EnergyModel",
+    "EyerissEnergy",
+    "LayerEnergyTable",
+    "PowerCappedEDPScheduler",
+    "SangerEnergy",
+    "default_energy_model",
+    "energy_cost_summary",
+    "energy_summary",
+    "parse_pattern_key",
+    "pool_idle_joules",
+    "synthetic_table",
+]

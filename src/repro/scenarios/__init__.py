@@ -15,12 +15,14 @@ Three layers, each usable on its own:
 from repro.scenarios.shapes import (
     Constant,
     Diurnal,
+    Piecewise,
     Ramp,
     Scale,
     Shape,
     Spike,
     Superpose,
     TraceEvent,
+    fit_piecewise_constant,
     load_trace_csv,
     record_trace,
     replay_trace,
@@ -37,6 +39,8 @@ from repro.scenarios.spec import (
     scenario_descriptions,
 )
 from repro.scenarios.runner import (
+    ENERGY_COST_KEYS,
+    ENERGY_KEYS,
     METRIC_KEYS,
     SweepConfig,
     SweepResult,
@@ -51,10 +55,12 @@ __all__ = [
     "Constant",
     "Ramp",
     "Diurnal",
+    "Piecewise",
     "Spike",
     "Superpose",
     "Scale",
     "sample_arrivals",
+    "fit_piecewise_constant",
     "TraceEvent",
     "save_trace_csv",
     "load_trace_csv",
@@ -70,6 +76,8 @@ __all__ = [
     "SweepConfig",
     "SweepResult",
     "METRIC_KEYS",
+    "ENERGY_KEYS",
+    "ENERGY_COST_KEYS",
     "aggregate",
     "cell_key",
     "run_sweep",

@@ -18,8 +18,12 @@ one elastic pool of ``pool_size`` accelerators, optionally autoscaled
 (``autoscale="reactive" | "target-utilization" | "predictive"``) and
 depth-limited (``max_queue_depth``) — and records the autoscaler's cost
 metrics (accelerator-seconds provisioned vs used, scale events, sheds
-under scale lag) in the per-cell JSON.  Cluster cells keep the same
-determinism contract: the numbers are bit-identical for any worker count.
+under scale lag) in the per-cell JSON.  ``energy=True`` additionally
+records energy columns (joules/request, EDP, and the joule-denominated
+capacity cost on cluster cells) via a per-cell
+:class:`~repro.energy.accounting.EnergyAccountant`.  All cells keep the
+same determinism contract: the numbers are bit-identical for any worker
+count.
 """
 
 from __future__ import annotations
@@ -53,6 +57,12 @@ COST_KEYS = (
     "num_scale_events",
     "shed_under_scale_lag",
 )
+
+#: Per-cell energy metrics recorded when ``SweepConfig(energy=True)``.
+ENERGY_KEYS = ("energy_per_request", "total_joules", "edp")
+
+#: Joule-denominated capacity cost, recorded for energy cluster cells.
+ENERGY_COST_KEYS = ("joules_used", "joules_idle", "joules_provisioned")
 
 #: Arrival rates matched to the families' service rates (paper Sec 6.2).
 _DEFAULT_BASE_RATE = {"attnn": 20.0, "cnn": 2.5}
@@ -89,6 +99,11 @@ class SweepConfig:
     autoscale_interval: float = 1.0
     #: Queue-depth admission limit for cluster cells (``None`` = admit all).
     max_queue_depth: Optional[int] = None
+    #: Record energy columns (joules/request, EDP, and — on the cluster
+    #: engine — joule-denominated capacity cost) in every cell.  Purely
+    #: additive: schedules and latency metrics are unchanged, and the
+    #: energy numbers are bit-identical for any worker count.
+    energy: bool = False
 
     def __post_init__(self) -> None:
         if not self.scenarios or not self.schedulers or not self.seeds:
@@ -217,6 +232,15 @@ def _run_cell(args: Tuple) -> Tuple[str, Dict]:
             f"requests; increase --rate or --duration"
         )
     lut = ModelInfoLUT(traces)
+    accountant = None
+    scheduler_kwargs = {}
+    if config.energy:
+        from repro.energy import EnergyAccountant
+        from repro.energy.schedulers import ENERGY_SCHEDULERS
+
+        accountant = EnergyAccountant.from_model_lut(lut)
+        if scheduler_name in ENERGY_SCHEDULERS:
+            scheduler_kwargs["energy_lut"] = accountant.energy_lut
     cell = {
         "scenario": scenario,
         "scheduler": scheduler_name,
@@ -233,7 +257,8 @@ def _run_cell(args: Tuple) -> Tuple[str, Dict]:
         )
 
         pool = Pool(
-            "pool", make_scheduler(scheduler_name, lut), config.pool_size,
+            "pool", make_scheduler(scheduler_name, lut, **scheduler_kwargs),
+            config.pool_size,
             block_size=config.block_size, switch_cost=config.switch_cost,
         )
         autoscaler = None
@@ -250,19 +275,27 @@ def _run_cell(args: Tuple) -> Tuple[str, Dict]:
         result = simulate_cluster(
             requests, [pool], "round-robin",
             admission=admission, autoscaler=autoscaler,
+            energy=accountant,
         )
         cell["num_shed"] = result.num_shed
         cell.update({key: float(result.metrics[key]) for key in COST_KEYS})
+        if accountant is not None:
+            cell.update(
+                {key: float(result.metrics[key]) for key in ENERGY_COST_KEYS}
+            )
     else:
         result = simulate(
             requests,
-            make_scheduler(scheduler_name, lut),
+            make_scheduler(scheduler_name, lut, **scheduler_kwargs),
             block_size=config.block_size,
             switch_cost=config.switch_cost,
+            energy=accountant,
         )
     cell["makespan"] = result.makespan
     cell["num_preemptions"] = result.num_preemptions
     cell.update({key: float(result.metrics[key]) for key in METRIC_KEYS})
+    if accountant is not None:
+        cell.update({key: float(result.metrics[key]) for key in ENERGY_KEYS})
     return cell_key(scenario, scheduler_name, seed), cell
 
 
@@ -278,6 +311,10 @@ def _load_store(path: Path, workload_dict: Dict, force: bool) -> Dict:
             f"{path}: corrupt sweep store (expected a JSON object, "
             f"got {type(store).__name__})"
         )
+    if isinstance(store.get("workload"), dict):
+        # Stores written before the energy columns existed resume as
+        # energy-free sweeps (the default), not as mismatches.
+        store["workload"].setdefault("energy", False)
     if store.get("workload") != workload_dict:
         raise SchedulingError(
             f"{path} holds a sweep under different workload parameters "
@@ -376,13 +413,19 @@ def run_sweep(
 
 
 def aggregate(store: Dict) -> Dict[Tuple[str, str], Dict[str, float]]:
-    """Mean metrics per (scenario, scheduler) across the store's seeds."""
+    """Mean metrics per (scenario, scheduler) across the store's seeds.
+
+    Energy columns are averaged too when every cell of a group carries
+    them (i.e. the sweep ran with ``energy=True``).
+    """
     groups: Dict[Tuple[str, str], List[Dict]] = {}
     for cell in store["cells"].values():
         groups.setdefault((cell["scenario"], cell["scheduler"]), []).append(cell)
     return {
         pair: {
-            key: float(np.mean([c[key] for c in cells])) for key in METRIC_KEYS
+            key: float(np.mean([c[key] for c in cells]))
+            for key in METRIC_KEYS + ENERGY_KEYS + ENERGY_COST_KEYS
+            if all(key in c for c in cells)
         }
         for pair, cells in sorted(groups.items())
     }

@@ -17,6 +17,10 @@ Recorded traffic is the limiting case of a shape: :class:`TraceEvent` rows
 :func:`save_trace_csv` / :func:`load_trace_csv`, and :func:`replay_trace`
 turns them into a lazy arrival-ordered request stream that drives
 ``simulate``, ``simulate_multi`` and ``simulate_cluster`` unchanged.
+Traces can also be *learned back into* a shape:
+:func:`fit_piecewise_constant` bins a recorded trace into a
+:class:`Piecewise` intensity (the per-bin maximum-likelihood Poisson rate),
+so synthetic scenarios can reproduce a production load profile.
 """
 
 from __future__ import annotations
@@ -223,6 +227,104 @@ class Superpose(Shape):
 
     def mean_rate(self, duration: float) -> float:
         return sum(s.mean_rate(duration) for s in self.shapes)
+
+
+@dataclass(frozen=True)
+class Piecewise(Shape):
+    """Piecewise-constant intensity over consecutive time bins.
+
+    ``rates[b]`` holds on ``[edges[b], edges[b+1])``; before the first edge
+    the first rate applies, after the last edge the last rate holds (like
+    :class:`Ramp`, so a fitted shape can drive a longer scenario).  This is
+    the shape class traces are *learned into*: see
+    :func:`fit_piecewise_constant`.
+    """
+
+    edges: Tuple[float, ...]
+    rates: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.edges) != len(self.rates) + 1 or not self.rates:
+            raise SchedulingError(
+                f"need len(edges) == len(rates) + 1 >= 2, got "
+                f"{len(self.edges)} edges / {len(self.rates)} rates"
+            )
+        if any(nxt <= prev for prev, nxt in zip(self.edges, self.edges[1:])):
+            raise SchedulingError("bin edges must be strictly increasing")
+        if any(r < 0 for r in self.rates):
+            raise SchedulingError("bin rates must be >= 0")
+
+    def rate(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        idx = np.clip(
+            np.searchsorted(self.edges, t, side="right") - 1,
+            0, len(self.rates) - 1,
+        )
+        return np.asarray(self.rates, dtype=float)[idx]
+
+    def peak_rate(self, duration: float) -> float:
+        return max(self.rates)
+
+    def mean_rate(self, duration: float) -> float:
+        """Exact piecewise integral over ``[0, duration]`` (no quadrature)."""
+        if duration <= 0:
+            raise SchedulingError(f"duration must be positive, got {duration}")
+        edges = np.asarray(self.edges, dtype=float)
+        rates = np.asarray(self.rates, dtype=float)
+        lo = np.minimum(np.maximum(edges[:-1], 0.0), duration)
+        hi = np.minimum(np.maximum(edges[1:], 0.0), duration)
+        area = float(np.dot(rates, hi - lo))
+        # Constant extrapolation outside the fitted span.
+        if edges[0] > 0.0:
+            area += rates[0] * min(edges[0], duration)
+        if duration > edges[-1]:
+            area += rates[-1] * (duration - edges[-1])
+        return area / duration
+
+
+def fit_piecewise_constant(
+    events: Union[str, Path, Sequence["TraceEvent"]],
+    n_bins: int,
+    *,
+    duration: Optional[float] = None,
+) -> Piecewise:
+    """Fit a piecewise-constant arrival intensity to a recorded trace.
+
+    The maximum-likelihood rate of a Poisson process on each bin is simply
+    ``count / bin_width``, so the fit is exact bookkeeping: ``n_bins``
+    equal-width bins over ``[0, duration]`` (default: the last event's
+    timestamp), each at its empirical rate.  The result is an ordinary
+    :class:`Shape` — compose it, scale it, or hand it to
+    :func:`sample_arrivals` / a :class:`~repro.scenarios.spec.Phase` to
+    generate synthetic traffic with the recorded trace's load profile.
+
+    Round trip: the fitted shape preserves the trace's in-span event count
+    exactly (``mean_rate(duration) * duration == len(events)`` when the
+    trace lies within ``[0, duration]``), and re-fitting a trace sampled
+    from a piecewise shape recovers the per-bin empirical rates bit for
+    bit.  Events after an explicitly shorter ``duration`` are excluded —
+    they are outside the fitted span, not extra mass for the last bin.
+    """
+    if isinstance(events, (str, Path)):
+        events = load_trace_csv(events)
+    if not events:
+        raise SchedulingError("cannot fit a shape to an empty traffic trace")
+    if n_bins < 1:
+        raise SchedulingError(f"need >= 1 bin, got {n_bins}")
+    times = np.asarray(sorted(ev.timestamp for ev in events), dtype=float)
+    if duration is None:
+        duration = float(times[-1])
+    if duration <= 0:
+        raise SchedulingError(
+            "trace spans zero time; pass an explicit positive duration"
+        )
+    edges = np.linspace(0.0, duration, n_bins + 1)
+    counts, _ = np.histogram(times[times <= duration], bins=edges)
+    width = duration / n_bins
+    return Piecewise(
+        edges=tuple(edges.tolist()),
+        rates=tuple((counts / width).tolist()),
+    )
 
 
 @dataclass(frozen=True)

@@ -168,4 +168,5 @@ def _ensure_builtins() -> None:
         textbook,
     )
     from repro.core import dysta  # noqa: F401
+    from repro.energy import schedulers as _energy  # noqa: F401
     from repro.hw import hwloop  # noqa: F401

@@ -37,6 +37,7 @@ from repro.sim.ready_queue import ReadyQueue
 from repro.sim.request import Request
 
 if TYPE_CHECKING:  # avoid a runtime circular import with repro.schedulers
+    from repro.energy.accounting import EnergyAccountant
     from repro.schedulers.base import Scheduler
 
 _EPS = 1e-12
@@ -90,6 +91,23 @@ class SimResult:
         """99th-percentile normalized turnaround (the tail SLOs care about)."""
         return self.metrics["p99"]
 
+    # Energy metrics exist when the run was given an EnergyAccountant.
+
+    @property
+    def energy_per_request(self) -> float:
+        """Mean joules per completed inference (energy runs only)."""
+        return self.metrics["energy_per_request"]
+
+    @property
+    def total_joules(self) -> float:
+        """Joules drawn by all executed work (energy runs only)."""
+        return self.metrics["total_joules"]
+
+    @property
+    def edp(self) -> float:
+        """Mean per-request energy-delay product, J*s (energy runs only)."""
+        return self.metrics["edp"]
+
 
 def _validate(requests, switch_cost: float, block_size: int) -> None:
     if not requests:
@@ -110,6 +128,7 @@ def simulate(
     switch_cost: float = 0.0,
     block_size: int = 1,
     use_batch: Optional[bool] = None,
+    energy: Optional["EnergyAccountant"] = None,
 ) -> SimResult:
     """Run the full request stream to completion under ``scheduler``.
 
@@ -117,6 +136,10 @@ def simulate(
     completion order inside the result.
 
     Args:
+        energy: Optional :class:`~repro.energy.accounting.EnergyAccountant`;
+            when given, the result's metrics additionally carry
+            ``energy_per_request`` / ``total_joules`` / ``edp``.  Accounting
+            is passive — the schedule is bit-identical with or without it.
         switch_cost: Time charged whenever the accelerator switches to a
             *different model instance* than the one whose weights are
             resident (weight reload from off-chip memory).  The paper's
@@ -135,9 +158,17 @@ def simulate(
     pending = sorted(requests, key=lambda r: (r.arrival, r.rid))
     scheduler.reset()
     if use_batch is not False and getattr(scheduler, "supports_batch", False):
-        return _simulate_batch(pending, scheduler, switch_cost, block_size)
-    scheduler.bind_queue(None)
-    return _simulate_scalar(pending, scheduler, switch_cost, block_size)
+        result = _simulate_batch(pending, scheduler, switch_cost, block_size)
+    else:
+        scheduler.bind_queue(None)
+        result = _simulate_scalar(pending, scheduler, switch_cost, block_size)
+    if energy is not None:
+        # Extend the already-computed latency summary with the energy keys
+        # only (no second summarize pass over the request list).
+        from repro.energy.accounting import energy_summary
+
+        result.metrics.update(energy_summary(result.requests, energy))
+    return result
 
 
 def _simulate_scalar(pending, scheduler, switch_cost, block_size) -> SimResult:
@@ -152,6 +183,7 @@ def _simulate_scalar(pending, scheduler, switch_cost, block_size) -> SimResult:
     max_queue = 0
     last_running = None
     resident_request = None  # whose weights currently sit in the accelerator
+    resident_key = None  # which (model, pattern) weights are resident
 
     while i < n or queue:
         while i < n and pending[i].arrival <= now + _EPS:
@@ -176,9 +208,13 @@ def _simulate_scalar(pending, scheduler, switch_cost, block_size) -> SimResult:
 
         if chosen.first_dispatch_time is None:
             chosen.first_dispatch_time = now
-        if switch_cost > 0.0 and chosen is not resident_request:
-            now += switch_cost
-        resident_request = chosen
+        if chosen is not resident_request:
+            if switch_cost > 0.0:
+                now += switch_cost
+            resident_request = chosen
+            if chosen._key != resident_key:
+                chosen.num_weight_loads += 1
+                resident_key = chosen._key
         # Execute one scheduling block: up to `block_size` consecutive layers.
         for _ in range(min(block_size, chosen.num_layers - chosen.next_layer)):
             dt = chosen.layer_latencies[chosen.next_layer]
@@ -221,6 +257,7 @@ def _simulate_batch(pending, scheduler, switch_cost, block_size) -> SimResult:
     batch_selects = 0
     last_running = None
     resident_request = None
+    resident_key = None
 
     # Local bindings for the hot loop.
     on_arrival = scheduler.on_arrival
@@ -271,9 +308,13 @@ def _simulate_batch(pending, scheduler, switch_cost, block_size) -> SimResult:
 
         if chosen.first_dispatch_time is None:
             chosen.first_dispatch_time = now
-        if has_switch_cost and chosen is not resident_request:
-            now += switch_cost
-        resident_request = chosen
+        if chosen is not resident_request:
+            if has_switch_cost:
+                now += switch_cost
+            resident_request = chosen
+            if chosen._key != resident_key:
+                chosen.num_weight_loads += 1
+                resident_key = chosen._key
 
         lats = chosen.layer_latencies
         num_layers = chosen._num_layers

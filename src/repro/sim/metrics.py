@@ -8,17 +8,22 @@
 
 :func:`summarize` additionally reports the tail of the normalized-turnaround
 distribution (p50/p95/p99), the quantity a production SLO budget is written
-against.
+against, and — when an :class:`~repro.energy.accounting.EnergyAccountant`
+is supplied — the energy axis: joules per request, total joules, and the
+mean per-request energy-delay product.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import SchedulingError
 from repro.sim.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.energy.accounting import EnergyAccountant
 
 
 def _check_finished(requests: Sequence[Request]) -> None:
@@ -52,12 +57,21 @@ def system_throughput(requests: Sequence[Request]) -> float:
     return len(requests) / span
 
 
-def summarize(requests: Sequence[Request]) -> Dict[str, float]:
-    """The three paper metrics plus normalized-turnaround tail percentiles."""
+def summarize(
+    requests: Sequence[Request],
+    energy: Optional["EnergyAccountant"] = None,
+) -> Dict[str, float]:
+    """The three paper metrics plus normalized-turnaround tail percentiles.
+
+    With an ``energy`` accountant, the summary additionally carries
+    ``energy_per_request`` (mean J), ``total_joules`` and ``edp`` (mean
+    per-request joules x turnaround seconds) — computed passively from the
+    finished requests, so enabling it never perturbs a schedule.
+    """
     _check_finished(requests)
     norm = [r.normalized_turnaround for r in requests]
     p50, p95, p99 = np.percentile(norm, (50, 95, 99))
-    return {
+    out = {
         "antt": sum(norm) / len(norm),
         "violation_rate": sum(1 for r in requests if r.violated) / len(requests),
         "stp": system_throughput(requests),
@@ -65,3 +79,8 @@ def summarize(requests: Sequence[Request]) -> Dict[str, float]:
         "p95": float(p95),
         "p99": float(p99),
     }
+    if energy is not None:
+        from repro.energy.accounting import energy_summary
+
+        out.update(energy_summary(requests, energy))
+    return out

@@ -34,6 +34,7 @@ from repro.sim.ready_queue import ReadyQueue
 from repro.sim.request import Request
 
 if TYPE_CHECKING:  # avoid a runtime circular import with repro.schedulers
+    from repro.energy.accounting import EnergyAccountant
     from repro.schedulers.base import Scheduler
 
 _EPS = 1e-12
@@ -47,6 +48,7 @@ def simulate_multi(
     switch_cost: float = 0.0,
     block_size: int = 1,
     use_batch: Optional[bool] = None,
+    energy: Optional["EnergyAccountant"] = None,
 ) -> SimResult:
     """Run the request stream on a pool of identical accelerators.
 
@@ -64,6 +66,9 @@ def simulate_multi(
             engine; 1 = per layer (default).
         use_batch: ``None``/``True`` uses the vectorized path for schedulers
             that support it; ``False`` forces the scalar reference path.
+        energy: Optional energy accountant; adds ``energy_per_request`` /
+            ``total_joules`` / ``edp`` to the result metrics (passive —
+            the schedule is unchanged).
     """
     if not requests:
         raise SchedulingError("cannot simulate an empty workload")
@@ -100,8 +105,10 @@ def simulate_multi(
     max_queue = 0
     batch_selects = 0
     last_on_npu: List[Optional[Request]] = [None] * num_accelerators
-    # Whose weights currently sit in each accelerator (switch-cost tracking).
+    # Whose weights currently sit in each accelerator (switch-cost tracking),
+    # and which (model, pattern) key they belong to (weight-load counting).
     resident: List[Optional[Request]] = [None] * num_accelerators
+    resident_key: List[Optional[str]] = [None] * num_accelerators
 
     def admit(now: float) -> None:
         nonlocal i
@@ -137,9 +144,13 @@ def simulate_multi(
             if chosen.first_dispatch_time is None:
                 chosen.first_dispatch_time = now
             start = now
-            if switch_cost > 0.0 and chosen is not resident[npu]:
-                start += switch_cost
-            resident[npu] = chosen
+            if chosen is not resident[npu]:
+                if switch_cost > 0.0:
+                    start += switch_cost
+                resident[npu] = chosen
+                if chosen._key != resident_key[npu]:
+                    chosen.num_weight_loads += 1
+                    resident_key[npu] = chosen._key
             if batch_on:
                 queue.remove(chosen, requeue=True)
             else:
@@ -200,7 +211,7 @@ def simulate_multi(
         raise SchedulingError(
             f"simulation ended with {n - len(completed)} unfinished requests"
         )
-    return SimResult(
+    result = SimResult(
         requests=completed,
         makespan=now,
         num_preemptions=preemptions,
@@ -208,3 +219,8 @@ def simulate_multi(
         max_queue_length=max_queue,
         num_batch_selects=batch_selects if batch_on else 0,
     )
+    if energy is not None:
+        from repro.energy.accounting import energy_summary
+
+        result.metrics.update(energy_summary(completed, energy))
+    return result

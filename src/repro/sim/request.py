@@ -64,6 +64,14 @@ class Request:
     #: Time the request last occupied the accelerator (arrival before any
     #: dispatch) — basis of Dysta's waiting-time penalty term.
     last_run_end: float = field(default=0.0)
+    #: Times an accelerator streamed this request's weights in from DRAM:
+    #: dispatches where the resident (model, pattern) *key* differed — same-
+    #: key requests share weights, so consecutive ones load nothing; the
+    #: first dispatch on a cold accelerator counts.  Counted passively by
+    #: every engine (the engine's ``switch_cost`` knob prices per-*instance*
+    #: switch time, unchanged) and priced in joules by the energy
+    #: accountant (DRAM traffic per load).
+    num_weight_loads: int = 0
 
     def __post_init__(self) -> None:
         if not self.layer_latencies:

@@ -37,6 +37,7 @@ CONVERTED = (
     "prema",
     "sdrm3",
     "oracle",
+    "energy_edp",
 )
 
 

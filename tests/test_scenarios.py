@@ -8,12 +8,14 @@ from repro.scenarios import (
     Constant,
     Diurnal,
     Phase,
+    Piecewise,
     Ramp,
     ScenarioSpec,
     Spike,
     Superpose,
     available_scenarios,
     build_scenario,
+    fit_piecewise_constant,
     generate_scenario,
     iter_scenario,
     load_trace_csv,
@@ -298,3 +300,68 @@ class TestTraceReplay:
             save_trace_csv(tmp_path / "x.csv", [])
         with pytest.raises(SchedulingError):
             list(replay_trace([], toy_traces))
+
+
+class TestPiecewiseFit:
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            Piecewise(edges=(0.0, 1.0), rates=())
+        with pytest.raises(SchedulingError):
+            Piecewise(edges=(0.0, 1.0, 1.0), rates=(2.0, 3.0))
+        with pytest.raises(SchedulingError):
+            Piecewise(edges=(0.0, 1.0), rates=(-1.0,))
+        with pytest.raises(SchedulingError):
+            fit_piecewise_constant([TraceEvent(1.0, "m", 0)], 0)
+        with pytest.raises(SchedulingError):
+            fit_piecewise_constant([], 4)
+        with pytest.raises(SchedulingError, match="zero time"):
+            fit_piecewise_constant([TraceEvent(0.0, "m", 0)], 2)
+
+    def test_rate_lookup_and_extrapolation(self):
+        shape = Piecewise(edges=(0.0, 1.0, 2.0), rates=(3.0, 7.0))
+        assert list(shape.rate(np.array([0.0, 0.5, 1.0, 1.5, 5.0]))) == \
+               [3.0, 3.0, 7.0, 7.0, 7.0]
+        assert shape.peak_rate(2.0) == 7.0
+        assert shape.mean_rate(2.0) == pytest.approx(5.0)
+        # Exact integral with constant extrapolation beyond the last edge.
+        assert shape.mean_rate(4.0) == pytest.approx((3.0 + 7.0 + 14.0) / 4.0)
+
+    def test_events_beyond_duration_are_excluded(self):
+        # A trace spanning far past the fitted span must not pile its tail
+        # into the last bin.
+        events = [TraceEvent(t, "m", 0) for t in (0.5, 1.5, 50.0, 99.0)]
+        shape = fit_piecewise_constant(events, 2, duration=2.0)
+        assert shape.rates == (1.0, 1.0)
+
+    def test_fit_recovers_empirical_bin_rates(self):
+        events = [TraceEvent(t, "m", 0)
+                  for t in (0.1, 0.2, 0.3, 1.1, 1.2, 3.9)]
+        shape = fit_piecewise_constant(events, 4, duration=4.0)
+        assert shape.edges == (0.0, 1.0, 2.0, 3.0, 4.0)
+        assert shape.rates == (3.0, 2.0, 0.0, 1.0)
+        # Event count is preserved exactly by the fitted intensity.
+        assert shape.mean_rate(4.0) * 4.0 == pytest.approx(len(events))
+
+    def test_round_trip_through_csv_and_sampling(self, tmp_path):
+        """Sample a known shape, record it, fit it back: the fitted rates are
+        the per-bin empirical rates of the recorded trace, and the trace's
+        total count is preserved bit for bit."""
+        truth = Piecewise(edges=(0.0, 10.0, 20.0), rates=(2.0, 8.0))
+        rng = np.random.default_rng(42)
+        arrivals = sample_arrivals(truth, 20.0, rng)
+        events = [TraceEvent(float(t), "m", i)
+                  for i, t in enumerate(arrivals)]
+        path = tmp_path / "trace.csv"
+        save_trace_csv(path, events)
+        fitted = fit_piecewise_constant(path, 2, duration=20.0)
+        counts = np.histogram(arrivals, bins=np.array(fitted.edges))[0]
+        assert fitted.rates == tuple((counts / 10.0).tolist())
+        assert fitted.mean_rate(20.0) * 20.0 == pytest.approx(len(events))
+        # The empirical rates are near the generating intensity.
+        assert fitted.rates[0] == pytest.approx(2.0, abs=1.5)
+        assert fitted.rates[1] == pytest.approx(8.0, abs=2.5)
+        # A fitted shape is a first-class Shape: it samples and composes.
+        resampled = sample_arrivals(fitted, 20.0,
+                                    np.random.default_rng(1))
+        assert len(resampled) > 0
+        assert (2.0 * fitted).peak_rate(20.0) == 2.0 * fitted.peak_rate(20.0)
