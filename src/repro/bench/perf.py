@@ -11,6 +11,7 @@ committed numbers instead of hand-waving.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import resource
 import sys
@@ -38,9 +39,37 @@ def _best_of(fn, rounds: int) -> float:
     return best
 
 
+def _reset_peak_rss() -> bool:
+    """Reset the kernel's peak-RSS high-water mark (Linux only).
+
+    ``ru_maxrss`` / ``VmHWM`` is a *process-lifetime* high-water mark, so
+    back-to-back measurements after the first big replay all report a delta
+    of 0.0 — the mark never comes back down.  Writing ``"5"`` to
+    ``/proc/self/clear_refs`` resets it so the next measurement tracks the
+    next peak.  Returns True when the reset took effect.
+    """
+    try:
+        with open("/proc/self/clear_refs", "w") as fh:
+            fh.write("5\n")
+        return True
+    except OSError:  # pragma: no cover - non-Linux / restricted kernels
+        return False
+
+
 def _rss_mb() -> float:
-    """Peak resident set size of this process, in MiB (ru_maxrss is KiB on
-    Linux, bytes on macOS)."""
+    """Peak resident set size of this process, in MiB.
+
+    Reads ``VmHWM`` from ``/proc/self/status`` (the mark
+    :func:`_reset_peak_rss` resets); falls back to ``ru_maxrss`` — KiB on
+    Linux, bytes on macOS — where /proc is unavailable.
+    """
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return float(line.split()[1]) / 1024  # KiB -> MiB
+    except OSError:  # pragma: no cover - non-Linux
+        pass
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     if sys.platform == "darwin":  # pragma: no cover - platform-specific
         return peak / (1024 * 1024)
@@ -144,6 +173,10 @@ def time_cluster_stream(
         ]
         spec = WorkloadSpec(arrival_rate, n_requests=n_requests,
                             slo_multiplier=10.0, seed=0)
+        # Without the reset, every replay after the first reports a 0.0
+        # delta: the lifetime high-water mark was already set by its
+        # predecessor.
+        _reset_peak_rss()
         rss_before = _rss_mb()
         t0 = time.perf_counter()
         result = simulate_cluster(
@@ -175,21 +208,89 @@ def time_cluster_stream(
     return out
 
 
+def profile_engine_phases(
+    *,
+    n_requests: int = 200,
+    arrival_rate: float = 30.0,
+    n_samples: int = 100,
+    cluster_requests: int = 5_000,
+    progress=None,
+) -> Dict[str, Dict]:
+    """Self-profiled runs: wall-clock attributed to engine phases.
+
+    One instrumented pass per engine tier (single-NPU, multi-NPU, streaming
+    cluster) with :class:`~repro.obs.Observability` profiling on.  The
+    breakdown — event-heap ops, ready-queue update, batch scoring, router
+    predict, arrivals — lands in ``BENCH_perf.json`` under ``profile`` so
+    optimisation work knows which phase to attack first.
+    """
+    from repro.obs import Observability
+    from repro.sim.multi import simulate_multi
+
+    traces = benchmark_suite("attnn", n_samples=n_samples, seed=0)
+    lut = ModelInfoLUT(traces)
+    spec = WorkloadSpec(arrival_rate, n_requests=n_requests,
+                        slo_multiplier=10.0, seed=0)
+    out: Dict[str, Dict] = {}
+
+    obs = Observability(profile=True)
+    simulate(generate_workload(traces, spec), make_scheduler("dysta", lut),
+             obs=obs)
+    out["engine_single"] = obs.profiler.summary()
+
+    obs = Observability(profile=True)
+    simulate_multi(generate_workload(traces, spec),
+                   make_scheduler("dysta", lut), num_accelerators=4, obs=obs)
+    out["engine_multi"] = obs.profiler.summary()
+
+    ctraces, clut, affinity = build_heterogeneous_world(n_samples=n_samples)
+    pools = [
+        Pool("eyeriss", make_scheduler("dysta", clut), 2,
+             affinity=affinity["cnn"]),
+        Pool("sanger", make_scheduler("dysta", clut), 2,
+             affinity=affinity["attnn"]),
+    ]
+    cspec = WorkloadSpec(12.0, n_requests=cluster_requests,
+                         slo_multiplier=10.0, seed=0)
+    obs = Observability(profile=True)
+    simulate_cluster(iter_workload(ctraces, cspec), pools,
+                     build_router("predictive", clut),
+                     retain_requests=False, obs=obs)
+    out["engine_cluster"] = obs.profiler.summary()
+
+    if progress:
+        for tier, summary in out.items():
+            top = next(iter(summary["phases"]), "-")
+            progress(f"profile/{tier}: {1e3 * summary['wall_s']:.1f} ms wall, "
+                     f"{100 * summary['coverage']:.0f}% attributed, "
+                     f"hottest phase {top!r}")
+    return out
+
+
 def run_perf_suite(
     *,
     cluster_requests: int = 100_000,
     rounds: int = 3,
     include_cluster: bool = True,
+    profile: bool = False,
     out_path: Optional[str] = None,
     progress=None,
 ) -> Dict:
-    """Run every perf bench and optionally write the JSON snapshot."""
+    """Run every perf bench and optionally write the JSON snapshot.
+
+    Args:
+        profile: Additionally run self-profiled passes per engine tier and
+            record the per-phase wall-clock breakdown under ``profile``.
+    """
     report: Dict = {
         "schema": 1,
         "host": {
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "hostname": platform.node(),
         },
         "engine_200req_rate30": time_engine_suite(rounds=rounds, progress=progress),
         "deep_queue_400req_rate120": time_deep_queue(progress=progress),
@@ -198,6 +299,8 @@ def run_perf_suite(
         report["cluster_stream"] = time_cluster_stream(
             n_requests=cluster_requests, progress=progress
         )
+    if profile:
+        report["profile"] = profile_engine_phases(progress=progress)
     if out_path:
         with open(out_path, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)

@@ -9,6 +9,7 @@ Installed as the ``repro`` console script::
     repro cluster --pools eyeriss:2,sanger:2 --router jsq   # cluster tier
     repro scenario --scenarios diurnal flash_crowd     # parallel sweep
     repro energy --family attnn                        # joule models + EDP
+    repro trace --scheduler dysta --out timeline.json  # Perfetto timeline
     repro predictor-rmse                               # Table-4-style table
     repro hw-report                                    # Fig 16 + Table 6
 """
@@ -147,6 +148,44 @@ def _build_accountant(lut: ModelInfoLUT):
     return EnergyAccountant.from_model_lut(lut)
 
 
+def _build_obs(args: argparse.Namespace):
+    """Observability bundle for ``--trace``/``--timeline``, or ``None``."""
+    if not (getattr(args, "trace", None) or getattr(args, "timeline", None)):
+        return None
+    from repro.obs import JsonlSink, Observability, RingSink
+
+    sinks = [RingSink()]
+    if args.trace:
+        sinks.append(JsonlSink(args.trace))
+    return Observability(sinks=sinks)
+
+
+def _export_obs(obs, args: argparse.Namespace, metadata: dict) -> None:
+    """Flush sinks and write the Chrome-trace timeline, reporting paths."""
+    if obs is None:
+        return
+    from repro.obs import export_chrome_trace
+
+    obs.close()
+    obs.bus.check_conservation()
+    if getattr(args, "trace", None):
+        print(f"wrote {args.trace} ({obs.bus.total_events} trace events)")
+    if getattr(args, "timeline", None):
+        path, n = export_chrome_trace(obs.bus, args.timeline,
+                                      metadata=metadata)
+        print(f"wrote {path} ({n} timeline records; load in "
+              f"chrome://tracing or ui.perfetto.dev)")
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="stream request-lifecycle trace events to this "
+                             "JSONL file")
+    parser.add_argument("--timeline", default=None, metavar="PATH",
+                        help="write a Chrome-trace/Perfetto JSON timeline "
+                             "with one lane per accelerator")
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     """One detailed run: tail latency, fairness and per-class breakdown."""
     traces = _load_traces(args)
@@ -156,9 +195,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     spec = WorkloadSpec(arrival_rate=rate, n_requests=args.requests,
                         slo_multiplier=args.slo, seed=args.seeds[0])
     requests = generate_workload(traces, spec)
+    obs = _build_obs(args)
     result = simulate(requests, make_scheduler(args.scheduler, lut),
                       block_size=args.block_size, switch_cost=args.switch_cost,
-                      energy=accountant)
+                      energy=accountant, obs=obs)
+    _export_obs(obs, args, {"command": "analyze", "scheduler": args.scheduler,
+                            "family": args.family, "seed": args.seeds[0]})
     reqs = result.requests
     waits = waiting_time_stats(reqs)
     if args.json:
@@ -290,10 +332,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         stream = (iter_workload(traces, wspec) if args.streaming
                   else generate_workload(traces, wspec))
         traffic_desc = args.traffic
+    obs = _build_obs(args)
     result = simulate_cluster(stream, pools, router, admission=admission,
                               autoscaler=autoscaler,
                               retain_requests=not args.streaming,
-                              energy=accountant)
+                              energy=accountant, obs=obs)
+    _export_obs(obs, args, {"command": "cluster", "router": router.name,
+                            "scheduler": args.scheduler, "seed": args.seed})
 
     if args.json:
         print(json.dumps({
@@ -413,6 +458,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         autoscale=args.autoscale,
         max_queue_depth=args.max_queue_depth,
         energy=args.energy,
+        telemetry_interval=args.telemetry_interval,
     )
 
     def progress(key: str, done: int, total: int) -> None:
@@ -534,6 +580,75 @@ def _cmd_energy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Trace one run end to end and export a Perfetto-loadable timeline."""
+    from repro.obs import (
+        JsonlSink,
+        Observability,
+        RingSink,
+        Telemetry,
+        export_chrome_trace,
+    )
+
+    traces = _load_traces(args)
+    lut = ModelInfoLUT(traces)
+    rate = args.rate if args.rate is not None else BASE_ARRIVAL_RATE[args.family]
+    spec = WorkloadSpec(arrival_rate=rate, n_requests=args.requests,
+                        slo_multiplier=args.slo, seed=args.seeds[0])
+    requests = generate_workload(traces, spec)
+    sinks = [RingSink()]
+    if args.events:
+        sinks.append(JsonlSink(args.events))
+    obs = Observability(
+        sinks=sinks,
+        telemetry=(Telemetry(interval=args.telemetry_interval)
+                   if args.telemetry_csv else None),
+    )
+    scheduler = make_scheduler(args.scheduler, lut)
+    if args.accelerators > 1:
+        from repro.sim.multi import simulate_multi
+
+        result = simulate_multi(requests, scheduler,
+                                num_accelerators=args.accelerators,
+                                block_size=args.block_size,
+                                switch_cost=args.switch_cost, obs=obs)
+    else:
+        result = simulate(requests, scheduler, block_size=args.block_size,
+                          switch_cost=args.switch_cost, obs=obs)
+    obs.close()
+    obs.bus.check_conservation()
+
+    counts = obs.bus.counts
+    lifecycle = " -> ".join(
+        f"{kind}:{counts[kind]}" for kind in
+        ("arrive", "queue", "select", "execute", "complete", "violate")
+        if kind in counts
+    )
+    print(f"scheduler {args.scheduler} on {args.family} @ {rate:g} req/s, "
+          f"{args.accelerators} accelerator(s)")
+    print(f"spans           : {lifecycle}")
+    print(f"conservation    : {obs.bus.num_arrivals} arrivals == "
+          f"{obs.bus.num_terminals} terminals")
+    print(f"makespan        : {result.makespan:.3f} s   "
+          f"ANTT {result.antt:.3f}   "
+          f"violations {100 * result.violation_rate:.2f}%")
+    path, n = export_chrome_trace(
+        obs.bus, args.out,
+        metadata={"scheduler": args.scheduler, "family": args.family,
+                  "arrival_rate": rate, "seed": args.seeds[0]},
+    )
+    print(f"wrote {path} ({n} timeline records; load in chrome://tracing "
+          f"or ui.perfetto.dev)")
+    if args.events:
+        print(f"wrote {args.events} ({obs.bus.total_events} trace events)")
+    if args.telemetry_csv:
+        obs.telemetry.write_csv(args.telemetry_csv)
+        print(f"wrote {args.telemetry_csv} "
+              f"({obs.telemetry.num_samples} samples x "
+              f"{len(obs.telemetry.columns())} columns)")
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     """Run the simulator perf benches and write the BENCH_perf.json baseline."""
     from repro.bench.perf import run_perf_suite
@@ -542,6 +657,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         cluster_requests=args.cluster_requests,
         rounds=args.rounds,
         include_cluster=not args.skip_cluster,
+        profile=args.profile,
         out_path=args.out,
         progress=print,
     )
@@ -552,6 +668,13 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         for router, row in report["cluster_stream"].items():
             print(f"cluster replay [{router}]: {row['requests']} requests "
                   f"in {row['wall_s']:.1f} s")
+    if args.profile:
+        for tier, summary in report["profile"].items():
+            print(f"profile [{tier}]: {1e3 * summary['wall_s']:.1f} ms wall")
+            for phase, row in summary["phases"].items():
+                print(f"  {phase:<14} {1e3 * row['seconds']:9.2f} ms  "
+                      f"{100 * row['fraction']:5.1f}%  "
+                      f"({row['calls']:,} calls)")
     if args.out:
         print(f"wrote {args.out}")
     return 0
@@ -649,6 +772,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--energy", action="store_true",
                            help="account joules (energy/request, EDP) "
                                 "alongside the latency metrics")
+    _add_trace_args(p_analyze)
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_cluster = sub.add_parser(
@@ -714,6 +838,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "unused capacity)")
     p_cluster.add_argument("--json", action="store_true",
                            help="emit machine-readable JSON instead of tables")
+    _add_trace_args(p_cluster)
     p_cluster.set_defaults(func=_cmd_cluster)
 
     p_scen = sub.add_parser(
@@ -763,6 +888,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_scen.add_argument("--energy", action="store_true",
                         help="record energy columns (mJ/request, EDP) in "
                              "every cell of the results store")
+    p_scen.add_argument("--telemetry-interval", type=float, default=None,
+                        help="record a per-cell telemetry time-series "
+                             "sampled at this simulated-second cadence")
     p_scen.set_defaults(func=_cmd_scenario)
 
     p_energy = sub.add_parser(
@@ -791,6 +919,26 @@ def build_parser() -> argparse.ArgumentParser:
                           help="emit machine-readable JSON instead of tables")
     p_energy.set_defaults(func=_cmd_energy)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="trace one run and export a Chrome-trace/Perfetto timeline",
+    )
+    _add_workload_args(p_trace)
+    p_trace.add_argument("--scheduler", default="dysta",
+                         choices=available_schedulers())
+    p_trace.add_argument("--accelerators", type=int, default=1,
+                         help="run on the multi-NPU engine with this many "
+                              "accelerators (one timeline lane each)")
+    p_trace.add_argument("--out", default="timeline.json",
+                         help="Chrome-trace JSON output path")
+    p_trace.add_argument("--events", default=None, metavar="PATH",
+                         help="also stream raw trace events to this JSONL file")
+    p_trace.add_argument("--telemetry-csv", default=None, metavar="PATH",
+                         help="also write a telemetry time-series CSV")
+    p_trace.add_argument("--telemetry-interval", type=float, default=0.1,
+                         help="telemetry sampling cadence in simulated seconds")
+    p_trace.set_defaults(func=_cmd_trace)
+
     p_perf = sub.add_parser(
         "perf",
         help="time the simulator hot paths and emit BENCH_perf.json",
@@ -803,6 +951,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="streaming cluster replay length")
     p_perf.add_argument("--skip-cluster", action="store_true",
                         help="skip the streaming cluster replay")
+    p_perf.add_argument("--profile", action="store_true",
+                        help="also run self-profiled passes and record the "
+                             "per-phase wall-clock breakdown")
     p_perf.set_defaults(func=_cmd_perf)
 
     p_rmse = sub.add_parser("predictor-rmse",

@@ -26,9 +26,13 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.errors import SchedulingError
+from repro.obs import Observability
+from repro.obs.bus import KIND_ARRIVE, KIND_ROUTE, KIND_SCALE, KIND_SHED
+from repro.obs.profile import PHASE_ARRIVALS, PHASE_EVENT_HEAP, PHASE_ROUTE
 from repro.sim.metrics import summarize
 from repro.sim.request import Request
 
@@ -216,6 +220,7 @@ def simulate_cluster(
     autoscaler: Optional[Autoscaler] = None,
     retain_requests: bool = True,
     energy: Optional["EnergyAccountant"] = None,
+    obs: Optional[Observability] = None,
 ) -> ClusterResult:
     """Replay a request stream against a cluster of accelerator pools.
 
@@ -242,17 +247,52 @@ def simulate_cluster(
             — idle power charged for provisioned-but-unused seconds), and
             every ``PoolStats`` carries its per-pool joules.  Accounting is
             passive: schedules are bit-identical with or without it.
+        obs: Optional :class:`~repro.obs.Observability` bundle.  Trace
+            spans carry (pool, npu) lanes; routing, shedding and autoscaler
+            scale decisions appear as instants; telemetry samples per-pool
+            queue depth / occupancy (and metered joules under ``energy``).
+            Passive, like ``energy``.
     """
     pools = list(pools)
     check_unique_names(pools)
     if isinstance(router, str):
         router = make_router(router)
+    obs = Observability.active(obs)
+    tracer = obs.bus if obs is not None else None
+    telem = obs.telemetry if obs is not None else None
+    prof = obs.profiler if obs is not None else None
+    t_begin = perf_counter() if prof is not None else 0.0
     for pool in pools:
         pool.reset()
         pool.bind_energy(energy)
+        pool.bind_obs(tracer, prof)
     router.reset(pools)
     if autoscaler is not None:
         autoscaler.reset(pools)
+
+    c_completed = c_violations = c_shed = None
+    if telem is not None:
+        for pool in pools:
+            telem.registry.gauge(
+                f"{pool.name}_queue_depth",
+                (lambda p: lambda: len(p.queue))(pool),
+            )
+            telem.registry.gauge(
+                f"{pool.name}_busy_npus",
+                (lambda p: lambda: len(p.running))(pool),
+            )
+            telem.registry.gauge(
+                f"{pool.name}_provisioned",
+                (lambda p: lambda: p.provision_target)(pool),
+            )
+            if energy is not None:
+                telem.registry.gauge(
+                    f"{pool.name}_joules_busy",
+                    (lambda p: lambda: p.joules_busy)(pool),
+                )
+        c_completed = telem.registry.counter("completed")
+        c_violations = telem.registry.counter("violations")
+        c_shed = telem.registry.counter("shed")
 
     metrics = StreamingMetrics()
     completed: List[Request] = []
@@ -287,23 +327,46 @@ def simulate_cluster(
     def admit_arrivals(now: float) -> None:
         """Route (and possibly shed) every request that has arrived by now."""
         nonlocal next_req
+        route_s = 0.0
+        if prof is not None:
+            t_adm = perf_counter()
         while next_req is not None and next_req.arrival <= now + _EPS:
             req, next_req = next_req, fetch()
+            if tracer is not None:
+                tracer.emit(KIND_ARRIVE, req.arrival, rid=req.rid)
+            if prof is not None:
+                t0 = perf_counter()
             pool = router.route(req, pools, now)
+            if prof is not None:
+                dt_route = perf_counter() - t0
+                prof.add(PHASE_ROUTE, dt_route)
+                route_s += dt_route
             if pool not in pools:
                 raise SchedulingError(
                     f"router {router.name!r} returned a pool outside the cluster"
                 )
+            if tracer is not None:
+                tracer.emit(KIND_ROUTE, now, pool=pool.name, rid=req.rid,
+                            args={"router": router.name})
             reason = admission.admit(req, pool, now) if admission is not None else None
             if reason is not None:
                 pool.shed += 1
                 if pool.num_warming:
                     pool.shed_during_scale_lag += 1
                 metrics.observe_shed(req, reason)
+                if tracer is not None:
+                    tracer.emit(KIND_SHED, now, pool=pool.name, rid=req.rid,
+                                args={"reason": reason})
+                if c_shed is not None:
+                    c_shed.inc()
                 if retain_requests:
                     shed.append(req)
             else:
                 pool.enqueue(req, now)
+        if prof is not None:
+            # Routing is attributed separately; the remainder is admission
+            # bookkeeping.
+            prof.add(PHASE_ARRIVALS, (perf_counter() - t_adm) - route_s)
 
     def dispatch_all(now: float) -> None:
         for pool in pools:
@@ -318,6 +381,13 @@ def simulate_cluster(
         """One policy tick: apply decisions, arm warm-ups and the next tick."""
         for event in autoscaler.tick(pools, now):
             scale_events.append(event)
+            if tracer is not None:
+                tracer.emit(KIND_SCALE, event.time, pool=event.pool,
+                            args={
+                                "delta": event.delta,
+                                "capacity_after": event.capacity_after,
+                                "ready_at": event.ready_at,
+                            })
             if event.ready_at is not None:
                 pool = next(p for p in pools if p.name == event.pool)
                 push_control(event.ready_at, _WARM, pool)
@@ -337,6 +407,8 @@ def simulate_cluster(
             next_wake = next_req.arrival
             push_control(next_wake, _WAKE)
 
+    if telem is not None:
+        telem.poll(0.0)
     admit_arrivals(0.0)
     dispatch_all(0.0)
     arm_wake()
@@ -344,12 +416,18 @@ def simulate_cluster(
         push_control(autoscaler.interval, _TICK)
 
     while events:
+        if prof is not None:
+            t_heap = perf_counter()
         time, _, kind, pool, npu, req, layers, dt = heapq.heappop(events)
+        if prof is not None:
+            prof.add(PHASE_EVENT_HEAP, perf_counter() - t_heap)
         if kind in (_TICK, _WARM) and not work_remains():
             # The stream is exhausted and every request served: discard
             # trailing control events instead of stretching the makespan.
             continue
         now = time
+        if telem is not None:
+            telem.poll(now)
         if kind == _WAKE:
             next_wake = None
         elif kind == _WARM:
@@ -368,6 +446,10 @@ def simulate_cluster(
                     if energy is not None and not retain_requests else None
                 ),
             )
+            if c_completed is not None:
+                c_completed.inc()
+                if req.violated:
+                    c_violations.inc()
             if retain_requests:
                 completed.append(req)
         admit_arrivals(now)
@@ -380,6 +462,10 @@ def simulate_cluster(
     makespan = now
     for pool in pools:
         pool.finalize_cost(makespan)
+    if prof is not None:
+        prof.wall_s += perf_counter() - t_begin
+    if telem is not None:
+        telem.finish(makespan)
 
     if retain_requests and completed:
         # Exact batch metrics when the requests are on hand; the streaming

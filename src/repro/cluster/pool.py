@@ -48,7 +48,17 @@ from typing import (
     Tuple,
 )
 
+from time import perf_counter
+
 from repro.errors import SchedulingError
+from repro.obs.bus import (
+    KIND_COMPLETE,
+    KIND_EXECUTE,
+    KIND_QUEUE,
+    KIND_SELECT,
+    KIND_VIOLATE,
+)
+from repro.obs.profile import PHASE_QUEUE_UPDATE, PHASE_SELECT
 from repro.sim.ready_queue import ReadyQueue
 from repro.sim.request import Request
 
@@ -122,6 +132,10 @@ class Pool:
         #: Energy accountant bound by the cluster engine for this run
         #: (survives reset(); ``None`` disables joule accounting).
         self._energy = None
+        #: Trace bus / phase profiler bound by the cluster engine for this
+        #: run (survive reset(); ``None`` disables emission).
+        self._tracer = None
+        self._prof = None
         self.reset()
 
     # -- run state ----------------------------------------------------------
@@ -173,6 +187,14 @@ class Pool:
         """Attach (or detach, with ``None``) an
         :class:`~repro.energy.accounting.EnergyAccountant` for this run."""
         self._energy = accountant
+
+    def bind_obs(self, tracer, prof) -> None:
+        """Attach (or detach, with ``None``) the cluster run's trace bus and
+        phase profiler.  The scheduler gets the bus too, so policy-level
+        events (powercap deferrals) land in the same trace."""
+        self._tracer = tracer
+        self._prof = prof
+        self.scheduler.trace_bus = tracer
 
     # -- elastic capacity (driven by the autoscaler) -------------------------
 
@@ -320,9 +342,13 @@ class Pool:
         scheduler = self.scheduler
         queue = self.queue
         batch_on = self._batch
+        tracer = self._tracer
+        prof = self._prof
         while self.idle and queue:
             npu = heapq.heappop(self.idle)
             nq = len(queue)
+            if prof is not None:
+                t0 = perf_counter()
             if not batch_on or queue.missing_entries:
                 chosen = scheduler.select(queue, now)
             elif nq == 1:
@@ -331,6 +357,8 @@ class Pool:
             else:
                 chosen = scheduler.select_batch(queue, now)
                 self.batch_selects += 1
+            if prof is not None:
+                prof.add(PHASE_SELECT, perf_counter() - t0)
             self.invocations += 1
             if nq > self.max_queue_length:
                 self.max_queue_length = nq
@@ -339,6 +367,9 @@ class Pool:
                     f"scheduler {scheduler.name!r} (pool {self.name!r}) "
                     "selected a request outside the queue"
                 )
+            if tracer is not None:
+                tracer.emit(KIND_SELECT, now, pool=self.name, npu=npu,
+                            rid=chosen.rid, args={"depth": nq})
             previous = self._last_on_npu[npu]
             if previous is not None and chosen is not previous and not previous.is_done:
                 self.preemptions += 1
@@ -346,6 +377,10 @@ class Pool:
             if chosen.first_dispatch_time is None:
                 chosen.first_dispatch_time = now
                 self.dispatched += 1
+                if tracer is not None:
+                    tracer.emit(KIND_QUEUE, chosen.arrival,
+                                now - chosen.arrival, pool=self.name,
+                                rid=chosen.rid)
             start = now
             if chosen is not self._resident[npu]:
                 if self.switch_cost > 0.0:
@@ -371,6 +406,11 @@ class Pool:
                 ) / speed
             self.running[npu] = chosen
             self.busy_time += (start - now) + dt
+            if tracer is not None:
+                # Span from decision to block end: switch cost included.
+                tracer.emit(KIND_EXECUTE, now, (start + dt) - now,
+                            pool=self.name, npu=npu, rid=chosen.rid,
+                            args={"layers": layers, "key": chosen._key})
             push_event(start + dt, self, npu, chosen, layers, dt)
 
     def complete_block(self, now: float, npu: int, request: Request,
@@ -399,6 +439,9 @@ class Pool:
         request.next_layer += layers
         request.executed_time += dt
         request.last_run_end = now
+        prof = self._prof
+        if prof is not None:
+            t0 = perf_counter()
         if request.is_done:
             if self._batch:
                 self.queue.forget(request.rid)
@@ -406,11 +449,20 @@ class Pool:
             request.finish_time = now
             self.completed += 1
             self.scheduler.on_complete(request, now)
+            if prof is not None:
+                prof.add(PHASE_QUEUE_UPDATE, perf_counter() - t0)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    KIND_VIOLATE if request.violated else KIND_COMPLETE,
+                    now, pool=self.name, npu=npu, rid=request.rid,
+                )
             return True
         # Re-admit before the monitor callback so batch schedulers can
         # refresh the request's row (aux state was stashed at dispatch).
         self.queue.append(request)
         self.scheduler.on_layer_complete(request, now)
+        if prof is not None:
+            prof.add(PHASE_QUEUE_UPDATE, perf_counter() - t0)
         return False
 
 

@@ -39,6 +39,7 @@ from typing import Deque, Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.lut import ModelInfoLUT
+from repro.obs.bus import KIND_POWERCAP
 from repro.schedulers.base import Scheduler, register_scheduler
 from repro.sim.ready_queue import ReadyQueue, np_lexmin
 from repro.sim.request import Request
@@ -277,5 +278,14 @@ class PowerCappedEDPScheduler(EnergyEDPScheduler):
                 queue, key=lambda r: (self.draw_estimate(r), r.arrival, r.rid)
             )
             self._resident_kid = self._key_terms(chosen.key)[2]
+            if self.trace_bus is not None:
+                self.trace_bus.emit(
+                    KIND_POWERCAP, now, rid=chosen.rid,
+                    args={
+                        "watts": self._window_joules / self.window_s,
+                        "cap_w": self.power_cap_w,
+                        "deferred": len(queue) - 1,
+                    },
+                )
             return chosen
         return super().select(queue, now)

@@ -29,3 +29,7 @@ class SchedulingError(ReproError):
 
 class HardwareModelError(ReproError):
     """Invalid hardware-resource model configuration."""
+
+
+class ObservabilityError(ReproError):
+    """Trace/metrics/profile invariant violated or bad obs configuration."""

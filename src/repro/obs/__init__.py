@@ -1,0 +1,169 @@
+"""Observability layer: lifecycle tracing, telemetry, self-profiling.
+
+One subsystem, three concerns, all opt-in per run and all passive — a run
+with observability attached produces a bit-identical schedule to one
+without (golden-tested):
+
+* **Trace bus** (:mod:`repro.obs.bus`): structured request-lifecycle spans
+  (arrive → admit/shed → route → queue → select → execute →
+  complete/violate) plus autoscaler scale events and energy powercap
+  deferrals, with bounded-memory ring and streaming-JSONL sinks.
+* **Chrome-trace exporter** (:mod:`repro.obs.chrome`): renders any traced
+  schedule as per-accelerator lanes loadable in ``chrome://tracing`` /
+  Perfetto.
+* **Metrics registry + telemetry** (:mod:`repro.obs.metrics`):
+  counters/gauges/histograms sampled on a simulated-time cadence into a
+  deterministic time-series (queue depth, violations, pool occupancy,
+  metered watts), exportable to CSV/JSON and bit-identical across sweep
+  worker counts.
+* **Self-profiling** (:mod:`repro.obs.profile`): wall-clock attribution to
+  engine phases (event-heap ops, ready-queue update, batch scoring, router
+  predict), recorded into ``BENCH_perf.json`` via ``repro perf --profile``.
+
+Engines take an ``obs=`` keyword holding an :class:`Observability` bundle.
+``Observability.active`` normalizes a fully-disabled bundle to ``None``, so
+the disabled path is *literally* the ``obs=None`` path — zero overhead
+beyond one pointer check per instrumentation site.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.obs.bus import (
+    ENGINE_LANE,
+    KIND_ARRIVE,
+    KIND_COMPLETE,
+    KIND_EXECUTE,
+    KIND_POWERCAP,
+    KIND_QUEUE,
+    KIND_ROUTE,
+    KIND_SCALE,
+    KIND_SELECT,
+    KIND_SHED,
+    KIND_VIOLATE,
+    TERMINAL_KINDS,
+    JsonlSink,
+    ListSink,
+    RingSink,
+    TraceBus,
+    TraceEvent,
+    filter_events,
+    read_jsonl,
+)
+from repro.obs.chrome import export_chrome_trace, to_chrome_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Telemetry,
+    read_telemetry_csv,
+)
+from repro.obs.profile import (
+    PHASE_ARRIVALS,
+    PHASE_EVENT_HEAP,
+    PHASE_EXECUTE,
+    PHASE_METRICS,
+    PHASE_QUEUE_UPDATE,
+    PHASE_ROUTE,
+    PHASE_SELECT,
+    PhaseProfiler,
+)
+
+
+class Observability:
+    """Per-run bundle of the three observability concerns.
+
+    Args:
+        trace: Enable the lifecycle trace bus (default ring sink).
+        sinks: Explicit trace sinks (implies ``trace=True``).
+        trace_capacity: Ring capacity of the default sink.
+        telemetry: Sampling interval in simulated seconds, or a prepared
+            :class:`Telemetry` instance; ``None`` disables time-series
+            sampling.
+        profile: Enable wall-clock phase attribution.
+    """
+
+    def __init__(
+        self,
+        *,
+        trace: bool = False,
+        sinks: Optional[Sequence] = None,
+        trace_capacity: int = 1 << 20,
+        telemetry: Optional[Union[float, Telemetry]] = None,
+        profile: bool = False,
+    ):
+        self.bus: Optional[TraceBus] = (
+            TraceBus(sinks, capacity=trace_capacity)
+            if trace or sinks is not None else None
+        )
+        if telemetry is None:
+            self.telemetry: Optional[Telemetry] = None
+        elif isinstance(telemetry, Telemetry):
+            self.telemetry = telemetry
+        else:
+            self.telemetry = Telemetry(interval=float(telemetry))
+        self.profiler: Optional[PhaseProfiler] = (
+            PhaseProfiler() if profile else None
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any concern is switched on."""
+        return (self.bus is not None or self.telemetry is not None
+                or self.profiler is not None)
+
+    @staticmethod
+    def active(obs: Optional["Observability"]) -> Optional["Observability"]:
+        """``obs`` if anything is enabled, else ``None``.
+
+        Engines call this once at entry, so a constructed-but-disabled
+        bundle takes the exact ``obs=None`` code path.
+        """
+        return obs if obs is not None and obs.enabled else None
+
+    def close(self) -> None:
+        """Flush trace sinks (streaming JSONL files in particular)."""
+        if self.bus is not None:
+            self.bus.close()
+
+
+__all__ = [
+    "Observability",
+    "TraceBus",
+    "TraceEvent",
+    "RingSink",
+    "ListSink",
+    "JsonlSink",
+    "read_jsonl",
+    "filter_events",
+    "to_chrome_trace",
+    "export_chrome_trace",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Telemetry",
+    "read_telemetry_csv",
+    "PhaseProfiler",
+    "ENGINE_LANE",
+    "TERMINAL_KINDS",
+    "KIND_ARRIVE",
+    "KIND_SHED",
+    "KIND_ROUTE",
+    "KIND_QUEUE",
+    "KIND_SELECT",
+    "KIND_EXECUTE",
+    "KIND_COMPLETE",
+    "KIND_VIOLATE",
+    "KIND_SCALE",
+    "KIND_POWERCAP",
+    "PHASE_ARRIVALS",
+    "PHASE_SELECT",
+    "PHASE_EXECUTE",
+    "PHASE_QUEUE_UPDATE",
+    "PHASE_EVENT_HEAP",
+    "PHASE_ROUTE",
+    "PHASE_METRICS",
+]

@@ -1,0 +1,141 @@
+"""Chrome-trace / Perfetto JSON exporter: eyeball any schedule.
+
+Renders a run's trace events in the Trace Event Format (the JSON object
+form, ``{"traceEvents": [...]}``) so a schedule can be loaded straight into
+``chrome://tracing`` or https://ui.perfetto.dev:
+
+* each **pool** becomes a process (named via ``process_name`` metadata);
+* each **accelerator** becomes a thread lane (``npu 0``, ``npu 1``, ...),
+  so per-accelerator occupancy, preemption interleaving and idle gaps are
+  visible at a glance;
+* a synthetic **queue** lane per pool holds the waiting spans
+  (arrival → first dispatch);
+* instant events (arrivals, sheds, scale events, powercap deferrals) land
+  on a per-pool **control** lane.
+
+Simulated seconds map to trace microseconds (the format's native unit).
+``execute`` spans become ``"X"`` complete events; everything else becomes
+``"i"`` instants.  Colors are left to the viewer (category-based).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.bus import (
+    KIND_EXECUTE,
+    KIND_QUEUE,
+    TraceBus,
+    TraceEvent,
+)
+
+#: Thread ids of the synthetic lanes inside each pool-process.  Real NPU
+#: lanes use tid = npu id (0-based), so these sit far above any pool size.
+QUEUE_TID = 10_000
+CONTROL_TID = 10_001
+
+_S_TO_US = 1e6
+
+
+def _lane_ids(events: Iterable[TraceEvent]) -> Dict[str, int]:
+    """Stable pool -> pid assignment (sorted pool names, pid from 1)."""
+    pools = sorted({e.pool for e in events})
+    return {pool: pid for pid, pool in enumerate(pools, start=1)}
+
+
+def to_chrome_trace(events: Iterable[TraceEvent],
+                    metadata: Optional[Dict] = None) -> Dict:
+    """Convert trace events to a Trace Event Format JSON object.
+
+    Args:
+        events: Trace events (e.g. ``bus.events`` or a loaded JSONL file).
+        metadata: Optional run metadata stored under the top-level
+            ``otherData`` key (the format reserves it for free-form info).
+    """
+    events = list(events)
+    pids = _lane_ids(events)
+    out: List[Dict] = []
+
+    # Lane naming metadata: one process per pool, one thread per lane.
+    seen_threads: set = set()
+    for pool, pid in pids.items():
+        out.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": pool},
+        })
+    for event in events:
+        pid = pids[event.pool]
+        if event.kind == KIND_EXECUTE:
+            tid = max(event.npu, 0)
+            name = f"npu {tid}"
+        elif event.kind == KIND_QUEUE:
+            tid, name = QUEUE_TID, "queue"
+        else:
+            tid, name = CONTROL_TID, "control"
+        key = (pid, tid)
+        if key not in seen_threads:
+            seen_threads.add(key)
+            out.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": name},
+            })
+
+    for event in events:
+        pid = pids[event.pool]
+        args = dict(event.args) if event.args else {}
+        if event.rid >= 0:
+            args.setdefault("rid", event.rid)
+        if event.kind == KIND_EXECUTE:
+            out.append({
+                "name": args.pop("key", f"rid {event.rid}"),
+                "cat": event.kind,
+                "ph": "X",
+                "ts": event.time * _S_TO_US,
+                "dur": event.dur * _S_TO_US,
+                "pid": pid,
+                "tid": max(event.npu, 0),
+                "args": args,
+            })
+        elif event.kind == KIND_QUEUE:
+            out.append({
+                "name": f"wait rid {event.rid}",
+                "cat": event.kind,
+                "ph": "X",
+                "ts": event.time * _S_TO_US,
+                "dur": event.dur * _S_TO_US,
+                "pid": pid,
+                "tid": QUEUE_TID,
+                "args": args,
+            })
+        else:
+            out.append({
+                "name": event.kind,
+                "cat": event.kind,
+                "ph": "i",
+                "ts": event.time * _S_TO_US,
+                "pid": pid,
+                "tid": CONTROL_TID,
+                "s": "p",  # process scope: the marker spans the pool's lanes
+                "args": args,
+            })
+
+    doc: Dict = {"traceEvents": out, "displayTimeUnit": "ms"}
+    if metadata:
+        doc["otherData"] = dict(metadata)
+    return doc
+
+
+def export_chrome_trace(source, path, metadata: Optional[Dict] = None) -> Tuple[str, int]:
+    """Write a Chrome-trace JSON file from a bus or an event iterable.
+
+    Returns ``(path, num_events)`` where ``num_events`` counts the
+    non-metadata trace records written.
+    """
+    events = source.events if isinstance(source, TraceBus) else source
+    doc = to_chrome_trace(events, metadata=metadata)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    n = sum(1 for row in doc["traceEvents"] if row["ph"] != "M")
+    return str(path), n

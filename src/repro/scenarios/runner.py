@@ -104,6 +104,11 @@ class SweepConfig:
     #: additive: schedules and latency metrics are unchanged, and the
     #: energy numbers are bit-identical for any worker count.
     energy: bool = False
+    #: Telemetry sampling cadence in simulated seconds; when set, every
+    #: cell records a ``timeseries`` table (queue depth, completions,
+    #: violations, ... sampled on this grid).  Purely additive and — like
+    #: every cell number — bit-identical for any worker count.
+    telemetry_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.scenarios or not self.schedulers or not self.seeds:
@@ -160,6 +165,11 @@ class SweepConfig:
         if self.pool_size < 1:
             raise SchedulingError(
                 f"pool size must be >= 1, got {self.pool_size}"
+            )
+        if self.telemetry_interval is not None and self.telemetry_interval <= 0:
+            raise SchedulingError(
+                f"telemetry interval must be positive, got "
+                f"{self.telemetry_interval}"
             )
 
     @property
@@ -241,6 +251,11 @@ def _run_cell(args: Tuple) -> Tuple[str, Dict]:
         accountant = EnergyAccountant.from_model_lut(lut)
         if scheduler_name in ENERGY_SCHEDULERS:
             scheduler_kwargs["energy_lut"] = accountant.energy_lut
+    obs = None
+    if config.telemetry_interval is not None:
+        from repro.obs import Observability
+
+        obs = Observability(telemetry=config.telemetry_interval)
     cell = {
         "scenario": scenario,
         "scheduler": scheduler_name,
@@ -275,7 +290,7 @@ def _run_cell(args: Tuple) -> Tuple[str, Dict]:
         result = simulate_cluster(
             requests, [pool], "round-robin",
             admission=admission, autoscaler=autoscaler,
-            energy=accountant,
+            energy=accountant, obs=obs,
         )
         cell["num_shed"] = result.num_shed
         cell.update({key: float(result.metrics[key]) for key in COST_KEYS})
@@ -290,12 +305,15 @@ def _run_cell(args: Tuple) -> Tuple[str, Dict]:
             block_size=config.block_size,
             switch_cost=config.switch_cost,
             energy=accountant,
+            obs=obs,
         )
     cell["makespan"] = result.makespan
     cell["num_preemptions"] = result.num_preemptions
     cell.update({key: float(result.metrics[key]) for key in METRIC_KEYS})
     if accountant is not None:
         cell.update({key: float(result.metrics[key]) for key in ENERGY_KEYS})
+    if obs is not None:
+        cell["timeseries"] = obs.telemetry.to_table()
     return cell_key(scenario, scheduler_name, seed), cell
 
 
@@ -313,8 +331,10 @@ def _load_store(path: Path, workload_dict: Dict, force: bool) -> Dict:
         )
     if isinstance(store.get("workload"), dict):
         # Stores written before the energy columns existed resume as
-        # energy-free sweeps (the default), not as mismatches.
+        # energy-free sweeps (the default), not as mismatches; likewise
+        # pre-telemetry stores resume without time-series columns.
         store["workload"].setdefault("energy", False)
+        store["workload"].setdefault("telemetry_interval", None)
     if store.get("workload") != workload_dict:
         raise SchedulingError(
             f"{path} holds a sweep under different workload parameters "

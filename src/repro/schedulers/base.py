@@ -59,6 +59,12 @@ class Scheduler(abc.ABC):
     #: update; the engine then skips the call entirely on singleton queues.
     trivial_single: bool = False
 
+    #: Trace bus attached by the engine for the current run (``None`` when
+    #: tracing is off).  Policies that make observable control decisions
+    #: beyond plain selection (e.g. powercap deferrals) emit on it, always
+    #: behind an ``is not None`` check.
+    trace_bus = None
+
     def __init__(self, lut: ModelInfoLUT):
         self.lut = lut
         self._bound: "ReadyQueue" = None  # type: ignore[assignment]

@@ -29,9 +29,25 @@ scalar scoring arithmetic bit for bit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.errors import SchedulingError
+from repro.obs import Observability
+from repro.obs.bus import (
+    KIND_ARRIVE,
+    KIND_COMPLETE,
+    KIND_EXECUTE,
+    KIND_QUEUE,
+    KIND_SELECT,
+    KIND_VIOLATE,
+)
+from repro.obs.profile import (
+    PHASE_ARRIVALS,
+    PHASE_EXECUTE,
+    PHASE_QUEUE_UPDATE,
+    PHASE_SELECT,
+)
 from repro.sim.metrics import summarize
 from repro.sim.ready_queue import ReadyQueue
 from repro.sim.request import Request
@@ -129,6 +145,7 @@ def simulate(
     block_size: int = 1,
     use_batch: Optional[bool] = None,
     energy: Optional["EnergyAccountant"] = None,
+    obs: Optional[Observability] = None,
 ) -> SimResult:
     """Run the full request stream to completion under ``scheduler``.
 
@@ -153,15 +170,28 @@ def simulate(
             scheduler supports it; ``False`` forces the scalar reference
             path; ``True`` behaves like ``None`` (unconverted schedulers
             still fall back — the fast path is opt-in per policy).
+        obs: Optional :class:`~repro.obs.Observability` bundle.  Tracing,
+            telemetry and profiling are all passive — the schedule is
+            bit-identical with or without them — and a fully-disabled
+            bundle is normalized away, so the disabled path is literally
+            the ``obs=None`` path.
     """
     _validate(requests, switch_cost, block_size)
+    obs = Observability.active(obs)
     pending = sorted(requests, key=lambda r: (r.arrival, r.rid))
     scheduler.reset()
+    scheduler.trace_bus = obs.bus if obs is not None else None
+    prof = obs.profiler if obs is not None else None
+    t_begin = perf_counter() if prof is not None else 0.0
     if use_batch is not False and getattr(scheduler, "supports_batch", False):
-        result = _simulate_batch(pending, scheduler, switch_cost, block_size)
+        result = _simulate_batch(pending, scheduler, switch_cost, block_size, obs)
     else:
         scheduler.bind_queue(None)
-        result = _simulate_scalar(pending, scheduler, switch_cost, block_size)
+        result = _simulate_scalar(pending, scheduler, switch_cost, block_size, obs)
+    if prof is not None:
+        prof.wall_s += perf_counter() - t_begin
+    if obs is not None and obs.telemetry is not None:
+        obs.telemetry.finish(result.makespan)
     if energy is not None:
         # Extend the already-computed latency summary with the energy keys
         # only (no second summarize pass over the request list).
@@ -171,7 +201,7 @@ def simulate(
     return result
 
 
-def _simulate_scalar(pending, scheduler, switch_cost, block_size) -> SimResult:
+def _simulate_scalar(pending, scheduler, switch_cost, block_size, obs=None) -> SimResult:
     """Reference scalar path: list-backed queue, ``select`` per boundary."""
     queue: List[Request] = []
     completed: List[Request] = []
@@ -185,29 +215,59 @@ def _simulate_scalar(pending, scheduler, switch_cost, block_size) -> SimResult:
     resident_request = None  # whose weights currently sit in the accelerator
     resident_key = None  # which (model, pattern) weights are resident
 
+    tracer = obs.bus if obs is not None else None
+    telem = obs.telemetry if obs is not None else None
+    prof = obs.profiler if obs is not None else None
+    c_completed = c_violations = None
+    if telem is not None:
+        telem.registry.gauge("queue_depth", lambda: len(queue))
+        c_completed = telem.registry.counter("completed")
+        c_violations = telem.registry.counter("violations")
+
     while i < n or queue:
+        if telem is not None:
+            telem.poll(now)
+        if prof is not None:
+            t0 = perf_counter()
         while i < n and pending[i].arrival <= now + _EPS:
             queue.append(pending[i])
             scheduler.on_arrival(pending[i], now)
+            if tracer is not None:
+                tracer.emit(KIND_ARRIVE, pending[i].arrival, rid=pending[i].rid)
             i += 1
+        if prof is not None:
+            prof.add(PHASE_ARRIVALS, perf_counter() - t0)
         if not queue:
             # Accelerator idle: fast-forward to the next arrival.
             now = pending[i].arrival
             continue
 
+        if prof is not None:
+            t0 = perf_counter()
         chosen = scheduler.select(queue, now)
+        if prof is not None:
+            prof.add(PHASE_SELECT, perf_counter() - t0)
         invocations += 1
         max_queue = max(max_queue, len(queue))
         if chosen not in queue:
             raise SchedulingError(
                 f"scheduler {scheduler.name!r} selected a request outside the queue"
             )
+        if tracer is not None:
+            tracer.emit(KIND_SELECT, now, rid=chosen.rid,
+                        args={"depth": len(queue)})
         if last_running is not None and chosen is not last_running and not last_running.is_done:
             preemptions += 1
         last_running = chosen
 
         if chosen.first_dispatch_time is None:
             chosen.first_dispatch_time = now
+            if tracer is not None:
+                tracer.emit(KIND_QUEUE, chosen.arrival, now - chosen.arrival,
+                            rid=chosen.rid)
+        if prof is not None:
+            t0 = perf_counter()
+        exec_start = now
         if chosen is not resident_request:
             if switch_cost > 0.0:
                 now += switch_cost
@@ -216,18 +276,34 @@ def _simulate_scalar(pending, scheduler, switch_cost, block_size) -> SimResult:
                 chosen.num_weight_loads += 1
                 resident_key = chosen._key
         # Execute one scheduling block: up to `block_size` consecutive layers.
-        for _ in range(min(block_size, chosen.num_layers - chosen.next_layer)):
+        layers = min(block_size, chosen.num_layers - chosen.next_layer)
+        for _ in range(layers):
             dt = chosen.layer_latencies[chosen.next_layer]
             now += dt
             chosen.next_layer += 1
             chosen.executed_time += dt
         chosen.last_run_end = now
+        if prof is not None:
+            prof.add(PHASE_EXECUTE, perf_counter() - t0)
+        if tracer is not None:
+            tracer.emit(KIND_EXECUTE, exec_start, now - exec_start, npu=0,
+                        rid=chosen.rid,
+                        args={"layers": layers, "key": chosen._key})
         scheduler.on_layer_complete(chosen, now)
         if chosen.is_done:
             chosen.finish_time = now
             queue.remove(chosen)
             completed.append(chosen)
             scheduler.on_complete(chosen, now)
+            if tracer is not None:
+                tracer.emit(
+                    KIND_VIOLATE if chosen.violated else KIND_COMPLETE,
+                    now, rid=chosen.rid,
+                )
+            if c_completed is not None:
+                c_completed.inc()
+                if chosen.violated:
+                    c_violations.inc()
 
     return SimResult(
         requests=completed,
@@ -238,7 +314,7 @@ def _simulate_scalar(pending, scheduler, switch_cost, block_size) -> SimResult:
     )
 
 
-def _simulate_batch(pending, scheduler, switch_cost, block_size) -> SimResult:
+def _simulate_batch(pending, scheduler, switch_cost, block_size, obs=None) -> SimResult:
     """Vectorized path: array-backed queue, batch scoring, singleton drain."""
     queue = ReadyQueue(scheduler.lut, columns=scheduler.batch_columns)
     scheduler.bind_queue(queue)
@@ -259,6 +335,15 @@ def _simulate_batch(pending, scheduler, switch_cost, block_size) -> SimResult:
     resident_request = None
     resident_key = None
 
+    tracer = obs.bus if obs is not None else None
+    telem = obs.telemetry if obs is not None else None
+    prof = obs.profiler if obs is not None else None
+    c_completed = c_violations = None
+    if telem is not None:
+        telem.registry.gauge("queue_depth", lambda: queue._n)
+        c_completed = telem.registry.counter("completed")
+        c_violations = telem.registry.counter("violations")
+
     # Local bindings for the hot loop.
     on_arrival = scheduler.on_arrival
     on_layer_complete = scheduler.on_layer_complete
@@ -270,16 +355,26 @@ def _simulate_batch(pending, scheduler, switch_cost, block_size) -> SimResult:
     q_update = queue.update_progress
 
     while i < n or queue._n:
+        if telem is not None:
+            telem.poll(now)
+        if prof is not None:
+            t0 = perf_counter()
         while i < n and arrivals[i] <= now + _EPS:
             req = pending[i]
             q_add(req)
             on_arrival(req, now)
+            if tracer is not None:
+                tracer.emit(KIND_ARRIVE, req.arrival, rid=req.rid)
             i += 1
+        if prof is not None:
+            prof.add(PHASE_ARRIVALS, perf_counter() - t0)
         nq = queue._n
         if not nq:
             now = arrivals[i]
             continue
 
+        if prof is not None:
+            t0 = perf_counter()
         if queue._missing:
             # A request without a LUT entry: estimate-based policies must
             # raise their usual error, so take the scalar path (which also
@@ -295,6 +390,10 @@ def _simulate_batch(pending, scheduler, switch_cost, block_size) -> SimResult:
         else:
             chosen = select_batch(queue, now)
             batch_selects += 1
+        if prof is not None:
+            prof.add(PHASE_SELECT, perf_counter() - t0)
+        if tracer is not None:
+            tracer.emit(KIND_SELECT, now, rid=chosen.rid, args={"depth": nq})
         invocations += 1
         if nq > max_queue:
             max_queue = nq
@@ -308,6 +407,12 @@ def _simulate_batch(pending, scheduler, switch_cost, block_size) -> SimResult:
 
         if chosen.first_dispatch_time is None:
             chosen.first_dispatch_time = now
+            if tracer is not None:
+                tracer.emit(KIND_QUEUE, chosen.arrival, now - chosen.arrival,
+                            rid=chosen.rid)
+        if prof is not None:
+            t0 = perf_counter()
+        exec_start = now
         if chosen is not resident_request:
             if has_switch_cost:
                 now += switch_cost
@@ -319,6 +424,7 @@ def _simulate_batch(pending, scheduler, switch_cost, block_size) -> SimResult:
         lats = chosen.layer_latencies
         num_layers = chosen._num_layers
         nl = chosen.next_layer
+        nl_start = nl
         et = chosen.executed_time
         if block_size == 1:
             dt = lats[nl]
@@ -358,15 +464,35 @@ def _simulate_batch(pending, scheduler, switch_cost, block_size) -> SimResult:
         chosen.next_layer = nl
         chosen.executed_time = et
         chosen.last_run_end = now
+        if prof is not None:
+            prof.add(PHASE_EXECUTE, perf_counter() - t0)
+            t0 = perf_counter()
+        if tracer is not None:
+            # One span per contiguous run on the accelerator (drained
+            # blocks included), not per layer — same lanes, fewer events.
+            tracer.emit(KIND_EXECUTE, exec_start, now - exec_start, npu=0,
+                        rid=chosen.rid,
+                        args={"layers": nl - nl_start, "key": chosen._key})
         if nl >= num_layers:
             chosen.finish_time = now
             queue.remove(chosen)
             completed.append(chosen)
             on_layer_complete(chosen, now)
             on_complete(chosen, now)
+            if tracer is not None:
+                tracer.emit(
+                    KIND_VIOLATE if chosen.violated else KIND_COMPLETE,
+                    now, rid=chosen.rid,
+                )
+            if c_completed is not None:
+                c_completed.inc()
+                if chosen.violated:
+                    c_violations.inc()
         else:
             q_update(chosen)
             on_layer_complete(chosen, now)
+        if prof is not None:
+            prof.add(PHASE_QUEUE_UPDATE, perf_counter() - t0)
 
     return SimResult(
         requests=completed,

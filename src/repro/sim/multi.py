@@ -26,9 +26,25 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.errors import SchedulingError
+from repro.obs import Observability
+from repro.obs.bus import (
+    KIND_ARRIVE,
+    KIND_COMPLETE,
+    KIND_EXECUTE,
+    KIND_QUEUE,
+    KIND_SELECT,
+    KIND_VIOLATE,
+)
+from repro.obs.profile import (
+    PHASE_ARRIVALS,
+    PHASE_EVENT_HEAP,
+    PHASE_QUEUE_UPDATE,
+    PHASE_SELECT,
+)
 from repro.sim.engine import SimResult
 from repro.sim.ready_queue import ReadyQueue
 from repro.sim.request import Request
@@ -49,6 +65,7 @@ def simulate_multi(
     block_size: int = 1,
     use_batch: Optional[bool] = None,
     energy: Optional["EnergyAccountant"] = None,
+    obs: Optional[Observability] = None,
 ) -> SimResult:
     """Run the request stream on a pool of identical accelerators.
 
@@ -69,6 +86,9 @@ def simulate_multi(
         energy: Optional energy accountant; adds ``energy_per_request`` /
             ``total_joules`` / ``edp`` to the result metrics (passive —
             the schedule is unchanged).
+        obs: Optional :class:`~repro.obs.Observability` bundle; execute
+            spans carry the accelerator id, so the Chrome-trace export
+            shows one lane per NPU.  Passive, like ``energy``.
     """
     if not requests:
         raise SchedulingError("cannot simulate an empty workload")
@@ -84,6 +104,12 @@ def simulate_multi(
 
     pending = sorted(requests, key=lambda r: (r.arrival, r.rid))
     scheduler.reset()
+    obs = Observability.active(obs)
+    tracer = obs.bus if obs is not None else None
+    telem = obs.telemetry if obs is not None else None
+    prof = obs.profiler if obs is not None else None
+    scheduler.trace_bus = tracer
+    t_begin = perf_counter() if prof is not None else 0.0
     batch_on = use_batch is not False and getattr(scheduler, "supports_batch", False)
     if batch_on:
         queue = ReadyQueue(scheduler.lut, columns=scheduler.batch_columns)
@@ -110,12 +136,27 @@ def simulate_multi(
     resident: List[Optional[Request]] = [None] * num_accelerators
     resident_key: List[Optional[str]] = [None] * num_accelerators
 
+    c_completed = c_violations = None
+    if telem is not None:
+        telem.registry.gauge("queue_depth", lambda: len(queue))
+        telem.registry.gauge(
+            "busy_npus", lambda: num_accelerators - len(idle)
+        )
+        c_completed = telem.registry.counter("completed")
+        c_violations = telem.registry.counter("violations")
+
     def admit(now: float) -> None:
         nonlocal i
+        if prof is not None:
+            t0 = perf_counter()
         while i < n and pending[i].arrival <= now + _EPS:
             queue.append(pending[i])
             scheduler.on_arrival(pending[i], now)
+            if tracer is not None:
+                tracer.emit(KIND_ARRIVE, pending[i].arrival, rid=pending[i].rid)
             i += 1
+        if prof is not None:
+            prof.add(PHASE_ARRIVALS, perf_counter() - t0)
 
     def dispatch(now: float) -> None:
         """Hand queued requests to idle accelerators (lowest NPU id first)."""
@@ -123,6 +164,8 @@ def simulate_multi(
         while idle and queue:
             npu = heapq.heappop(idle)
             nq = len(queue)
+            if prof is not None:
+                t0 = perf_counter()
             if not batch_on or queue.missing_entries:
                 chosen = scheduler.select(queue, now)
             elif nq == 1:
@@ -131,18 +174,26 @@ def simulate_multi(
             else:
                 chosen = scheduler.select_batch(queue, now)
                 batch_selects += 1
+            if prof is not None:
+                prof.add(PHASE_SELECT, perf_counter() - t0)
             invocations += 1
             max_queue = max(max_queue, nq)
             if chosen not in queue:
                 raise SchedulingError(
                     f"scheduler {scheduler.name!r} selected a request outside the queue"
                 )
+            if tracer is not None:
+                tracer.emit(KIND_SELECT, now, npu=npu, rid=chosen.rid,
+                            args={"depth": nq})
             previous = last_on_npu[npu]
             if previous is not None and chosen is not previous and not previous.is_done:
                 preemptions += 1
             last_on_npu[npu] = chosen
             if chosen.first_dispatch_time is None:
                 chosen.first_dispatch_time = now
+                if tracer is not None:
+                    tracer.emit(KIND_QUEUE, chosen.arrival,
+                                now - chosen.arrival, rid=chosen.rid)
             start = now
             if chosen is not resident[npu]:
                 if switch_cost > 0.0:
@@ -163,6 +214,11 @@ def simulate_multi(
                 dt = sum(
                     chosen.layer_latencies[nl + k] for k in range(layers)
                 )
+            if tracer is not None:
+                # Span from decision to block end: switch cost included.
+                tracer.emit(KIND_EXECUTE, now, (start + dt) - now, npu=npu,
+                            rid=chosen.rid,
+                            args={"layers": layers, "key": chosen._key})
             heapq.heappush(events, (start + dt, next(counter), npu, chosen, layers, dt))
 
     next_wake: Optional[float] = None
@@ -174,12 +230,20 @@ def simulate_multi(
             next_wake = pending[i].arrival
             heapq.heappush(events, (next_wake, next(counter), -1, None, 0, 0.0))
 
+    if telem is not None:
+        telem.poll(0.0)
     admit(0.0)
     dispatch(0.0)
     arm_wake()
 
     while events:
+        if prof is not None:
+            t0 = perf_counter()
         now, _, npu, req, layers, dt = heapq.heappop(events)
+        if prof is not None:
+            prof.add(PHASE_EVENT_HEAP, perf_counter() - t0)
+        if telem is not None:
+            telem.poll(now)
         if req is None:
             # Wake-up for idle accelerators at an arrival instant.
             next_wake = None
@@ -187,6 +251,8 @@ def simulate_multi(
             dispatch(now)
             arm_wake()
             continue
+        if prof is not None:
+            t0 = perf_counter()
         req.next_layer += layers
         req.executed_time += dt
         req.last_run_end = now
@@ -197,11 +263,22 @@ def simulate_multi(
             req.finish_time = now
             completed.append(req)
             scheduler.on_complete(req, now)
+            if tracer is not None:
+                tracer.emit(
+                    KIND_VIOLATE if req.violated else KIND_COMPLETE,
+                    now, npu=npu, rid=req.rid,
+                )
+            if c_completed is not None:
+                c_completed.inc()
+                if req.violated:
+                    c_violations.inc()
         else:
             # Re-admit before the monitor callback so batch schedulers can
             # refresh the request's row (aux state was stashed at dispatch).
             queue.append(req)
             scheduler.on_layer_complete(req, now)
+        if prof is not None:
+            prof.add(PHASE_QUEUE_UPDATE, perf_counter() - t0)
         heapq.heappush(idle, npu)
         admit(now)
         dispatch(now)
@@ -211,6 +288,10 @@ def simulate_multi(
         raise SchedulingError(
             f"simulation ended with {n - len(completed)} unfinished requests"
         )
+    if prof is not None:
+        prof.wall_s += perf_counter() - t_begin
+    if telem is not None:
+        telem.finish(now)
     result = SimResult(
         requests=completed,
         makespan=now,
