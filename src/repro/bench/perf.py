@@ -16,7 +16,7 @@ import platform
 import resource
 import sys
 import time
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -267,6 +267,93 @@ def profile_engine_phases(
     return out
 
 
+def load_baseline(path: str) -> Optional[Dict]:
+    """Load the most recent perf entry committed at ``path``.
+
+    Understands both snapshot formats: schema 1 (one flat report per file)
+    and schema 2 (``{"schema": 2, "entries": [...]}`` — the append-only
+    trajectory, newest entry last).  Returns ``None`` when the file is
+    missing or unreadable.
+    """
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if payload.get("schema") == 2:
+        entries = payload.get("entries") or []
+        return entries[-1] if entries else None
+    return payload
+
+
+def compare_reports(current: Dict, baseline: Dict,
+                    threshold: float = 0.20) -> Tuple[List[str], List[str]]:
+    """Per-benchmark deltas of ``current`` vs ``baseline``.
+
+    Only host-portable figures are gated: the vectorized-vs-scalar speedup
+    ratios (engine suite + deep queue) always, and the cluster replay's
+    ``requests_per_s`` only when both reports carry it (a CI runner never
+    compares its cluster throughput against the committed baseline host's).
+    Returns ``(lines, regressions)`` where ``lines`` is the full printable
+    delta table and ``regressions`` the subset worse than ``threshold``.
+    """
+    lines: List[str] = []
+    regressions: List[str] = []
+
+    def check(label: str, cur: float, base: float) -> None:
+        if base <= 0:
+            return
+        delta = cur / base - 1.0
+        line = f"{label:<28} {base:9.2f} -> {cur:9.2f}  ({delta:+7.1%})"
+        lines.append(line)
+        if delta < -threshold:
+            regressions.append(line)
+
+    cur_eng = current.get("engine_200req_rate30", {})
+    base_eng = baseline.get("engine_200req_rate30", {})
+    for sched in sorted(set(cur_eng) & set(base_eng)):
+        check(f"engine/{sched} speedup",
+              cur_eng[sched]["speedup"], base_eng[sched]["speedup"])
+    cur_deep = current.get("deep_queue_400req_rate120")
+    base_deep = baseline.get("deep_queue_400req_rate120")
+    if cur_deep and base_deep:
+        check("deep_queue speedup", cur_deep["speedup"], base_deep["speedup"])
+    cur_cluster = current.get("cluster_stream", {})
+    base_cluster = baseline.get("cluster_stream", {})
+    for router in sorted(set(cur_cluster) & set(base_cluster)):
+        check(f"cluster/{router} req/s",
+              cur_cluster[router]["requests_per_s"],
+              base_cluster[router]["requests_per_s"])
+    return lines, regressions
+
+
+def _append_entry(out_path: str, entry: Dict) -> None:
+    """Append ``entry`` to the schema-2 trajectory at ``out_path``.
+
+    An existing schema-1 snapshot is upgraded in place: it becomes entry #1
+    of the trajectory so the perf history is preserved across the format
+    change.
+    """
+    entries: List[Dict] = []
+    try:
+        with open(out_path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        payload = None
+    if payload is not None:
+        if payload.get("schema") == 2:
+            entries = list(payload.get("entries") or [])
+        else:
+            prior = dict(payload)
+            prior.pop("schema", None)
+            entries = [prior]
+    entries.append(entry)
+    with open(out_path, "w") as fh:
+        json.dump({"schema": 2, "entries": entries}, fh,
+                  indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 def run_perf_suite(
     *,
     cluster_requests: int = 100_000,
@@ -278,12 +365,16 @@ def run_perf_suite(
 ) -> Dict:
     """Run every perf bench and optionally write the JSON snapshot.
 
+    Returns the new measurement entry.  With ``out_path``, the entry is
+    *appended* to the schema-2 trajectory file (creating it, or upgrading a
+    schema-1 snapshot into entry #1), so the committed history records every
+    optimisation PR's numbers side by side.
+
     Args:
         profile: Additionally run self-profiled passes per engine tier and
             record the per-phase wall-clock breakdown under ``profile``.
     """
-    report: Dict = {
-        "schema": 1,
+    entry: Dict = {
         "host": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -296,13 +387,11 @@ def run_perf_suite(
         "deep_queue_400req_rate120": time_deep_queue(progress=progress),
     }
     if include_cluster:
-        report["cluster_stream"] = time_cluster_stream(
+        entry["cluster_stream"] = time_cluster_stream(
             n_requests=cluster_requests, progress=progress
         )
     if profile:
-        report["profile"] = profile_engine_phases(progress=progress)
+        entry["profile"] = profile_engine_phases(progress=progress)
     if out_path:
-        with open(out_path, "w") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-    return report
+        _append_entry(out_path, entry)
+    return entry

@@ -651,14 +651,22 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_perf(args: argparse.Namespace) -> int:
     """Run the simulator perf benches and write the BENCH_perf.json baseline."""
-    from repro.bench.perf import run_perf_suite
+    from repro.bench.perf import compare_reports, load_baseline, run_perf_suite
+
+    baseline = load_baseline(args.out) if args.compare else None
+    if args.compare and baseline is None:
+        print(f"error: --compare needs a committed baseline at {args.out}",
+              file=sys.stderr)
+        return 1
 
     report = run_perf_suite(
         cluster_requests=args.cluster_requests,
         rounds=args.rounds,
         include_cluster=not args.skip_cluster,
         profile=args.profile,
-        out_path=args.out,
+        # --compare is a gate, not a measurement run: don't grow the
+        # committed trajectory with CI smoke numbers.
+        out_path=None if args.compare else args.out,
         progress=print,
     )
     dysta = report["engine_200req_rate30"]["dysta"]
@@ -675,7 +683,18 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                 print(f"  {phase:<14} {1e3 * row['seconds']:9.2f} ms  "
                       f"{100 * row['fraction']:5.1f}%  "
                       f"({row['calls']:,} calls)")
-    if args.out:
+    if args.compare:
+        lines, regressions = compare_reports(report, baseline)
+        print()
+        print(f"deltas vs committed baseline ({args.out}):")
+        for line in lines:
+            print(f"  {line}")
+        if regressions:
+            print(f"PERF REGRESSION: {len(regressions)} benchmark(s) "
+                  f">20% worse than baseline", file=sys.stderr)
+            return 1
+        print("perf check passed: no benchmark regressed >20%")
+    elif args.out:
         print(f"wrote {args.out}")
     return 0
 
@@ -954,6 +973,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--profile", action="store_true",
                         help="also run self-profiled passes and record the "
                              "per-phase wall-clock breakdown")
+    p_perf.add_argument("--compare", action="store_true",
+                        help="compare against the committed baseline at "
+                             "--out instead of writing; exit nonzero when a "
+                             "benchmark regressed >20%%")
     p_perf.set_defaults(func=_cmd_perf)
 
     p_rmse = sub.add_parser("predictor-rmse",

@@ -32,7 +32,12 @@ from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequ
 from repro.errors import SchedulingError
 from repro.obs import Observability
 from repro.obs.bus import KIND_ARRIVE, KIND_ROUTE, KIND_SCALE, KIND_SHED
-from repro.obs.profile import PHASE_ARRIVALS, PHASE_EVENT_HEAP, PHASE_ROUTE
+from repro.obs.profile import (
+    PHASE_ARRIVALS,
+    PHASE_EVENT_HEAP,
+    PHASE_METRICS,
+    PHASE_ROUTE,
+)
 from repro.sim.metrics import summarize
 from repro.sim.request import Request
 
@@ -267,6 +272,7 @@ def simulate_cluster(
         pool.bind_energy(energy)
         pool.bind_obs(tracer, prof)
     router.reset(pools)
+    track_work = router.tracks_work
     if autoscaler is not None:
         autoscaler.reset(pools)
 
@@ -324,9 +330,15 @@ def simulate_cluster(
     def push_control(time: float, kind: int, pool: Optional[Pool] = None) -> None:
         heapq.heappush(events, (time, next(counter), kind, pool, -1, None, 0, 0.0))
 
+    # Run-level phase accumulators (flushed into the profiler once at the
+    # end of the run: per-event ``PhaseProfiler.add`` calls would cost more
+    # than the engine scaffolding they measure).
+    p_route_s = p_arrive_s = p_heap_s = p_metrics_s = 0.0
+    p_route_c = p_arrive_c = p_heap_c = p_metrics_c = 0
+
     def admit_arrivals(now: float) -> None:
         """Route (and possibly shed) every request that has arrived by now."""
-        nonlocal next_req
+        nonlocal next_req, p_route_s, p_route_c, p_arrive_s, p_arrive_c
         route_s = 0.0
         if prof is not None:
             t_adm = perf_counter()
@@ -338,9 +350,8 @@ def simulate_cluster(
                 t0 = perf_counter()
             pool = router.route(req, pools, now)
             if prof is not None:
-                dt_route = perf_counter() - t0
-                prof.add(PHASE_ROUTE, dt_route)
-                route_s += dt_route
+                route_s += perf_counter() - t0
+                p_route_c += 1
             if pool not in pools:
                 raise SchedulingError(
                     f"router {router.name!r} returned a pool outside the cluster"
@@ -363,14 +374,22 @@ def simulate_cluster(
                     shed.append(req)
             else:
                 pool.enqueue(req, now)
+                if track_work:
+                    router.note_enqueue(pool, req)
         if prof is not None:
             # Routing is attributed separately; the remainder is admission
             # bookkeeping.
-            prof.add(PHASE_ARRIVALS, (perf_counter() - t_adm) - route_s)
+            p_route_s += route_s
+            p_arrive_s += (perf_counter() - t_adm) - route_s
+            p_arrive_c += 1
 
     def dispatch_all(now: float) -> None:
         for pool in pools:
-            pool.dispatch(now, push_event)
+            # Guard inline: on a saturated cluster most pools have no idle
+            # accelerator at most events, and the no-op call overhead (x
+            # pools x events) is measurable.
+            if pool.idle and pool.queue:
+                pool.dispatch(now, push_event)
 
     def work_remains() -> bool:
         return next_req is not None or any(
@@ -415,19 +434,31 @@ def simulate_cluster(
     if autoscaler is not None:
         push_control(autoscaler.interval, _TICK)
 
+    # The loop's brackets are chained: each closing ``perf_counter`` read
+    # doubles as the next segment's opening stamp, so profiler bookkeeping
+    # between brackets stays attributed instead of leaking into the
+    # coverage gap.
+    t_heap = perf_counter() if prof is not None else 0.0
+    t_seg = 0.0
     while events:
-        if prof is not None:
-            t_heap = perf_counter()
         time, _, kind, pool, npu, req, layers, dt = heapq.heappop(events)
-        if prof is not None:
-            prof.add(PHASE_EVENT_HEAP, perf_counter() - t_heap)
         if kind in (_TICK, _WARM) and not work_remains():
             # The stream is exhausted and every request served: discard
             # trailing control events instead of stretching the makespan.
+            if prof is not None:
+                t_seg = perf_counter()
+                p_heap_s += t_seg - t_heap
+                p_heap_c += 1
+                t_heap = t_seg
             continue
         now = time
         if telem is not None:
             telem.poll(now)
+        if prof is not None:
+            # Pop, unpack and the event-kind dispatch scaffolding.
+            t_seg = perf_counter()
+            p_heap_s += t_seg - t_heap
+            p_heap_c += 1
         if kind == _WAKE:
             next_wake = None
         elif kind == _WARM:
@@ -435,26 +466,55 @@ def simulate_cluster(
         elif kind == _TICK:
             admit_arrivals(now)  # measure the queues the tick acts on
             run_autoscaler(now)
-        elif pool.complete_block(now, npu, req, layers, dt):
-            # Per-request joules fold into the streaming aggregates only on
-            # the bounded-memory path; with retained requests the batch
-            # summary computes them once at the end instead.
-            metrics.observe(
-                req,
-                energy_joules=(
-                    energy.request_energy(req)
-                    if energy is not None and not retain_requests else None
-                ),
-            )
-            if c_completed is not None:
-                c_completed.inc()
-                if req.violated:
-                    c_violations.inc()
-            if retain_requests:
-                completed.append(req)
-        admit_arrivals(now)
+        else:
+            done = pool.complete_block(now, npu, req, layers, dt,
+                                       t_entry=t_seg if prof is not None else None)
+            if track_work:
+                if prof is not None:
+                    t_rt = perf_counter()
+                if done:
+                    router.note_complete(pool, req)
+                else:
+                    router.note_progress(pool, req)
+                if prof is not None:
+                    p_route_s += perf_counter() - t_rt
+                    p_route_c += 1
+            if done:
+                if prof is not None:
+                    t_met = perf_counter()
+                # Per-request joules fold into the streaming aggregates only
+                # on the bounded-memory path; with retained requests the
+                # batch summary computes them once at the end instead.
+                metrics.observe(
+                    req,
+                    energy_joules=(
+                        energy.request_energy(req)
+                        if energy is not None and not retain_requests else None
+                    ),
+                )
+                if c_completed is not None:
+                    c_completed.inc()
+                    if req.violated:
+                        c_violations.inc()
+                if retain_requests:
+                    completed.append(req)
+                if prof is not None:
+                    p_metrics_s += perf_counter() - t_met
+                    p_metrics_c += 1
+        # Same inline guard as dispatch_all: most events have no pending
+        # arrival, and the no-op admit pass is pure call overhead.
+        if next_req is not None and next_req.arrival <= now + _EPS:
+            admit_arrivals(now)
         dispatch_all(now)
-        arm_wake()
+        if prof is not None:
+            t_aw = perf_counter()
+            arm_wake()
+            # The closing read opens the next iteration's heap segment.
+            t_heap = perf_counter()
+            p_heap_s += t_heap - t_aw
+            p_heap_c += 1
+        else:
+            arm_wake()
 
     if next_req is not None or any(pool.queue or pool.running for pool in pools):
         raise SchedulingError("simulation ended with unserved requests in the cluster")
@@ -463,6 +523,16 @@ def simulate_cluster(
     for pool in pools:
         pool.finalize_cost(makespan)
     if prof is not None:
+        if p_route_c:
+            prof.add(PHASE_ROUTE, p_route_s, p_route_c)
+        if p_arrive_c:
+            prof.add(PHASE_ARRIVALS, p_arrive_s, p_arrive_c)
+        if p_heap_c:
+            prof.add(PHASE_EVENT_HEAP, p_heap_s, p_heap_c)
+        if p_metrics_c:
+            prof.add(PHASE_METRICS, p_metrics_s, p_metrics_c)
+        for pool in pools:
+            pool.flush_profile()
         prof.wall_s += perf_counter() - t_begin
     if telem is not None:
         telem.finish(makespan)

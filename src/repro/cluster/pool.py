@@ -58,7 +58,13 @@ from repro.obs.bus import (
     KIND_SELECT,
     KIND_VIOLATE,
 )
-from repro.obs.profile import PHASE_QUEUE_UPDATE, PHASE_SELECT
+from repro.obs.profile import (
+    PHASE_DISPATCH,
+    PHASE_EVENT_HEAP,
+    PHASE_EXECUTE,
+    PHASE_QUEUE_UPDATE,
+    PHASE_SELECT,
+)
 from repro.sim.ready_queue import ReadyQueue
 from repro.sim.request import Request
 
@@ -195,6 +201,33 @@ class Pool:
         self._tracer = tracer
         self._prof = prof
         self.scheduler.trace_bus = tracer
+        # Per-phase accumulators flushed once per run (flush_profile):
+        # folding per-decision deltas into ``PhaseProfiler.add`` from the hot
+        # loops would cost more than the phases being measured.
+        self._p_select_s = self._p_dispatch_s = self._p_heap_s = 0.0
+        self._p_execute_s = self._p_queue_s = 0.0
+        self._p_select_c = self._p_dispatch_c = self._p_heap_c = 0
+        self._p_execute_c = self._p_queue_c = 0
+
+    def flush_profile(self) -> None:
+        """Fold the accumulated phase deltas into the bound profiler."""
+        prof = self._prof
+        if prof is None:
+            return
+        if self._p_select_c:
+            prof.add(PHASE_SELECT, self._p_select_s, self._p_select_c)
+        if self._p_dispatch_c:
+            prof.add(PHASE_DISPATCH, self._p_dispatch_s, self._p_dispatch_c)
+        if self._p_heap_c:
+            prof.add(PHASE_EVENT_HEAP, self._p_heap_s, self._p_heap_c)
+        if self._p_execute_c:
+            prof.add(PHASE_EXECUTE, self._p_execute_s, self._p_execute_c)
+        if self._p_queue_c:
+            prof.add(PHASE_QUEUE_UPDATE, self._p_queue_s, self._p_queue_c)
+        self._p_select_s = self._p_dispatch_s = self._p_heap_s = 0.0
+        self._p_execute_s = self._p_queue_s = 0.0
+        self._p_select_c = self._p_dispatch_c = self._p_heap_c = 0
+        self._p_execute_c = self._p_queue_c = 0
 
     # -- elastic capacity (driven by the autoscaler) -------------------------
 
@@ -339,16 +372,24 @@ class Pool:
         ``push_event(end_time, pool, npu, request, n_layers, dt)`` schedules
         the block-completion event on the cluster-wide event heap.
         """
+        # Chained timestamps (each stamp closes one segment and opens the
+        # next) attribute the whole call gap-free: placement bookkeeping and
+        # entry/loop-check overhead land in ``dispatch``, scoring in
+        # ``select``, the completion-event push in ``event_heap``.
+        prof = self._prof
+        if prof is not None:
+            t_seg = perf_counter()
+            sel_s = disp_s = heap_s = 0.0
+            iters = 0
         scheduler = self.scheduler
         queue = self.queue
         batch_on = self._batch
         tracer = self._tracer
-        prof = self._prof
         while self.idle and queue:
             npu = heapq.heappop(self.idle)
             nq = len(queue)
             if prof is not None:
-                t0 = perf_counter()
+                t1 = perf_counter()
             if not batch_on or queue.missing_entries:
                 chosen = scheduler.select(queue, now)
             elif nq == 1:
@@ -358,7 +399,8 @@ class Pool:
                 chosen = scheduler.select_batch(queue, now)
                 self.batch_selects += 1
             if prof is not None:
-                prof.add(PHASE_SELECT, perf_counter() - t0)
+                t2 = perf_counter()
+                sel_s += t2 - t1
             self.invocations += 1
             if nq > self.max_queue_length:
                 self.max_queue_length = nq
@@ -411,15 +453,37 @@ class Pool:
                 tracer.emit(KIND_EXECUTE, now, (start + dt) - now,
                             pool=self.name, npu=npu, rid=chosen.rid,
                             args={"layers": layers, "key": chosen._key})
+            if prof is not None:
+                t3 = perf_counter()
+                disp_s += (t1 - t_seg) + (t3 - t2)
             push_event(start + dt, self, npu, chosen, layers, dt)
+            if prof is not None:
+                t_seg = perf_counter()
+                heap_s += t_seg - t3
+                iters += 1
+        if prof is not None:
+            self._p_dispatch_s += disp_s + (perf_counter() - t_seg)
+            self._p_dispatch_c += 1
+            if iters:
+                self._p_select_s += sel_s
+                self._p_select_c += iters
+                self._p_heap_s += heap_s
+                self._p_heap_c += iters
 
     def complete_block(self, now: float, npu: int, request: Request,
-                       layers: int, dt: float) -> bool:
+                       layers: int, dt: float,
+                       t_entry: Optional[float] = None) -> bool:
         """Fold one finished layer block back into the pool.
 
         Returns True when the request finished all its layers (the caller
         owns completion accounting); otherwise the request rejoins the queue.
+        ``t_entry`` lets a profiling caller hand over its last clock read so
+        the call transition is attributed instead of falling between
+        brackets.
         """
+        prof = self._prof
+        if prof is not None:
+            t_ex = t_entry if t_entry is not None else perf_counter()
         del self.running[npu]
         if npu in self._draining:
             # Drain-before-remove: the block finished, the request lives on
@@ -439,9 +503,10 @@ class Pool:
         request.next_layer += layers
         request.executed_time += dt
         request.last_run_end = now
-        prof = self._prof
         if prof is not None:
             t0 = perf_counter()
+            self._p_execute_s += t0 - t_ex
+            self._p_execute_c += 1
         if request.is_done:
             if self._batch:
                 self.queue.forget(request.rid)
@@ -450,7 +515,8 @@ class Pool:
             self.completed += 1
             self.scheduler.on_complete(request, now)
             if prof is not None:
-                prof.add(PHASE_QUEUE_UPDATE, perf_counter() - t0)
+                self._p_queue_s += perf_counter() - t0
+                self._p_queue_c += 1
             if self._tracer is not None:
                 self._tracer.emit(
                     KIND_VIOLATE if request.violated else KIND_COMPLETE,
@@ -462,7 +528,8 @@ class Pool:
         self.queue.append(request)
         self.scheduler.on_layer_complete(request, now)
         if prof is not None:
-            prof.add(PHASE_QUEUE_UPDATE, perf_counter() - t0)
+            self._p_queue_s += perf_counter() - t0
+            self._p_queue_c += 1
         return False
 
 

@@ -81,8 +81,25 @@ class Router(abc.ABC):
     #: Registry / display name; subclasses override via ``@register_router``.
     name: str = "base"
 
+    #: Routers that maintain incremental per-pool work estimates set this
+    #: True; the cluster engine then calls the ``note_*`` observer hooks on
+    #: every pool-membership / progress transition.  Stateless routers keep
+    #: the default and pay zero hook overhead (the engine skips the calls).
+    tracks_work: bool = False
+
     def reset(self, pools: Sequence[Pool]) -> None:
         """Clear per-run state; called by the cluster engine before a run."""
+
+    # -- engine observer hooks (called only when ``tracks_work``) ------------
+
+    def note_enqueue(self, pool: Pool, request: Request) -> None:
+        """``request`` was admitted into ``pool``'s ready queue."""
+
+    def note_progress(self, pool: Pool, request: Request) -> None:
+        """``request`` finished a layer block in ``pool`` but is not done."""
+
+    def note_complete(self, pool: Pool, request: Request) -> None:
+        """``request`` finished its last layer and left ``pool``."""
 
     @abc.abstractmethod
     def route(self, request: Request, pools: Sequence[Pool], now: float) -> Pool:
@@ -159,7 +176,22 @@ class PredictiveRouter(Router):
     plus the incoming request's predicted service time there.  Requests whose
     (model, pattern) is missing from the LUT fall back to a neutral estimate
     of zero — the router then degrades toward least-loaded behaviour.
+
+    A request's remaining-latency estimate changes only when a layer block
+    completes, so the per-pool outstanding-work sums are maintained
+    *incrementally* through the engine observer hooks (``tracks_work``):
+    enqueue adds a request's contribution, each block completion replaces
+    it, and request completion retires it.  ``route`` is then O(pools)
+    instead of O(total pending requests) — the arrival-rate term that
+    dominated streaming-replay cost.  The incremental sums equal the fresh
+    per-arrival sums up to float addition order.
+
+    The incoming request's own service estimate is memoized by its
+    (model, pattern) key: on arrival ``next_layer == 0``, so the estimate
+    is ``alpha * remaining_suffix_t[0]`` — a pure function of the key.
     """
+
+    tracks_work = True
 
     def __init__(
         self,
@@ -170,9 +202,40 @@ class PredictiveRouter(Router):
         n: int = 3,
     ):
         self.predictor = SparseLatencyPredictor(lut, strategy, alpha=alpha, n=n)
+        self.reset(())
+
+    def reset(self, pools: Sequence[Pool]) -> None:
+        #: id(pool) -> incrementally maintained outstanding-work sum.
+        self._work: Dict[int, float] = {id(p): 0.0 for p in pools}
+        #: rid -> its current contribution to the owning pool's work sum.
+        self._contrib: Dict[int, float] = {}
+        #: (model, pattern) key -> memoized arrival-time service estimate.
+        self._svc0: Dict[str, float] = {}
+
+    def _contribution(self, pool: Pool, request: Request) -> float:
+        return predicted_remaining(self.predictor, request) / pool.service_speed(request)
+
+    def note_enqueue(self, pool: Pool, request: Request) -> None:
+        c = self._contribution(pool, request)
+        self._contrib[request.rid] = c
+        self._work[id(pool)] = self._work.get(id(pool), 0.0) + c
+
+    def note_progress(self, pool: Pool, request: Request) -> None:
+        c = self._contribution(pool, request)
+        pid = id(pool)
+        self._work[pid] = self._work.get(pid, 0.0) - self._contrib[request.rid] + c
+        self._contrib[request.rid] = c
+
+    def note_complete(self, pool: Pool, request: Request) -> None:
+        pid = id(pool)
+        self._work[pid] = self._work.get(pid, 0.0) - self._contrib.pop(request.rid)
 
     def predicted_finish(self, request: Request, pool: Pool) -> float:
-        """Predicted completion delay of ``request`` if routed to ``pool``."""
+        """Predicted completion delay of ``request`` if routed to ``pool``.
+
+        Reference (fresh-sum) form — also used by tooling that probes a
+        hypothetical placement outside an engine run.
+        """
         predictor = self.predictor
         outstanding = sum(
             predicted_remaining(predictor, r) / pool.service_speed(r)
@@ -182,4 +245,26 @@ class PredictiveRouter(Router):
         return outstanding / max(pool.num_accelerators, 1) + service
 
     def route(self, request: Request, pools: Sequence[Pool], now: float) -> Pool:
-        return min(pools, key=lambda p: self.predicted_finish(request, p))
+        svc0 = self._svc0
+        key = request.key
+        service = svc0.get(key)
+        if service is None:
+            service = predicted_remaining(self.predictor, request)
+            svc0[key] = service
+        work = self._work
+        best = None
+        best_finish = float("inf")
+        for pool in pools:
+            w = work.get(id(pool))
+            if w is None:
+                # Pool unseen by the hooks (direct route() probe): fall back
+                # to the reference sum for it.
+                finish = self.predicted_finish(request, pool)
+            else:
+                if w < 0.0:  # float cancellation slop on an empty pool
+                    w = 0.0
+                finish = (w / max(pool.num_accelerators, 1)
+                          + service / pool.service_speed(request))
+            if finish < best_finish:
+                best, best_finish = pool, finish
+        return best

@@ -78,6 +78,7 @@ class DystaScheduler(Scheduler):
     batch_columns = ("deadline", "last_run_end")
     single_drain_safe = True
     trivial_single = True  # select_single is queue[0] (no resident tracking)
+    supports_incremental = True
 
     #: Switch-cost extension hooks (see :class:`DystaSwitchAware`); the base
     #: policy charges nothing and tracks nothing.
@@ -111,6 +112,16 @@ class DystaScheduler(Scheduler):
             and self.predictor.strategy is PredictorStrategy.LAST_ONE
         )
         self._pred_alpha = self.predictor.alpha if self.predictor is not None else 1.0
+        # Incremental selection: an untouched row's score decays at most at
+        # eta per simulated second (the slack term falls at rate <= 1, the
+        # waiting penalty only grows with time); the margin absorbs float
+        # rounding in the per-lookup recomputation.  FP16 quantization snaps
+        # scores to a coarse grid, breaking the smooth-decay bound, so the
+        # fp16 mode keeps the full-scan path.
+        self.inc_decay_rate = eta
+        self.inc_margin = 1e-9
+        if score_dtype == "fp16":
+            self.incremental = False
 
     def _quantize(self, value: float) -> float:
         """Round a score-path value to the configured hardware precision."""
@@ -221,8 +232,77 @@ class DystaScheduler(Scheduler):
             self._resident = chosen.rid
         return chosen
 
-    def select_batch(self, queue: "ReadyQueue", now: float) -> Request:
+    # -- incremental selection ---------------------------------------------
+
+    def inc_guard(self):
+        # Switch-aware scores depend on which request is resident; the base
+        # policy never tracks one, so the guard is constantly None.
+        return self._resident
+
+    def inc_best(self, queue: "ReadyQueue", idxs, now: float,
+                 clear_at: float, journal: set):
+        """Exact Algorithm-2 scores for the candidate rows (same arithmetic
+        as the tight loop in :meth:`select_batch`, term for term)."""
+        eta = self.eta
+        res = self._resident
+        swc = self.switch_cost if res is not None else 0.0
+        rem_l = self._t_rem
+        iso_l = self._t_iso
+        ni_l = self._t_ni
+        dl_l = self._t_dl
+        lre_l = self._t_lre
+        rid_l = self._t_rid
         n = queue._n
+        best = -1
+        b_score = b_rid = float("inf")
+        for i in idxs:
+            rem = rem_l[i]
+            slack = dl_l[i] - now - rem
+            neg_iso = ni_l[i]
+            if slack < neg_iso:
+                slack = neg_iso
+            wait = now - lre_l[i]
+            if wait < 0.0:
+                wait = 0.0
+            score = rem + eta * (slack + (wait / iso_l[i]) / n)
+            rid = rid_l[i]
+            if swc and rid != res:
+                score += swc
+            if score < b_score or (score == b_score and rid < b_rid):
+                best, b_score, b_rid = i, score, rid
+            elif score >= clear_at and rem + eta * slack >= clear_at:
+                # The penalty-free anchor already clears the epoch bound:
+                # this row cannot win again before the next full scan.
+                journal.discard(rid)
+        return best, b_score
+
+    def inc_full_scan(self, queue: "ReadyQueue", now: float, cache) -> Request:
+        # Same expression tree as _select_np (fp16 never reaches here), plus
+        # the ladder rebuild and the scan-time max of the shrinkable
+        # penalty term for the cache's queue-growth correction.
+        n = queue._n
+        rem = queue.aux_np(_AUX_REM)[:n]
+        iso = queue.aux_np(_AUX_ISO)[:n]
+        slack = np.maximum(queue.np_deadline[:n] - now - rem,
+                           queue.aux_np(_AUX_NEG_ISO)[:n])
+        wait = np.maximum(now - queue.np_last_run_end[:n], 0.0)
+        pen = (wait / iso) / n
+        score = rem + self.eta * (slack + pen)
+        rid = queue.np_rid[:n]
+        if self.switch_cost and self._resident is not None:
+            score = np.where(rid != self._resident, score + self.switch_cost, score)
+        chosen = queue[np_lexmin(score, rid)]
+        cache.rebuild(score, now, pen_scale=self.eta * float(pen.max()))
+        return chosen
+
+    def select_batch(self, queue: "ReadyQueue", now: float) -> Request:
+        cache = self._cache
+        n = queue._n
+        if cache is not None and n >= self.inc_min_queue:
+            chosen = cache.lookup(now)
+            if self._track_resident:
+                self._resident = chosen.rid
+            return chosen
         if self.score_dtype == "fp16" or n >= self.numpy_min_queue:
             chosen = self._select_np(queue, now, n)
         else:
@@ -366,6 +446,7 @@ class DystaStaticOnly(Scheduler):
     batch_columns = ()
     single_drain_safe = True
     trivial_single = True
+    supports_incremental = True  # static key: zero decay, exact bounds
 
     def __init__(self, lut: ModelInfoLUT, beta: float = 0.5):
         super().__init__(lut)
@@ -379,6 +460,7 @@ class DystaStaticOnly(Scheduler):
         super().bind_queue(queue)
         if queue is not None:
             queue.register_aux("static_score", 0.0)
+            self._t_sc = queue.aux_list("static_score")
 
     def on_arrival(self, request: Request, now: float) -> None:
         lat = self.estimated_isolated(request)
@@ -399,8 +481,35 @@ class DystaStaticOnly(Scheduler):
     def select_single(self, queue: "ReadyQueue", now: float) -> Request:
         return queue[0]
 
+    def inc_best(self, queue: "ReadyQueue", idxs, now: float,
+                 clear_at: float, journal: set):
+        sc_l = self._t_sc
+        rid_l = queue.ls_rid
+        best = -1
+        b_score = b_rid = float("inf")
+        for i in idxs:
+            score = sc_l[i]
+            if score > b_score:
+                if score >= clear_at:
+                    journal.discard(rid_l[i])
+                continue
+            rid = rid_l[i]
+            if score < b_score or rid < b_rid:
+                best, b_score, b_rid = i, score, rid
+        return best, b_score
+
+    def inc_full_scan(self, queue: "ReadyQueue", now: float, cache) -> Request:
+        n = queue._n
+        sc = queue.aux_np("static_score")[:n]
+        chosen = queue[np_lexmin(sc, queue.np_rid[:n])]
+        cache.rebuild(sc, now)
+        return chosen
+
     def select_batch(self, queue: "ReadyQueue", now: float) -> Request:
+        cache = self._cache
         n = len(queue)
+        if cache is not None and n >= self.inc_min_queue:
+            return cache.lookup(now)
         if n >= self.numpy_min_queue:
             return queue[np_lexmin(queue.aux_np("static_score")[:n], queue.np_rid[:n])]
         sc_l = queue.aux_list("static_score")

@@ -73,6 +73,9 @@ class EnergyEDPScheduler(Scheduler):
     batch_columns = ("arrival",)
     single_drain_safe = True
     trivial_single = False  # select_single updates the resident-weights key
+    # Static selection key *given* the resident key id: scores only change
+    # when the resident kid does, and the inc_guard forces a re-scan then.
+    supports_incremental = True
 
     def __init__(self, lut: ModelInfoLUT, energy_lut: Optional[EnergyLUT] = None):
         super().__init__(lut)
@@ -153,8 +156,53 @@ class EnergyEDPScheduler(Scheduler):
         self._resident_kid = self._key_terms(chosen.key)[2]
         return chosen
 
-    def select_batch(self, queue: "ReadyQueue", now: float) -> Request:
+    def inc_guard(self):
+        return self._resident_kid
+
+    def inc_best(self, queue: "ReadyQueue", idxs, now: float,
+                 clear_at: float, journal: set):
+        base_l = queue.aux_list(_AUX_BASE)
+        pen_l = queue.aux_list(_AUX_PENALTY)
+        kid_l = queue.aux_list(_AUX_KID)
+        arr_l = queue.ls_arrival
+        rid_l = queue.ls_rid
+        res_f = -1.0 if self._resident_kid is None else float(self._resident_kid)
+        best = -1
+        b_sc = b_arr = b_rid = float("inf")
+        for i in idxs:
+            sc = base_l[i]
+            if kid_l[i] != res_f:
+                sc = sc + pen_l[i]
+            if sc > b_sc:
+                if sc >= clear_at:
+                    journal.discard(rid_l[i])
+                continue
+            arr = arr_l[i]
+            rid = rid_l[i]
+            if sc < b_sc or arr < b_arr or (arr == b_arr and rid < b_rid):
+                best, b_sc, b_arr, b_rid = i, sc, arr, rid
+        return best, b_sc
+
+    def inc_full_scan(self, queue: "ReadyQueue", now: float, cache) -> Request:
         n = queue._n
+        res = self._resident_kid
+        kid = queue.aux_np(_AUX_KID)[:n]
+        score = queue.aux_np(_AUX_BASE)[:n] + np.where(
+            kid != (-1.0 if res is None else float(res)),
+            queue.aux_np(_AUX_PENALTY)[:n],
+            0.0,
+        )
+        chosen = queue[np_lexmin(score, queue.np_arrival[:n], queue.np_rid[:n])]
+        cache.rebuild(score, now)
+        return chosen
+
+    def select_batch(self, queue: "ReadyQueue", now: float) -> Request:
+        cache = self._cache
+        n = queue._n
+        if cache is not None and n >= self.inc_min_queue:
+            chosen = cache.lookup(now)
+            self._resident_kid = self._key_terms(chosen.key)[2]
+            return chosen
         res = self._resident_kid
         if n >= self.numpy_min_queue:
             kid = queue.aux_np(_AUX_KID)[:n]
@@ -201,10 +249,11 @@ class PowerCappedEDPScheduler(EnergyEDPScheduler):
 
     # The rolling-window meter accumulates on every layer completion and the
     # selection rule depends on it, so the vectorized shortcuts (cached
-    # scores, singleton drain) are disabled: the scalar reference path is
-    # the implementation.
+    # scores, singleton drain, incremental selection) are disabled: the
+    # scalar reference path is the implementation.
     supports_batch = False
     single_drain_safe = False
+    supports_incremental = False
 
     def __init__(
         self,

@@ -27,6 +27,7 @@ PHASE_QUEUE_UPDATE = "queue_update"  # ready-queue column refresh / requeue
 PHASE_EVENT_HEAP = "event_heap"    # heap push/pop of simulation events
 PHASE_ROUTE = "route"              # router predict (cluster engine)
 PHASE_METRICS = "metrics"          # streaming-metrics folds / telemetry
+PHASE_DISPATCH = "dispatch"        # placement bookkeeping around selection
 
 
 class PhaseProfiler:

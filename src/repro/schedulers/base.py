@@ -65,17 +65,87 @@ class Scheduler(abc.ABC):
     #: behind an ``is not None`` check.
     trace_bus = None
 
+    #: Policies whose argmin can be maintained incrementally (see
+    #: :mod:`repro.sim.select_cache`) set True and implement
+    #: :meth:`inc_best` / :meth:`inc_full_scan` (+ :meth:`inc_guard` when
+    #: selection depends on per-select mutable state).
+    supports_incremental: bool = False
+
+    #: Instance-level master switch for the incremental layer.  The
+    #: randomized lockstep parity tests and A/B benches set it False to
+    #: force the full-scan batch path.
+    incremental: bool = True
+
+    #: Upper bound on how fast an *untouched* row's score can decrease per
+    #: unit of simulated time (0 for static selection keys; ``eta`` for the
+    #: Dysta family, whose slack term decays at most at rate 1).
+    inc_decay_rate: float = 0.0
+
+    #: Float-rounding slack subtracted from the acceptance bound.  Static-
+    #: key policies compare stored bits and keep 0; decaying scores are
+    #: recomputed per lookup and need a hair of headroom.
+    inc_margin: float = 0.0
+
+    #: Selection-cache tuning (see :mod:`repro.sim.select_cache`).  Every
+    #: cache lookup walks the whole ladder, so its size is the steady-state
+    #: per-decision cost; 8 keeps lookups cheap while still amortizing a
+    #: full re-scan over many selections.
+    inc_ladder_k: int = 8
+    inc_journal_cap: int = 48
+
+    #: Queue depth below which ``select_batch`` bypasses the selection cache
+    #: and scans directly: on a shallow queue the tight scalar loop is
+    #: cheaper than cache bookkeeping (same crossover as the numpy path).
+    #: Tests drop it to 0 to force the cache on tiny queues.
+    inc_min_queue: int = 32
+
     def __init__(self, lut: ModelInfoLUT):
         self.lut = lut
         self._bound: "ReadyQueue" = None  # type: ignore[assignment]
+        self._cache = None
 
     def bind_queue(self, queue: "ReadyQueue") -> None:
         """Attach the engine's ready queue for this run (batch mode only).
 
         Subclasses that keep per-request aux state register their columns
-        here (and must call ``super().bind_queue(queue)``).
+        here (and must call ``super().bind_queue(queue)``).  Policies that
+        support incremental selection get a fresh
+        :class:`~repro.sim.select_cache.SelectionCache` per bind.
         """
         self._bound = queue
+        if queue is not None and self.supports_incremental and self.incremental:
+            from repro.sim.select_cache import SelectionCache
+
+            self._cache = SelectionCache(self, queue)
+        else:
+            self._cache = None
+
+    # -- incremental selection hooks (supports_incremental policies) --------
+
+    def inc_guard(self):
+        """Per-select mutable state the cached bound depends on.
+
+        The cache re-scans whenever this differs from its scan-time value
+        (e.g. the resident request/kind for switch-cost-aware scores).
+        ``None`` when selection has no such state.
+        """
+        return None
+
+    def inc_best(self, queue: "ReadyQueue", idxs: Sequence[int], now: float,
+                 clear_at: float, journal: set) -> Tuple[int, float]:
+        """Exact-score the candidate rows ``idxs``; return (index, score) of
+        the native-tie-broken best (or ``(-1, inf)``).  Rows whose penalty-
+        free score anchor is >= ``clear_at`` may be dropped from
+        ``journal`` (they cannot win again this scan epoch)."""
+        raise SchedulingError(
+            f"scheduler {self.name!r} does not implement inc_best"
+        )
+
+    def inc_full_scan(self, queue: "ReadyQueue", now: float, cache) -> Request:
+        """Full numpy scan that also rebuilds ``cache`` (ladder + bound)."""
+        raise SchedulingError(
+            f"scheduler {self.name!r} does not implement inc_full_scan"
+        )
 
     def select_single(self, queue: Sequence[Request], now: float) -> Request:
         """Fast path for a singleton queue (batch mode).

@@ -16,9 +16,34 @@ class FCFSScheduler(Scheduler):
     supports_batch = True
     batch_columns = ("arrival",)
     single_drain_safe = True
+    supports_incremental = True  # static key (arrival, rid): zero decay
 
     def reset(self) -> None:
         self._current: Optional[Request] = None
+
+    def inc_best(self, queue: "ReadyQueue", idxs, now: float,
+                 clear_at: float, journal: set):
+        arr_l = queue.ls_arrival
+        rid_l = queue.ls_rid
+        best = -1
+        b_arr = b_rid = float("inf")
+        for i in idxs:
+            arr = arr_l[i]
+            if arr > b_arr:
+                if arr >= clear_at:
+                    journal.discard(rid_l[i])
+                continue
+            rid = rid_l[i]
+            if arr < b_arr or rid < b_rid:
+                best, b_arr, b_rid = i, arr, rid
+        return best, b_arr
+
+    def inc_full_scan(self, queue: "ReadyQueue", now: float, cache) -> Request:
+        n = queue._n
+        arr = queue.np_arrival[:n]
+        chosen = queue[np_lexmin(arr, queue.np_rid[:n])]
+        cache.rebuild(arr, now)
+        return chosen
 
     def select(self, queue: Sequence[Request], now: float) -> Request:
         if self._current is not None and not self._current.is_done and self._current in queue:
@@ -36,7 +61,11 @@ class FCFSScheduler(Scheduler):
         cur = self._current
         if cur is not None and not cur.is_done and cur in queue:
             return cur
+        cache = self._cache
         n = len(queue)
+        if cache is not None and n >= self.inc_min_queue:
+            self._current = cache.lookup(now)
+            return self._current
         if n >= self.numpy_min_queue:
             best = np_lexmin(queue.np_arrival[:n], queue.np_rid[:n])
         else:

@@ -30,10 +30,17 @@ class OracleScheduler(Scheduler):
     batch_columns = ("true_remaining", "true_isolated", "deadline", "last_run_end")
     single_drain_safe = True
     trivial_single = True
+    supports_incremental = True
 
     def __init__(self, lut: ModelInfoLUT, eta: float = 0.02):
         super().__init__(lut)
         self.eta = eta
+        # Dysta-shaped score: slack decays at most at rate 1 while the
+        # (unclamped, but structurally non-negative: last_run_end <= now)
+        # waiting penalty only grows, so eta bounds an untouched row's
+        # score decay per simulated second.
+        self.inc_decay_rate = eta
+        self.inc_margin = 1e-9
 
     def select(self, queue: Sequence[Request], now: float) -> Request:
         n_queue = len(queue)
@@ -54,8 +61,53 @@ class OracleScheduler(Scheduler):
     def select_single(self, queue: "ReadyQueue", now: float) -> Request:
         return queue[0]
 
-    def select_batch(self, queue: "ReadyQueue", now: float) -> Request:
+    def inc_best(self, queue: "ReadyQueue", idxs, now: float,
+                 clear_at: float, journal: set):
+        eta = self.eta
+        rem_l = queue.ls_true_remaining
+        iso_l = queue.ls_true_isolated
+        dl_l = queue.ls_deadline
+        lre_l = queue.ls_last_run_end
+        rid_l = queue.ls_rid
         n = queue._n
+        best = -1
+        b_score = b_rid = float("inf")
+        for i in idxs:
+            iso = iso_l[i]
+            if iso < 1e-12:
+                iso = 1e-12
+            rem = rem_l[i]
+            slack = dl_l[i] - now - rem
+            neg_iso = -iso
+            if slack < neg_iso:
+                slack = neg_iso
+            score = rem + eta * (slack + ((now - lre_l[i]) / iso) / n)
+            rid = rid_l[i]
+            if score < b_score or (score == b_score and rid < b_rid):
+                best, b_score, b_rid = i, score, rid
+            elif score >= clear_at and rem + eta * slack >= clear_at:
+                journal.discard(rid)
+        return best, b_score
+
+    def inc_full_scan(self, queue: "ReadyQueue", now: float, cache) -> Request:
+        n = queue._n
+        eta = self.eta
+        rem = queue.np_true_remaining[:n]
+        iso = np.maximum(queue.np_true_isolated[:n], 1e-12)
+        slack = np.maximum(queue.np_deadline[:n] - now - rem, -iso)
+        penalty = ((now - queue.np_last_run_end[:n]) / iso) / n
+        score = rem + eta * (slack + penalty)
+        chosen = queue[np_lexmin(score, queue.np_rid[:n])]
+        pen_max = float(penalty.max())
+        cache.rebuild(score, now,
+                      pen_scale=eta * pen_max if pen_max > 0.0 else 0.0)
+        return chosen
+
+    def select_batch(self, queue: "ReadyQueue", now: float) -> Request:
+        cache = self._cache
+        n = queue._n
+        if cache is not None and n >= self.inc_min_queue:
+            return cache.lookup(now)
         eta = self.eta
         if n >= self.numpy_min_queue:
             rem = queue.np_true_remaining[:n]

@@ -9,11 +9,15 @@ sample of the same model look identical to it.
 The vectorized path reads the ready queue's incrementally maintained
 ``est_remaining`` column (refreshed on layer completion from the cached LUT
 suffix array) instead of re-deriving the estimate per request per decision.
+The selection key ``(est_remaining, arrival, rid)`` is static — a row's key
+never changes while it sits untouched in the queue — so the incremental
+selection cache runs with zero decay and exact (stored-bit) bound
+comparisons.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Tuple
 
 from repro.schedulers.base import Scheduler, register_scheduler
 from repro.sim.ready_queue import ReadyQueue, np_lexmin
@@ -28,6 +32,7 @@ class SJFScheduler(Scheduler):
     batch_columns = ("est_remaining", "arrival")
     single_drain_safe = True
     trivial_single = True
+    supports_incremental = True
 
     def select(self, queue: Sequence[Request], now: float) -> Request:
         return min(queue, key=lambda r: (self.estimated_remaining(r), r.arrival, r.rid))
@@ -35,8 +40,37 @@ class SJFScheduler(Scheduler):
     def select_single(self, queue: "ReadyQueue", now: float) -> Request:
         return queue[0]
 
-    def select_batch(self, queue: "ReadyQueue", now: float) -> Request:
+    def inc_best(self, queue: "ReadyQueue", idxs: Sequence[int], now: float,
+                 clear_at: float, journal: set) -> Tuple[int, float]:
+        rem_l = queue.ls_est_remaining
+        arr_l = queue.ls_arrival
+        rid_l = queue.ls_rid
+        best = -1
+        b_rem = b_arr = b_rid = float("inf")
+        for i in idxs:
+            rem = rem_l[i]
+            if rem > b_rem:
+                if rem >= clear_at:
+                    journal.discard(rid_l[i])
+                continue
+            arr = arr_l[i]
+            rid = rid_l[i]
+            if rem < b_rem or arr < b_arr or (arr == b_arr and rid < b_rid):
+                best, b_rem, b_arr, b_rid = i, rem, arr, rid
+        return best, b_rem
+
+    def inc_full_scan(self, queue: "ReadyQueue", now: float, cache) -> Request:
         n = queue._n
+        rem = queue.np_est_remaining[:n]
+        chosen = queue[np_lexmin(rem, queue.np_arrival[:n], queue.np_rid[:n])]
+        cache.rebuild(rem, now)
+        return chosen
+
+    def select_batch(self, queue: "ReadyQueue", now: float) -> Request:
+        cache = self._cache
+        n = queue._n
+        if cache is not None and n >= self.inc_min_queue:
+            return cache.lookup(now)
         if n >= self.numpy_min_queue:
             return queue[np_lexmin(
                 queue.np_est_remaining[:n],

@@ -97,10 +97,18 @@ class ReadyQueue(Sequence):
         self._n = 0
         self._requests: List[Request] = []
         self._pos: Dict[int, int] = {}
-        #: rid -> {aux name: value} for requests temporarily removed while
-        #: running on an accelerator (multi / cluster engines).
-        self._stash: Dict[int, Dict[str, float]] = {}
+        #: rid -> (column values, aux values, missing flag) for requests
+        #: temporarily removed while running on an accelerator (multi /
+        #: cluster engines).  Re-adding a ticketed request restores the
+        #: constant columns verbatim and only recomputes the progress-
+        #: dependent ones.
+        self._stash: Dict[int, tuple] = {}
         self._missing = 0  # live requests without a LUT entry
+        #: Change journal for the incremental selection cache: rids touched
+        #: since the cache last rebuilt.  ``None`` until a cache attaches via
+        #: :meth:`enable_journal`, so unconverted setups pay nothing.
+        self._journal: Optional[set] = None
+        self._journal_all = True
 
         self.np_rid = np.empty(self._cap, dtype=np.int64)
         self.ls_rid: List[int] = []
@@ -113,6 +121,15 @@ class ReadyQueue(Sequence):
         #: Precomputed attribute names for the hot swap-remove path.
         self._col_attrs: Tuple[Tuple[str, str], ...] = tuple(
             (f"np_{c}", f"ls_{c}") for c in sorted(self._cols)
+        )
+        #: The list mirrors are stable objects (mutated in place, never
+        #: rebound), so the requeue-ticket path can hold direct references;
+        #: the numpy twin is rebound on growth (see :meth:`_grow`).
+        self._ls_cols: Tuple[list, ...] = tuple(
+            getattr(self, ls_name) for _, ls_name in self._col_attrs
+        )
+        self._np_cols: Tuple[np.ndarray, ...] = tuple(
+            getattr(self, np_name) for np_name, _ in self._col_attrs
         )
         # Which progress-dependent columns update_progress must refresh.
         self._up_lre = "last_run_end" in self._cols
@@ -156,6 +173,24 @@ class ReadyQueue(Sequence):
         """
         return self._missing
 
+    # -- change journal (incremental selection cache) -----------------------
+
+    def enable_journal(self) -> None:
+        """Start recording touched rids (idempotent).
+
+        Called by a :class:`~repro.sim.select_cache.SelectionCache` when it
+        attaches.  ``_journal_all`` starts True so the first lookup forces a
+        full scan.
+        """
+        if self._journal is None:
+            self._journal = set()
+        self._journal_all = True
+
+    def journal_clear(self) -> None:
+        """Reset the journal after a full re-scan rebuilt the cache."""
+        self._journal.clear()
+        self._journal_all = False
+
     # -- aux columns --------------------------------------------------------
 
     def register_aux(self, name: str, default: float = 0.0) -> None:
@@ -175,6 +210,8 @@ class ReadyQueue(Sequence):
         """Aux array for vectorized in-place writes; marks the mirror stale."""
         col = self._aux[name]
         col.dirty = True
+        # A vector write may touch every row: invalidate the whole journal.
+        self._journal_all = True
         return col.arr
 
     def aux_list(self, name: str) -> List[float]:
@@ -196,6 +233,8 @@ class ReadyQueue(Sequence):
         col.arr[i] = value
         if not col.dirty:
             col.ls[i] = value
+        if self._journal is not None:
+            self._journal.add(self.ls_rid[i])
 
     def aux_set_for(self, name: str, request: Request, value: float) -> None:
         """Fused ``aux_set(name, index_of(request), value)``; no-op when the
@@ -207,6 +246,8 @@ class ReadyQueue(Sequence):
         col.arr[i] = value
         if not col.dirty:
             col.ls[i] = value
+        if self._journal is not None:
+            self._journal.add(request.rid)
 
     def forget(self, rid: int) -> None:
         """Drop any requeue stash for ``rid`` (call when a request finishes
@@ -229,6 +270,9 @@ class ReadyQueue(Sequence):
             arr = np.empty(new_cap)
             arr[: self._n] = col.arr[: self._n]
             col.arr = arr
+        self._np_cols = tuple(
+            getattr(self, np_name) for np_name, _ in self._col_attrs
+        )
         self._cap = new_cap
 
     def add(self, request: Request) -> int:
@@ -246,6 +290,12 @@ class ReadyQueue(Sequence):
         self._n = i + 1
         self.np_rid[i] = rid
         self.ls_rid.append(rid)
+        if self._journal is not None:
+            self._journal.add(rid)
+
+        ticket = self._stash.pop(rid, None) if self._stash else None
+        if ticket is not None:
+            return self._readd(request, i, ticket)
 
         cols = self._cols
         if cols:
@@ -292,13 +342,49 @@ class ReadyQueue(Sequence):
                     self.np_est_remaining[i] = v
                     self.ls_est_remaining.append(v)
 
-        if self._aux:
-            vals = self._stash.pop(rid, None)
-            for name, col in self._aux.items():
-                v = col.default if vals is None else vals[name]
-                col.arr[i] = v
-                # A stale mirror still tracks length; contents rebuilt on sync.
-                col.ls.append(v)
+        for col in self._aux.values():
+            v = col.default
+            col.arr[i] = v
+            # A stale mirror still tracks length; contents rebuilt on sync.
+            col.ls.append(v)
+        return i
+
+    def _readd(self, request: Request, i: int, ticket: tuple) -> int:
+        """Re-admit a request that left via ``remove(requeue=True)``.
+
+        Constant columns (arrival, deadline, priority, isolated latencies)
+        come back verbatim from the ticket; only the progress-dependent
+        columns are recomputed from the request, and the LUT lookup /
+        missing-entry bookkeeping is skipped entirely.
+        """
+        col_vals, aux_vals, missing = ticket
+        for arr, ls, v in zip(self._np_cols, self._ls_cols, col_vals):
+            arr[i] = v
+            ls.append(v)
+        if self._need_entry:
+            self._ls_missing.append(missing)
+            if missing:
+                self._missing += 1
+        if self._up_lre:
+            v = request.last_run_end
+            self.np_last_run_end[i] = v
+            self.ls_last_run_end[i] = v
+        if self._up_exec:
+            v = request.executed_time
+            self.np_executed_time[i] = v
+            self.ls_executed_time[i] = v
+        if self._up_true_rem:
+            v = request.true_remaining
+            self.np_true_remaining[i] = v
+            self.ls_true_remaining[i] = v
+        if self._up_est_rem and not missing:
+            entry = request.lut_entry(self._lut)
+            v = entry.remaining_suffix_t[request.next_layer]
+            self.np_est_remaining[i] = v
+            self.ls_est_remaining[i] = v
+        for col, v in zip(self._aux.values(), aux_vals):
+            col.arr[i] = v
+            col.ls.append(v)
         return i
 
     #: Engines call ``queue.append(...)`` on both list- and array-backed
@@ -319,11 +405,20 @@ class ReadyQueue(Sequence):
                 f"request {request.rid} is not in the ready queue"
             )
         del self._pos[request.rid]
+        if self._journal is not None:
+            # A permanent removal needs no mark (dead rids are skipped by
+            # liveness checks); a requeue re-add re-marks on the way back in.
+            self._journal.discard(request.rid)
         last = self._n - 1
-        if requeue and self._aux:
-            self._stash[request.rid] = {
-                name: float(col.arr[i]) for name, col in self._aux.items()
-            }
+        if requeue:
+            self._stash[request.rid] = (
+                tuple(ls[i] for ls in self._ls_cols),
+                tuple(
+                    col.ls[i] if not col.dirty else float(col.arr[i])
+                    for col in self._aux.values()
+                ),
+                self._ls_missing[i] if self._need_entry else False,
+            )
         reqs = self._requests
         if i != last:
             moved = reqs[last]
@@ -364,6 +459,8 @@ class ReadyQueue(Sequence):
             v = request.last_run_end
             self.np_last_run_end[i] = v
             self.ls_last_run_end[i] = v
+            if self._journal is not None:
+                self._journal.add(request.rid)
 
     def update_progress(self, request: Request) -> None:
         """Refresh the row of an in-queue request after a layer advance.
@@ -376,6 +473,8 @@ class ReadyQueue(Sequence):
         i = self._pos.get(request.rid)
         if i is None:
             return
+        if self._journal is not None:
+            self._journal.add(request.rid)
         if self._up_lre:
             v = request.last_run_end
             self.np_last_run_end[i] = v

@@ -196,3 +196,101 @@ class TestMixedFamilyWorkloads:
         batch = simulate(generate_workload(traces, spec),
                          scheduler_for(name, lut), use_batch=True)
         assert_identical(scalar, batch)
+
+
+def cached(sched):
+    """Force the selection cache on at any queue depth."""
+    sched.inc_min_queue = 0
+    return sched
+
+
+def brute(sched):
+    """Disable the incremental layer: full re-scan on every select."""
+    sched.incremental = False
+    return sched
+
+
+class TestIncrementalEquivalence:
+    """Selection cache vs brute-force full re-scan, whole-run.
+
+    The cache (see :mod:`repro.sim.select_cache`) must be decision-invisible:
+    identical completion schedules bit-for-bit, with ``inc_min_queue=0`` so
+    shallow phases go through the cache too instead of the depth-gate bypass.
+    """
+
+    @pytest.mark.parametrize("name", CONVERTED)
+    def test_engine_schedule_identical(self, toy_traces, toy_lut, name):
+        ref = simulate(toy_workload(toy_traces),
+                       brute(scheduler_for(name, toy_lut)), use_batch=True)
+        sched = cached(scheduler_for(name, toy_lut))
+        inc = simulate(toy_workload(toy_traces), sched, use_batch=True)
+        assert_identical(ref, inc)
+        if sched.supports_incremental:
+            assert sched._cache is not None and sched._cache.num_hits > 0
+
+    @pytest.mark.parametrize("name", ("dysta", "sjf", "oracle"))
+    @pytest.mark.parametrize("engine_kw", (
+        {"switch_cost": 0.001},
+        {"block_size": 3},
+    ))
+    def test_engine_variants(self, toy_traces, toy_lut, name, engine_kw):
+        ref = simulate(toy_workload(toy_traces),
+                       brute(scheduler_for(name, toy_lut)),
+                       use_batch=True, **engine_kw)
+        inc = simulate(toy_workload(toy_traces),
+                       cached(scheduler_for(name, toy_lut)),
+                       use_batch=True, **engine_kw)
+        assert_identical(ref, inc)
+
+    def test_switchaware_with_engine_switch_cost(self, toy_traces, toy_lut):
+        kw = {"switch_cost": 0.002}
+        ref = simulate(toy_workload(toy_traces),
+                       brute(scheduler_for("dysta_switchaware", toy_lut)),
+                       use_batch=True, **kw)
+        inc = simulate(toy_workload(toy_traces),
+                       cached(scheduler_for("dysta_switchaware", toy_lut)),
+                       use_batch=True, **kw)
+        assert_identical(ref, inc)
+
+    def test_fp16_opts_out_but_schedules_identically(self, toy_traces, toy_lut):
+        # FP16 score quantization disables the cache instance-wide; the
+        # batch path must still match the brute-force reference exactly.
+        ref = simulate(toy_workload(toy_traces),
+                       brute(make_scheduler("dysta", toy_lut,
+                                            score_dtype="fp16")),
+                       use_batch=True)
+        sched = cached(make_scheduler("dysta", toy_lut, score_dtype="fp16"))
+        inc = simulate(toy_workload(toy_traces), sched, use_batch=True)
+        assert_identical(ref, inc)
+        assert sched._cache is None
+
+    @pytest.mark.parametrize("name", ("dysta", "oracle", "energy_edp"))
+    def test_multi_accelerator_identical(self, toy_traces, toy_lut, name):
+        ref = simulate_multi(toy_workload(toy_traces),
+                             brute(scheduler_for(name, toy_lut)),
+                             num_accelerators=2, use_batch=True)
+        sched = cached(scheduler_for(name, toy_lut))
+        inc = simulate_multi(toy_workload(toy_traces), sched,
+                             num_accelerators=2, use_batch=True)
+        assert_identical(ref, inc)
+        assert sched._cache is not None and sched._cache.num_hits > 0
+
+    @pytest.mark.parametrize("name", ("dysta", "sjf"))
+    def test_cluster_identical(self, toy_traces, toy_lut, name):
+        def run(tune):
+            reqs = toy_workload(toy_traces)
+            pools = [
+                Pool("a", tune(scheduler_for(name, toy_lut)), 2),
+                Pool("b", tune(scheduler_for(name, toy_lut)), 1),
+            ]
+            return simulate_cluster(reqs, pools, "jsq"), pools
+
+        ref, _ = run(brute)
+        inc, pools = run(cached)
+        assert {r.rid: r.finish_time for r in ref.requests} == {
+            r.rid: r.finish_time for r in inc.requests
+        }
+        assert ref.makespan == inc.makespan
+        assert ref.num_preemptions == inc.num_preemptions
+        assert any(p.scheduler._cache is not None
+                   and p.scheduler._cache.num_hits > 0 for p in pools)

@@ -253,6 +253,46 @@ class TestRouting:
         assert req.finish_time == pytest.approx(2 * req.isolated_latency)
         assert result.makespan == pytest.approx(2 * req.isolated_latency)
 
+    def test_predictive_incremental_sums_match_fresh_scan(self, toy_lut):
+        # The router maintains per-pool work incrementally via the
+        # enqueue/progress/complete hooks; at any point the sum must agree
+        # with the brute-force `predicted_finish` re-scan over pool.queue.
+        router = make_router("predictive", lut=toy_lut)
+        pools = [Pool("a", make_scheduler("fcfs", toy_lut), 1),
+                 Pool("b", make_scheduler("fcfs", toy_lut), 2)]
+        router.reset(pools)
+        assert router.tracks_work
+        reqs = [long(0, 0.0), short(1, 0.0), long(2, 0.0), short(3, 0.0)]
+        for req in reqs:
+            pool = router.route(req, pools, 0.0)
+            pool.queue.append(req)
+            router.note_enqueue(pool, req)
+        for pool in pools:
+            fresh = sum(router._contribution(pool, r) for r in pool.queue)
+            assert router._work[id(pool)] == pytest.approx(fresh)
+        # Progress on one request, completion of another: sums track.
+        victim = reqs[0]
+        owner = next(p for p in pools if victim in list(p.queue))
+        victim.next_layer = 1
+        router.note_progress(owner, victim)
+        owner.queue.remove(victim)
+        router.note_complete(owner, victim)
+        fresh = sum(router._contribution(owner, r) for r in owner.queue)
+        assert router._work[id(owner)] == pytest.approx(fresh)
+
+    def test_predictive_falls_back_for_unseen_pool(self, toy_lut):
+        # A pool absent from reset() (e.g. added mid-run) has no tracked
+        # work sum; route() must fall back to the fresh predicted_finish
+        # scan rather than treat it as empty.
+        router = make_router("predictive", lut=toy_lut)
+        known = Pool("known", make_scheduler("fcfs", toy_lut), 1)
+        router.reset([known])
+        stranger = Pool("stranger", make_scheduler("fcfs", toy_lut), 1)
+        busy = long(0, 0.0)
+        stranger.queue.add(busy)
+        chosen = router.route(short(1, 0.0), [known, stranger], 0.0)
+        assert chosen is known
+
 
 class TestAdmission:
     def test_queue_depth_shedding(self, toy_lut):
