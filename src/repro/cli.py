@@ -459,6 +459,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         max_queue_depth=args.max_queue_depth,
         energy=args.energy,
         telemetry_interval=args.telemetry_interval,
+        alerts=args.alerts,
     )
 
     def progress(key: str, done: int, total: int) -> None:
@@ -580,6 +581,89 @@ def _cmd_energy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ledger_from_args(args: argparse.Namespace):
+    """A folded RequestLedger: from a recorded trace, or from a fresh run.
+
+    Returns ``(ledger, telemetry, description)``; telemetry is ``None``
+    when folding a recorded file (alerts need a live telemetry grid).
+    """
+    from repro.obs import Observability, RequestLedger
+
+    if args.from_trace:
+        ledger = RequestLedger.from_jsonl(args.from_trace)
+        return ledger, None, f"trace {args.from_trace}"
+    traces = _load_traces(args)
+    lut = ModelInfoLUT(traces)
+    rate = args.rate if args.rate is not None else BASE_ARRIVAL_RATE[args.family]
+    spec = WorkloadSpec(arrival_rate=rate, n_requests=args.requests,
+                        slo_multiplier=args.slo, seed=args.seeds[0])
+    requests = generate_workload(traces, spec)
+    # The ledger rides the bus as a sink: events fold as they are emitted,
+    # nothing is retained beyond the per-request records.
+    ledger = RequestLedger()
+    obs = Observability(sinks=[ledger],
+                        telemetry=getattr(args, "telemetry_interval", None))
+    scheduler = make_scheduler(args.scheduler, lut)
+    if args.accelerators > 1:
+        from repro.sim.multi import simulate_multi
+
+        simulate_multi(requests, scheduler,
+                       num_accelerators=args.accelerators,
+                       block_size=args.block_size,
+                       switch_cost=args.switch_cost, obs=obs)
+    else:
+        simulate(requests, scheduler, block_size=args.block_size,
+                 switch_cost=args.switch_cost, obs=obs)
+    obs.bus.check_conservation()
+    desc = (f"{args.scheduler} on {args.family} @ {rate:g} req/s, "
+            f"{args.accelerators} accelerator(s), seed {args.seeds[0]}")
+    return ledger, obs.telemetry, desc
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Decompose one request's end-to-end latency into component blame."""
+    ledger, _, desc = _ledger_from_args(args)
+    record = ledger.record(args.rid).to_dict()
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    e2e = record["e2e_s"]
+    print(f"rid {record['rid']} [{record['pool']}] "
+          f"-> {record['outcome'] or 'open'}   ({desc})")
+    print(f"  end-to-end : {e2e:.6f} s "
+          f"(arrival {record['arrival']:.6f} -> {record['end']:.6f})")
+    for component in ("queue", "service", "preempt", "switch"):
+        value = record[component + "_s"]
+        share = value / e2e if e2e else 0.0
+        marker = "   <- dominant" if component == record["dominant"] else ""
+        print(f"  {component:<11}: {value:.6f} s ({100 * share:5.1f}%){marker}")
+    print(f"  spans      : {record['n_exec_spans']} execute, "
+          f"{record['n_queue_spans']} queue; "
+          f"residual {record['residual_s']:.2e} s")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Aggregate SLO-attribution report: blame, worst misses, alerts."""
+    from repro.obs import build_report, evaluate_alerts, render_markdown
+
+    ledger, telemetry, desc = _ledger_from_args(args)
+    ledger.check_conservation()
+    alerts = evaluate_alerts(telemetry) if telemetry is not None else []
+    report = build_report(ledger, alerts, top_misses=args.top,
+                          title=f"Run report: {desc}")
+    if args.json:
+        text = json.dumps(report, indent=2, sort_keys=True)
+    else:
+        text = render_markdown(report).rstrip("\n")
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Trace one run end to end and export a Perfetto-loadable timeline."""
     from repro.obs import (
@@ -589,6 +673,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         Telemetry,
         export_chrome_trace,
     )
+
+    if args.summary:
+        # Streaming summary of a recorded trace: per-kind counts plus the
+        # span-conservation verdict, without loading the file into memory.
+        from repro.obs import conservation_verdict, summarize_jsonl
+
+        counts = summarize_jsonl(args.summary)
+        print(f"{args.summary}: {sum(counts.values())} events")
+        for kind in sorted(counts):
+            print(f"  {kind:<15} {counts[kind]}")
+        ok, arrivals, terminals = conservation_verdict(counts)
+        verdict = "OK" if ok else "VIOLATED"
+        print(f"conservation    : {arrivals} arrivals vs {terminals} "
+              f"terminals -> {verdict}")
+        return 0 if ok else 1
 
     traces = _load_traces(args)
     lut = ModelInfoLUT(traces)
@@ -910,6 +1009,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_scen.add_argument("--telemetry-interval", type=float, default=None,
                         help="record a per-cell telemetry time-series "
                              "sampled at this simulated-second cadence")
+    p_scen.add_argument("--alerts", action="store_true",
+                        help="evaluate the default alert rules on each "
+                             "cell's telemetry grid and record the fired "
+                             "alerts (requires --telemetry-interval)")
     p_scen.set_defaults(func=_cmd_scenario)
 
     p_energy = sub.add_parser(
@@ -956,7 +1059,58 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write a telemetry time-series CSV")
     p_trace.add_argument("--telemetry-interval", type=float, default=0.1,
                          help="telemetry sampling cadence in simulated seconds")
+    p_trace.add_argument("--summary", default=None, metavar="PATH",
+                         help="summarize a recorded trace JSONL instead of "
+                              "running: per-kind event counts plus the "
+                              "span-conservation verdict (streaming; the "
+                              "file is never fully loaded)")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="decompose one request's latency into queue/service/"
+             "preempt/switch blame",
+    )
+    _add_workload_args(p_explain)
+    p_explain.add_argument("rid", type=int,
+                           help="request id to explain")
+    p_explain.add_argument("--scheduler", default="dysta",
+                           choices=available_schedulers())
+    p_explain.add_argument("--accelerators", type=int, default=1,
+                           help="run on the multi-NPU engine with this many "
+                                "accelerators")
+    p_explain.add_argument("--from-trace", default=None, metavar="PATH",
+                           help="fold a recorded trace JSONL instead of "
+                                "running a simulation")
+    p_explain.add_argument("--json", action="store_true",
+                           help="emit the record as JSON")
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_report = sub.add_parser(
+        "report",
+        help="aggregate SLO-attribution report: per-pool blame, worst "
+             "misses, fired alerts",
+    )
+    _add_workload_args(p_report)
+    p_report.add_argument("--scheduler", default="dysta",
+                          choices=available_schedulers())
+    p_report.add_argument("--accelerators", type=int, default=1,
+                          help="run on the multi-NPU engine with this many "
+                               "accelerators")
+    p_report.add_argument("--from-trace", default=None, metavar="PATH",
+                          help="fold a recorded trace JSONL instead of "
+                               "running a simulation (no telemetry, so "
+                               "no alert evaluation)")
+    p_report.add_argument("--telemetry-interval", type=float, default=0.1,
+                          help="telemetry cadence the alert rules are "
+                               "evaluated on, simulated seconds")
+    p_report.add_argument("--top", type=int, default=10,
+                          help="worst SLO misses to rank in the report")
+    p_report.add_argument("--json", action="store_true",
+                          help="emit the report as JSON instead of markdown")
+    p_report.add_argument("--out", default=None, metavar="PATH",
+                          help="write the report here instead of stdout")
+    p_report.set_defaults(func=_cmd_report)
 
     p_perf = sub.add_parser(
         "perf",

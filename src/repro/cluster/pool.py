@@ -54,8 +54,10 @@ from repro.errors import SchedulingError
 from repro.obs.bus import (
     KIND_COMPLETE,
     KIND_EXECUTE,
+    KIND_PREEMPT,
     KIND_QUEUE,
     KIND_SELECT,
+    KIND_SWITCH,
     KIND_VIOLATE,
 )
 from repro.obs.profile import (
@@ -423,9 +425,20 @@ class Pool:
                     tracer.emit(KIND_QUEUE, chosen.arrival,
                                 now - chosen.arrival, pool=self.name,
                                 rid=chosen.rid)
+            elif (tracer is not None and chosen.next_layer > 0
+                    and now > chosen.last_run_end):
+                # Stall span: gap since this rid's previous execute span
+                # ended (emitted retroactively at re-dispatch).
+                tracer.emit(KIND_PREEMPT, chosen.last_run_end,
+                            now - chosen.last_run_end, pool=self.name,
+                            npu=npu, rid=chosen.rid)
             start = now
             if chosen is not self._resident[npu]:
                 if self.switch_cost > 0.0:
+                    if tracer is not None:
+                        tracer.emit(KIND_SWITCH, now, self.switch_cost,
+                                    pool=self.name, npu=npu, rid=chosen.rid,
+                                    args={"key": chosen._key})
                     start += self.switch_cost
                 self._resident[npu] = chosen
                 if chosen.key != self._resident_key[npu]:

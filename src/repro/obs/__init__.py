@@ -19,6 +19,15 @@ without (golden-tested):
 * **Self-profiling** (:mod:`repro.obs.profile`): wall-clock attribution to
   engine phases (event-heap ops, ready-queue update, batch scoring, router
   predict), recorded into ``BENCH_perf.json`` via ``repro perf --profile``.
+* **SLO attribution** (:mod:`repro.obs.attribution`): a streaming
+  :class:`~repro.obs.attribution.RequestLedger` that folds any trace
+  stream into per-request queue/service/preempt/switch latency
+  decompositions, aggregate per-pool blame, and a ranked worst-miss
+  report (``repro explain`` / ``repro report``).
+* **Alerting** (:mod:`repro.obs.alerts`): declarative rules (threshold,
+  SLO error-budget burn rate, queue saturation, powercap breach)
+  evaluated on the exact telemetry grid — deterministic alert streams,
+  emitted onto the bus as ``alert`` events.
 
 Engines take an ``obs=`` keyword holding an :class:`Observability` bundle.
 ``Observability.active`` normalizes a fully-disabled bundle to ``None``, so
@@ -30,17 +39,31 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Union
 
+from repro.obs.alerts import (
+    Alert,
+    AlertEngine,
+    BurnRateRule,
+    PowercapRule,
+    ThresholdRule,
+    default_rules,
+    evaluate_alerts,
+    queue_saturation_rule,
+)
+from repro.obs.attribution import RequestLedger, RequestRecord, explain_request
 from repro.obs.bus import (
     ENGINE_LANE,
+    KIND_ALERT,
     KIND_ARRIVE,
     KIND_COMPLETE,
     KIND_EXECUTE,
     KIND_POWERCAP,
+    KIND_PREEMPT,
     KIND_QUEUE,
     KIND_ROUTE,
     KIND_SCALE,
     KIND_SELECT,
     KIND_SHED,
+    KIND_SWITCH,
     KIND_VIOLATE,
     TERMINAL_KINDS,
     JsonlSink,
@@ -48,8 +71,11 @@ from repro.obs.bus import (
     RingSink,
     TraceBus,
     TraceEvent,
+    conservation_verdict,
     filter_events,
+    iter_jsonl,
     read_jsonl,
+    summarize_jsonl,
 )
 from repro.obs.chrome import export_chrome_trace, to_chrome_trace
 from repro.obs.metrics import (
@@ -70,6 +96,7 @@ from repro.obs.profile import (
     PHASE_SELECT,
     PhaseProfiler,
 )
+from repro.obs.report import build_report, render_markdown
 
 
 class Observability:
@@ -137,7 +164,23 @@ __all__ = [
     "ListSink",
     "JsonlSink",
     "read_jsonl",
+    "iter_jsonl",
+    "summarize_jsonl",
+    "conservation_verdict",
     "filter_events",
+    "RequestLedger",
+    "RequestRecord",
+    "explain_request",
+    "Alert",
+    "AlertEngine",
+    "ThresholdRule",
+    "BurnRateRule",
+    "PowercapRule",
+    "queue_saturation_rule",
+    "default_rules",
+    "evaluate_alerts",
+    "build_report",
+    "render_markdown",
     "to_chrome_trace",
     "export_chrome_trace",
     "MetricsRegistry",
@@ -154,11 +197,14 @@ __all__ = [
     "KIND_ROUTE",
     "KIND_QUEUE",
     "KIND_SELECT",
+    "KIND_SWITCH",
+    "KIND_PREEMPT",
     "KIND_EXECUTE",
     "KIND_COMPLETE",
     "KIND_VIOLATE",
     "KIND_SCALE",
     "KIND_POWERCAP",
+    "KIND_ALERT",
     "PHASE_ARRIVALS",
     "PHASE_SELECT",
     "PHASE_EXECUTE",

@@ -1,0 +1,287 @@
+"""Declarative alerting over the simulated-time telemetry grid.
+
+Rules are evaluated on the exact sample grid :class:`~repro.obs.metrics.
+Telemetry` records (one row per fixed simulated-time cadence point), so
+alert streams are a pure function of the run — the same cells in a sweep
+fire the same alerts whatever the worker count, wall-clock speed or host
+(the sweep runner's byte-identity test covers this).  Because telemetry
+rows are deterministic, post-run evaluation is indistinguishable from
+evaluating live at each poll.
+
+Rule kinds:
+
+* :class:`ThresholdRule` — a metric crosses a bound, optionally sustained
+  for a trailing window (queue-depth saturation is this rule on the
+  ``queue_depth`` columns);
+* :class:`BurnRateRule` — SLO error-budget burn rate: the violation rate
+  over a trailing window, divided by the budgeted rate, exceeds a factor
+  (the SRE burn-rate alert on simulated time);
+* :class:`PowercapRule` — drawn watts (discrete derivative of the
+  ``joules_busy`` columns) exceed a cap.
+
+Metric names resolve against telemetry columns by exact match *or* the
+``{pool}_{metric}`` suffix convention, taking the worst (max) matching
+column per sample — one rule covers both the flat engines
+(``queue_depth``) and every pool of a cluster run
+(``eyeriss_queue_depth``, ...).  A rule whose metric matches no column is
+inapplicable to that run and simply never fires.
+
+Alerts fire on rising edges: once per episode in which the condition
+becomes (and stays) true, at the first sample where it holds — so a
+saturated queue raises one alert, not one per sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ObservabilityError
+from repro.obs.bus import KIND_ALERT, TraceBus
+from repro.obs.metrics import Telemetry
+
+Table = Dict[str, List[float]]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One rule firing at one grid point."""
+
+    rule: str
+    kind: str
+    time: float
+    value: float
+    threshold: float
+    metric: str = ""
+
+    def to_dict(self) -> Dict:
+        return {
+            "rule": self.rule,
+            "kind": self.kind,
+            "time": self.time,
+            "value": self.value,
+            "threshold": self.threshold,
+            "metric": self.metric,
+        }
+
+    def __str__(self) -> str:
+        return (f"[{self.time:.3f}s] {self.rule}: {self.metric or self.kind} "
+                f"= {self.value:.4g} (threshold {self.threshold:.4g})")
+
+
+def _match_columns(table: Table, metric: str) -> List[str]:
+    """Columns a metric name covers: exact, or the ``{pool}_`` suffix form."""
+    suffix = "_" + metric
+    return sorted(
+        name for name in table
+        if name != "t" and (name == metric or name.endswith(suffix))
+    )
+
+
+def _series_max(table: Table, columns: Sequence[str], i: int) -> float:
+    """Worst (max) value across matching columns at sample ``i``."""
+    best = float("-inf")
+    for name in columns:
+        value = table[name][i]
+        if value is not None and value == value and value > best:
+            best = value
+    return best
+
+
+def _window_start(times: Sequence[float], i: int, window_s: float) -> int:
+    """First index inside the trailing window ``[t_i - window_s, t_i]``."""
+    j = i
+    lo = times[i] - window_s
+    while j > 0 and times[j - 1] >= lo - 1e-12:
+        j -= 1
+    return j
+
+
+@dataclass(frozen=True)
+class ThresholdRule:
+    """Fire when a metric crosses ``threshold``, sustained ``window_s``.
+
+    ``above=True`` (default) fires on ``value >= threshold``; ``False``
+    on ``value <= threshold``.  With ``window_s > 0`` the condition must
+    hold at every grid point of the trailing window before firing.
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    above: bool = True
+    window_s: float = 0.0
+    kind: str = "threshold"
+
+    def evaluate(self, table: Table) -> List[Alert]:
+        columns = _match_columns(table, self.metric)
+        if not columns:
+            return []
+        times = table["t"]
+        alerts: List[Alert] = []
+        run_start: Optional[int] = None  # first index of the true-run
+        fired = False
+        for i in range(len(times)):
+            value = _series_max(table, columns, i)
+            ok = value >= self.threshold if self.above else value <= self.threshold
+            if not ok or value == float("-inf"):
+                run_start = None
+                fired = False
+                continue
+            if run_start is None:
+                run_start = i
+            sustained = times[i] - times[run_start] >= self.window_s - 1e-12
+            if sustained and not fired:
+                fired = True
+                alerts.append(Alert(self.name, self.kind, times[i], value,
+                                    self.threshold, self.metric))
+        return alerts
+
+
+def queue_saturation_rule(depth: float, *, window_s: float = 0.0,
+                          name: str = "queue_saturation") -> ThresholdRule:
+    """Sugar: queue-depth saturation across every engine/pool queue."""
+    return ThresholdRule(name=name, metric="queue_depth", threshold=depth,
+                         window_s=window_s, kind="queue_saturation")
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """SLO error-budget burn rate over a trailing window.
+
+    ``budget`` is the tolerated violation fraction (violations per
+    completion); the rule fires when the windowed violation rate reaches
+    ``factor`` times that budget.  Windows with no completions burn
+    nothing.
+    """
+
+    name: str
+    budget: float
+    factor: float
+    window_s: float
+    kind: str = "burn_rate"
+
+    def __post_init__(self):
+        if self.budget <= 0:
+            raise ObservabilityError(
+                f"burn-rate budget must be positive, got {self.budget}"
+            )
+        if self.window_s <= 0:
+            raise ObservabilityError(
+                f"burn-rate window must be positive, got {self.window_s}"
+            )
+
+    def evaluate(self, table: Table) -> List[Alert]:
+        if "completed" not in table or "violations" not in table:
+            return []
+        times = table["t"]
+        completed = table["completed"]
+        violations = table["violations"]
+        alerts: List[Alert] = []
+        fired = False
+        for i in range(len(times)):
+            j = _window_start(times, i, self.window_s)
+            dc = completed[i] - completed[j]
+            dv = violations[i] - violations[j]
+            burn = (dv / dc) / self.budget if dc > 0 else 0.0
+            if burn >= self.factor:
+                if not fired:
+                    fired = True
+                    alerts.append(Alert(self.name, self.kind, times[i], burn,
+                                        self.factor, "slo_burn_rate"))
+            else:
+                fired = False
+        return alerts
+
+
+@dataclass(frozen=True)
+class PowercapRule:
+    """Fire when drawn watts exceed ``cap_watts``.
+
+    Watts are the discrete derivative of the cumulative ``joules_busy``
+    columns between consecutive grid points, summed across pools —
+    evaluable on any energy-accounted run without extra instrumentation.
+    """
+
+    name: str
+    cap_watts: float
+    kind: str = "powercap"
+
+    def evaluate(self, table: Table) -> List[Alert]:
+        columns = _match_columns(table, "joules_busy")
+        if not columns:
+            return []
+        times = table["t"]
+        alerts: List[Alert] = []
+        fired = False
+        for i in range(1, len(times)):
+            dt = times[i] - times[i - 1]
+            if dt <= 0:
+                continue
+            joules = 0.0
+            for name in columns:
+                a, b = table[name][i - 1], table[name][i]
+                if a is None or b is None or a != a or b != b:
+                    continue
+                joules += b - a
+            watts = joules / dt
+            if watts >= self.cap_watts:
+                if not fired:
+                    fired = True
+                    alerts.append(Alert(self.name, self.kind, times[i], watts,
+                                        self.cap_watts, "watts"))
+            else:
+                fired = False
+        return alerts
+
+
+AlertRule = Union[ThresholdRule, BurnRateRule, PowercapRule]
+
+
+def default_rules(*, slo_budget: float = 0.1, burn_factor: float = 2.0,
+                  burn_window_s: float = 1.0,
+                  queue_depth: float = 8.0) -> List[AlertRule]:
+    """The standing rule set the CLI and sweep runner evaluate.
+
+    A burn-rate page (violation rate at ``burn_factor``x the ``slo_budget``
+    over a trailing window) plus queue-depth saturation.  Powercap rules
+    are opt-in — caps are workload-specific.
+    """
+    return [
+        BurnRateRule(name="slo_burn_rate", budget=slo_budget,
+                     factor=burn_factor, window_s=burn_window_s),
+        queue_saturation_rule(queue_depth),
+    ]
+
+
+class AlertEngine:
+    """Evaluate a rule set against one run's telemetry grid."""
+
+    def __init__(self, rules: Optional[Iterable[AlertRule]] = None):
+        self.rules: List[AlertRule] = (list(rules) if rules is not None
+                                       else default_rules())
+
+    def evaluate(self, telemetry: Union[Telemetry, Table],
+                 bus: Optional[TraceBus] = None) -> List[Alert]:
+        """All firings, sorted by (time, rule name) — a deterministic
+        stream.  With ``bus`` given, each alert is also emitted onto the
+        trace as an ``alert`` instant (control-plane lane, ``rid=-1``)."""
+        table = (telemetry.to_table() if isinstance(telemetry, Telemetry)
+                 else telemetry)
+        if "t" not in table:
+            raise ObservabilityError("telemetry table has no 't' column")
+        alerts: List[Alert] = []
+        for rule in self.rules:
+            alerts.extend(rule.evaluate(table))
+        alerts.sort(key=lambda a: (a.time, a.rule))
+        if bus is not None:
+            for alert in alerts:
+                bus.emit(KIND_ALERT, alert.time, args=alert.to_dict())
+        return alerts
+
+
+def evaluate_alerts(telemetry: Union[Telemetry, Table],
+                    rules: Optional[Iterable[AlertRule]] = None,
+                    bus: Optional[TraceBus] = None) -> List[Alert]:
+    """Convenience wrapper: ``AlertEngine(rules).evaluate(...)``."""
+    return AlertEngine(rules).evaluate(telemetry, bus=bus)

@@ -1,0 +1,372 @@
+"""Streaming SLO attribution: fold a trace stream into per-request blame.
+
+The :class:`RequestLedger` consumes lifecycle events — from a live
+:class:`~repro.obs.bus.TraceBus` (the ledger implements the sink
+interface, so ``TraceBus(sinks=[ledger])`` folds during the run) or from
+a recorded :class:`~repro.obs.bus.JsonlSink` file via
+:meth:`RequestLedger.from_jsonl` — and decomposes every request's
+end-to-end latency into four components:
+
+* **queue** — arrival to first dispatch (the ``queue`` span, plus any
+  later re-queue spans a synthetic trace may carry);
+* **service** — time on an accelerator actually executing layers
+  (execute spans minus the switch overhead charged at their head);
+* **switch** — weight-reload cost (``switch`` spans);
+* **preempt** — stalls between a request's execute spans, i.e. time it
+  sat preempted while other work held the accelerator.  Computed from
+  the gaps between consecutive execute spans (robust for any trace,
+  engine-emitted ``preempt`` spans included or not), minus re-queue
+  time already blamed on queue.
+
+The decomposition is *conservative*: the four components sum to the
+end-to-end latency for every request, up to float reconstruction error
+(``check_conservation`` asserts a relative epsilon; the engine-replay
+tests pin it at 1e-9 over 10k-request cluster runs).
+
+Memory: per-*open*-request state plus bounded aggregates.  Closed
+records are kept by default (``repro explain`` wants them); pass
+``keep_records=False`` to fold arbitrarily long streams in O(pools)
+memory — aggregate summaries, the bounded top-miss heap, and the
+conservation check all keep working.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.bus import (
+    KIND_ARRIVE,
+    KIND_COMPLETE,
+    KIND_EXECUTE,
+    KIND_QUEUE,
+    KIND_ROUTE,
+    KIND_SHED,
+    KIND_SWITCH,
+    KIND_VIOLATE,
+    TraceEvent,
+    iter_jsonl,
+)
+
+#: Component names, in blame-report order (ties break toward the left).
+COMPONENTS = ("queue", "service", "preempt", "switch")
+
+
+class RequestRecord:
+    """Latency decomposition of one request, built up as events stream in."""
+
+    __slots__ = (
+        "rid", "pool", "arrival", "first_dispatch", "end", "outcome",
+        "queue_s", "exec_s", "switch_s", "gap_s", "requeue_s",
+        "n_queue_spans", "n_exec_spans", "_last_exec_end",
+    )
+
+    def __init__(self, rid: int, pool: str, arrival: float):
+        self.rid = rid
+        self.pool = pool
+        self.arrival = arrival
+        self.first_dispatch: Optional[float] = None
+        self.end: Optional[float] = None
+        self.outcome: Optional[str] = None  # complete | violate | shed
+        self.queue_s = 0.0
+        self.exec_s = 0.0
+        self.switch_s = 0.0
+        self.gap_s = 0.0
+        self.requeue_s = 0.0
+        self.n_queue_spans = 0
+        self.n_exec_spans = 0
+        self._last_exec_end: Optional[float] = None
+
+    # -- derived components --------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self.outcome is not None
+
+    @property
+    def e2e_s(self) -> float:
+        """End-to-end latency (to the terminal event, or NaN while open)."""
+        return float("nan") if self.end is None else self.end - self.arrival
+
+    @property
+    def service_s(self) -> float:
+        """Pure execution time: execute spans minus their switch heads."""
+        return self.exec_s - self.switch_s
+
+    @property
+    def preempt_s(self) -> float:
+        """Stall time between execute spans not already blamed on queue."""
+        return self.gap_s - self.requeue_s
+
+    @property
+    def residual_s(self) -> float:
+        """e2e minus the component sum — float noise when conservative."""
+        if self.end is None:
+            return float("nan")
+        return self.e2e_s - (self.queue_s + self.service_s
+                             + self.preempt_s + self.switch_s)
+
+    @property
+    def dominant(self) -> str:
+        """The component that contributed the most latency."""
+        values = (self.queue_s, self.service_s, self.preempt_s, self.switch_s)
+        best = max(range(len(COMPONENTS)), key=lambda k: values[k])
+        return COMPONENTS[best]
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly record (the ``repro explain`` payload)."""
+        return {
+            "rid": self.rid,
+            "pool": self.pool,
+            "outcome": self.outcome,
+            "arrival": self.arrival,
+            "end": self.end,
+            "e2e_s": self.e2e_s,
+            "queue_s": self.queue_s,
+            "service_s": self.service_s,
+            "preempt_s": self.preempt_s,
+            "switch_s": self.switch_s,
+            "residual_s": self.residual_s,
+            "dominant": self.dominant,
+            "n_queue_spans": self.n_queue_spans,
+            "n_exec_spans": self.n_exec_spans,
+        }
+
+
+def _new_pool_agg() -> Dict:
+    return {
+        "n": 0, "complete": 0, "violate": 0, "shed": 0,
+        "e2e_s": 0.0, "queue_s": 0.0, "service_s": 0.0,
+        "preempt_s": 0.0, "switch_s": 0.0,
+    }
+
+
+class RequestLedger:
+    """Fold lifecycle events into per-request latency decompositions.
+
+    Implements the trace-sink interface (``emit`` / ``close``), so it can
+    ride on a live bus next to the ring/JSONL sinks, or be fed a recorded
+    stream with :meth:`feed` / :meth:`from_jsonl`.
+
+    Args:
+        keep_records: Retain every closed :class:`RequestRecord` (keyed by
+            rid).  ``False`` drops them after folding into aggregates —
+            bounded memory for arbitrarily long streams.
+        max_misses: Size of the bounded worst-miss heap backing
+            :meth:`violation_report` (largest-e2e violations survive).
+        eps: Relative tolerance for :meth:`check_conservation`, scaled by
+            ``max(1, |e2e|)`` per request.
+    """
+
+    def __init__(self, *, keep_records: bool = True, max_misses: int = 64,
+                 eps: float = 1e-9):
+        if max_misses < 1:
+            raise ObservabilityError(
+                f"max_misses must be >= 1, got {max_misses}"
+            )
+        self.keep_records = keep_records
+        self.max_misses = max_misses
+        self.eps = eps
+        self.records: Dict[int, RequestRecord] = {}
+        self._open: Dict[int, RequestRecord] = {}
+        self._pools: Dict[str, Dict] = {}
+        #: min-heap of (e2e_s, rid, record) for the worst SLO misses
+        self._misses: List = []
+        self.n_closed = 0
+        self.max_rel_residual = 0.0
+        self.worst_rid: Optional[int] = None
+
+    # -- sink interface -------------------------------------------------------
+
+    def emit(self, event: TraceEvent) -> None:
+        """Fold one event (the trace-sink hot method)."""
+        rid = event.rid
+        if rid < 0:
+            return  # control-plane event (scale, alert, powercap, ...)
+        kind = event.kind
+        rec = self._open.get(rid)
+        if rec is None:
+            if rid in self.records:
+                return  # stray post-terminal event; lifecycle already closed
+            # A queue span starts at the arrival instant, so event.time is
+            # the right arrival fallback for partial traces without arrive.
+            rec = self._open[rid] = RequestRecord(rid, event.pool, event.time)
+        if kind == KIND_EXECUTE:
+            rec.pool = event.pool
+            rec.n_exec_spans += 1
+            rec.exec_s += event.dur
+            if rec._last_exec_end is not None:
+                gap = event.time - rec._last_exec_end
+                if gap > 0.0:
+                    rec.gap_s += gap
+            rec._last_exec_end = event.time + event.dur
+            if rec.first_dispatch is None:
+                rec.first_dispatch = event.time
+        elif kind == KIND_QUEUE:
+            rec.pool = event.pool
+            rec.n_queue_spans += 1
+            rec.queue_s += event.dur
+            if rec.n_queue_spans > 1:
+                # Re-queue wait sits inside an inter-execute gap; blame it
+                # on queue, not preempt (see preempt_s).
+                rec.requeue_s += event.dur
+            if rec.first_dispatch is None:
+                rec.first_dispatch = event.time + event.dur
+        elif kind == KIND_SWITCH:
+            rec.switch_s += event.dur
+        elif kind == KIND_ROUTE:
+            rec.pool = event.pool
+        elif kind == KIND_ARRIVE:
+            rec.arrival = event.time
+        elif kind in (KIND_COMPLETE, KIND_VIOLATE, KIND_SHED):
+            self._close(rec, kind, event.time)
+
+    def close(self) -> None:
+        """Sink-interface symmetry; aggregates are maintained eagerly."""
+
+    # -- folding --------------------------------------------------------------
+
+    def _close(self, rec: RequestRecord, kind: str, end: float) -> None:
+        rec.end = end
+        rec.outcome = kind
+        if kind == KIND_SHED:
+            # A shed request never dispatches, so no queue span was emitted;
+            # everything between arrival and the shed decision (the cluster
+            # engine sheds at block boundaries, not arrival instants) is
+            # admission-queue wait.  Blame the uncovered remainder on queue.
+            rec.queue_s += (end - rec.arrival) - (
+                rec.queue_s + rec.service_s + rec.preempt_s + rec.switch_s
+            )
+        del self._open[rec.rid]
+        self.n_closed += 1
+        agg = self._pools.get(rec.pool)
+        if agg is None:
+            agg = self._pools[rec.pool] = _new_pool_agg()
+        agg["n"] += 1
+        agg[kind] += 1
+        agg["e2e_s"] += rec.e2e_s
+        agg["queue_s"] += rec.queue_s
+        agg["service_s"] += rec.service_s
+        agg["preempt_s"] += rec.preempt_s
+        agg["switch_s"] += rec.switch_s
+        rel = abs(rec.residual_s) / max(1.0, abs(rec.e2e_s))
+        if rel > self.max_rel_residual:
+            self.max_rel_residual = rel
+            self.worst_rid = rec.rid
+        if kind == KIND_VIOLATE:
+            item = (rec.e2e_s, rec.rid, rec)
+            if len(self._misses) < self.max_misses:
+                heapq.heappush(self._misses, item)
+            else:
+                heapq.heappushpop(self._misses, item)
+        if self.keep_records:
+            self.records[rec.rid] = rec
+
+    def feed(self, events: Iterable[TraceEvent]) -> "RequestLedger":
+        """Fold an event iterable; returns self for chaining."""
+        for event in events:
+            self.emit(event)
+        return self
+
+    @classmethod
+    def from_events(cls, events: Iterable[TraceEvent], **kwargs) -> "RequestLedger":
+        return cls(**kwargs).feed(events)
+
+    @classmethod
+    def from_jsonl(cls, path, **kwargs) -> "RequestLedger":
+        """Stream a recorded ``.jsonl`` trace file (bounded memory)."""
+        return cls(**kwargs).feed(iter_jsonl(path))
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def open_rids(self) -> List[int]:
+        """Requests that arrived but have not reached a terminal event."""
+        return sorted(self._open)
+
+    def record(self, rid: int) -> RequestRecord:
+        """The (closed or still-open) record for one request id."""
+        rec = self.records.get(rid) or self._open.get(rid)
+        if rec is None:
+            detail = ("records were not kept (keep_records=False)"
+                      if not self.keep_records else "no such rid in the trace")
+            raise ObservabilityError(f"rid {rid}: {detail}")
+        return rec
+
+    def summary(self) -> Dict:
+        """Aggregate blame across every closed request."""
+        total = _new_pool_agg()
+        for agg in self._pools.values():
+            for key, value in agg.items():
+                total[key] += value
+        n = total["n"]
+        component_sum = (total["queue_s"] + total["service_s"]
+                         + total["preempt_s"] + total["switch_s"])
+        blame = {
+            name: (total[name + "_s"] / component_sum) if component_sum else 0.0
+            for name in COMPONENTS
+        }
+        return {
+            "n_closed": n,
+            "n_open": len(self._open),
+            "complete": total["complete"],
+            "violate": total["violate"],
+            "shed": total["shed"],
+            "e2e_s": total["e2e_s"],
+            "queue_s": total["queue_s"],
+            "service_s": total["service_s"],
+            "preempt_s": total["preempt_s"],
+            "switch_s": total["switch_s"],
+            "mean_e2e_s": total["e2e_s"] / n if n else 0.0,
+            "blame": blame,
+            "max_rel_residual": self.max_rel_residual,
+        }
+
+    def pool_summary(self) -> Dict[str, Dict]:
+        """Per-pool (per-lane) aggregate blame, sorted by pool name."""
+        out: Dict[str, Dict] = {}
+        for pool in sorted(self._pools):
+            agg = self._pools[pool]
+            component_sum = (agg["queue_s"] + agg["service_s"]
+                             + agg["preempt_s"] + agg["switch_s"])
+            row = dict(agg)
+            row["blame"] = {
+                name: (agg[name + "_s"] / component_sum) if component_sum
+                else 0.0
+                for name in COMPONENTS
+            }
+            out[pool] = row
+        return out
+
+    def violation_report(self, top: Optional[int] = None) -> List[Dict]:
+        """Worst SLO misses, largest end-to-end latency first.
+
+        Each entry is a :meth:`RequestRecord.to_dict` payload; ``dominant``
+        names the component that contributed the most latency to the miss.
+        Bounded by ``max_misses`` however long the stream was.
+        """
+        ranked = sorted(self._misses, key=lambda item: (-item[0], item[1]))
+        if top is not None:
+            ranked = ranked[:top]
+        return [rec.to_dict() for _, _, rec in ranked]
+
+    def check_conservation(self, eps: Optional[float] = None) -> None:
+        """Raise unless every closed decomposition summed to its e2e.
+
+        Tolerance is relative: ``eps * max(1, |e2e|)`` per request (float
+        reconstruction noise from span arithmetic is the only residual a
+        well-formed trace leaves).
+        """
+        tol = self.eps if eps is None else eps
+        if self.max_rel_residual > tol:
+            raise ObservabilityError(
+                f"attribution not conservative: rid {self.worst_rid} has "
+                f"relative residual {self.max_rel_residual:.3e} > {tol:.3e}"
+            )
+
+
+def explain_request(events: Iterable[TraceEvent], rid: int) -> RequestRecord:
+    """One-shot decomposition of a single request from an event stream."""
+    ledger = RequestLedger.from_events(events)
+    return ledger.record(rid)

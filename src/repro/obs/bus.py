@@ -2,10 +2,18 @@
 
 The bus is the observability layer's event spine.  Engines emit structured
 :class:`TraceEvent` records at lifecycle boundaries — ``arrive`` →
-``admit``/``shed`` → ``route`` → ``queue`` → ``select`` → ``execute`` →
-``complete``/``violate`` — plus control-plane instants (autoscaler
-``scale`` events, energy ``powercap_defer`` decisions).  Everything is
+``admit``/``shed`` → ``route`` → ``queue`` → ``select`` →
+``switch``/``preempt`` → ``execute`` → ``complete``/``violate`` — plus
+control-plane instants (autoscaler ``scale`` events, energy
+``powercap_defer`` decisions, telemetry ``alert`` firings).  Everything is
 keyed by simulated time; ``dur`` distinguishes spans (> 0) from instants.
+
+The ``switch``/``preempt`` spans exist for latency attribution: a
+``switch`` span covers the weight-reload cost charged at the head of the
+execute span it precedes, and a ``preempt`` span covers the stall between
+two consecutive execute spans of one request (emitted retroactively when
+the request is re-dispatched, timed at the previous span's end).  Both are
+observation-only — schedules are bit-identical with or without a bus.
 
 Cost model: engines guard every emission behind ``if tracer is not None``,
 so a run without a bus pays nothing beyond the pointer check (the golden
@@ -22,7 +30,7 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ObservabilityError
 
@@ -32,11 +40,14 @@ KIND_SHED = "shed"              # admission control rejected it (terminal)
 KIND_ROUTE = "route"            # router picked a pool (cluster engine)
 KIND_QUEUE = "queue"            # waiting span: arrival -> first dispatch
 KIND_SELECT = "select"          # one scheduler decision (batch-select)
+KIND_SWITCH = "switch"          # weight-reload span at the head of an execute
+KIND_PREEMPT = "preempt"        # stall span: gap between a rid's execute spans
 KIND_EXECUTE = "execute"        # span of contiguous layer blocks on one NPU
 KIND_COMPLETE = "complete"      # finished within its SLO (terminal)
 KIND_VIOLATE = "violate"        # finished past its SLO (terminal)
 KIND_SCALE = "scale"            # autoscaler applied a capacity change
 KIND_POWERCAP = "powercap_defer"  # powercap scheduler deferred hot work
+KIND_ALERT = "alert"            # an alert rule fired on the telemetry grid
 
 #: Kinds that end a request's lifecycle.
 TERMINAL_KINDS = (KIND_SHED, KIND_COMPLETE, KIND_VIOLATE)
@@ -161,21 +172,49 @@ class JsonlSink:
         return self.count
 
 
-def read_jsonl(path) -> List[TraceEvent]:
-    """Load a :class:`JsonlSink` file back into trace events."""
-    events = []
+def iter_jsonl(path) -> Iterator[TraceEvent]:
+    """Stream a :class:`JsonlSink` file as trace events, one at a time.
+
+    Bounded memory: each line is parsed, yielded and forgotten — the
+    substrate for folding arbitrarily long recorded traces into ledgers
+    and summaries without loading the file.
+    """
     with open(path) as fh:
         for line in fh:
             line = line.strip()
             if not line:
                 continue
             row = json.loads(line)
-            events.append(TraceEvent(
+            yield TraceEvent(
                 row["kind"], row["time"], row.get("dur", 0.0),
                 row.get("pool", ENGINE_LANE), row.get("npu", -1),
                 row.get("rid", -1), row.get("args"),
-            ))
-    return events
+            )
+
+
+def read_jsonl(path) -> List[TraceEvent]:
+    """Load a :class:`JsonlSink` file back into trace events."""
+    return list(iter_jsonl(path))
+
+
+def summarize_jsonl(path) -> Dict[str, int]:
+    """Per-kind event counts of a recorded trace, streamed line by line.
+
+    Never holds more than one event in memory, so it summarizes traces of
+    any length.  Feed the result to :func:`conservation_verdict` for the
+    span-conservation check.
+    """
+    counts: Dict[str, int] = {}
+    for event in iter_jsonl(path):
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return counts
+
+
+def conservation_verdict(counts: Dict[str, int]) -> Tuple[bool, int, int]:
+    """``(ok, arrivals, terminals)`` of a per-kind count table."""
+    arrivals = counts.get(KIND_ARRIVE, 0)
+    terminals = sum(counts.get(kind, 0) for kind in TERMINAL_KINDS)
+    return arrivals == terminals, arrivals, terminals
 
 
 class TraceBus:

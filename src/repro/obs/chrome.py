@@ -9,7 +9,8 @@ form, ``{"traceEvents": [...]}``) so a schedule can be loaded straight into
   so per-accelerator occupancy, preemption interleaving and idle gaps are
   visible at a glance;
 * a synthetic **queue** lane per pool holds the waiting spans
-  (arrival → first dispatch);
+  (arrival → first dispatch) and preemption stalls; weight-reload
+  ``switch`` spans nest at the head of their execute span on the NPU lane;
 * instant events (arrivals, sheds, scale events, powercap deferrals) land
   on a per-pool **control** lane.
 
@@ -25,7 +26,9 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.bus import (
     KIND_EXECUTE,
+    KIND_PREEMPT,
     KIND_QUEUE,
+    KIND_SWITCH,
     TraceBus,
     TraceEvent,
 )
@@ -66,10 +69,10 @@ def to_chrome_trace(events: Iterable[TraceEvent],
         })
     for event in events:
         pid = pids[event.pool]
-        if event.kind == KIND_EXECUTE:
+        if event.kind in (KIND_EXECUTE, KIND_SWITCH):
             tid = max(event.npu, 0)
             name = f"npu {tid}"
-        elif event.kind == KIND_QUEUE:
+        elif event.kind in (KIND_QUEUE, KIND_PREEMPT):
             tid, name = QUEUE_TID, "queue"
         else:
             tid, name = CONTROL_TID, "control"
@@ -97,9 +100,23 @@ def to_chrome_trace(events: Iterable[TraceEvent],
                 "tid": max(event.npu, 0),
                 "args": args,
             })
-        elif event.kind == KIND_QUEUE:
+        elif event.kind == KIND_SWITCH:
+            # Weight reload: a nested span at the head of its execute span,
+            # on the same NPU lane (viewers render it as a child slice).
             out.append({
-                "name": f"wait rid {event.rid}",
+                "name": "switch",
+                "cat": event.kind,
+                "ph": "X",
+                "ts": event.time * _S_TO_US,
+                "dur": event.dur * _S_TO_US,
+                "pid": pid,
+                "tid": max(event.npu, 0),
+                "args": args,
+            })
+        elif event.kind in (KIND_QUEUE, KIND_PREEMPT):
+            label = "wait" if event.kind == KIND_QUEUE else "stall"
+            out.append({
+                "name": f"{label} rid {event.rid}",
                 "cat": event.kind,
                 "ph": "X",
                 "ts": event.time * _S_TO_US,

@@ -211,35 +211,50 @@ class Telemetry:
             names.update(row)
         return ["t"] + sorted(names)
 
-    def to_table(self) -> Dict[str, List[float]]:
-        """Column-oriented dict (the sweep store's per-cell format)."""
+    def to_table(self, *, nan_as_none: bool = False) -> Dict[str, List[float]]:
+        """Column-oriented dict (the sweep store's per-cell format).
+
+        Cells a metric never reported (a column registered mid-run) backfill
+        as NaN; with ``nan_as_none`` they become ``None`` instead, which is
+        what the JSON exports use — bare ``NaN`` is not valid strict JSON.
+        """
+        missing = None if nan_as_none else math.nan
         columns = self.columns()
         out: Dict[str, List[float]] = {name: [] for name in columns}
         for t, row in zip(self.times, self.rows):
             out["t"].append(t)
             for name in columns[1:]:
-                out[name].append(row.get(name, math.nan))
+                out[name].append(row.get(name, missing))
         return out
 
     def to_json(self) -> str:
-        return json.dumps(self.to_table(), sort_keys=True)
+        return json.dumps(self.to_table(nan_as_none=True), sort_keys=True,
+                          allow_nan=False)
 
     def write_csv(self, path) -> str:
-        """Write the series as CSV (one row per sample point)."""
+        """Write the series as CSV (one row per sample point).
+
+        Missing cells are written as empty fields, which
+        :func:`read_telemetry_csv` maps back to NaN — an exact round-trip
+        of :meth:`to_table`.
+        """
         columns = self.columns()
         with open(path, "w", newline="") as fh:
             writer = csv.writer(fh)
             writer.writerow(columns)
             for t, row in zip(self.times, self.rows):
-                writer.writerow(
-                    [repr(t)] + [repr(row.get(name, math.nan))
-                                 for name in columns[1:]]
-                )
+                values = [repr(t)]
+                for name in columns[1:]:
+                    value = row.get(name)
+                    values.append("" if value is None or value != value
+                                  else repr(value))
+                writer.writerow(values)
         return str(path)
 
     def write_json(self, path) -> str:
         with open(path, "w") as fh:
-            fh.write(json.dumps(self.to_table(), indent=2, sort_keys=True))
+            fh.write(json.dumps(self.to_table(nan_as_none=True), indent=2,
+                                sort_keys=True, allow_nan=False))
             fh.write("\n")
         return str(path)
 
@@ -252,5 +267,5 @@ def read_telemetry_csv(path) -> Dict[str, List[float]]:
         out: Dict[str, List[float]] = {name: [] for name in header}
         for row in reader:
             for name, value in zip(header, row):
-                out[name].append(float(value))
+                out[name].append(math.nan if value == "" else float(value))
     return out

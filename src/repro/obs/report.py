@@ -1,0 +1,115 @@
+"""Run reports: fold a ledger (+ alerts) into JSON or markdown.
+
+``build_report`` produces one plain-JSON-serializable dict from a
+:class:`~repro.obs.attribution.RequestLedger` and an optional alert
+stream; ``render_markdown`` turns that dict into the human-facing
+``repro report`` page — aggregate blame, per-pool breakdown, the ranked
+worst SLO misses (which component dominated each), and the alert log.
+Keeping the dict as the interchange format means the CLI, tests and any
+future live dashboard all read the same structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.alerts import Alert
+from repro.obs.attribution import COMPONENTS, RequestLedger
+
+
+def build_report(ledger: RequestLedger,
+                 alerts: Optional[Iterable[Alert]] = None,
+                 *, top_misses: int = 10, title: str = "Run report") -> Dict:
+    """Assemble the report dict (the ``repro report --json`` payload)."""
+    alert_list = [a.to_dict() for a in alerts] if alerts is not None else []
+    return {
+        "title": title,
+        "summary": ledger.summary(),
+        "pools": ledger.pool_summary(),
+        "violations": ledger.violation_report(top=top_misses),
+        "alerts": alert_list,
+    }
+
+
+def _pct(fraction: float) -> str:
+    return f"{100.0 * fraction:.1f}%"
+
+
+def _seconds(value: float) -> str:
+    return f"{value:.4f}"
+
+
+def render_markdown(report: Dict) -> str:
+    """Render a ``build_report`` dict as a markdown page."""
+    summary = report["summary"]
+    lines: List[str] = [f"# {report['title']}", ""]
+
+    lines += [
+        "## Summary",
+        "",
+        f"- requests closed: **{summary['n_closed']}** "
+        f"(complete {summary['complete']}, violate {summary['violate']}, "
+        f"shed {summary['shed']}; open {summary['n_open']})",
+        f"- mean end-to-end latency: **{_seconds(summary['mean_e2e_s'])} s**",
+        "- blame: " + ", ".join(
+            f"{name} {_pct(summary['blame'][name])}" for name in COMPONENTS
+        ),
+        "",
+    ]
+
+    pools = report.get("pools") or {}
+    if pools:
+        lines += [
+            "## Per-pool blame",
+            "",
+            "| pool | n | violate | shed | " + " | ".join(COMPONENTS) + " |",
+            "|---|---|---|---|" + "---|" * len(COMPONENTS),
+        ]
+        for pool, row in pools.items():
+            lines.append(
+                f"| {pool} | {row['n']} | {row['violate']} | {row['shed']} | "
+                + " | ".join(_pct(row["blame"][name]) for name in COMPONENTS)
+                + " |"
+            )
+        lines.append("")
+
+    misses = report.get("violations") or []
+    lines += ["## Worst SLO misses", ""]
+    if misses:
+        lines += [
+            "| rid | pool | e2e (s) | queue | service | preempt | switch "
+            "| dominant |",
+            "|---|---|---|---|---|---|---|---|",
+        ]
+        for miss in misses:
+            lines.append(
+                f"| {miss['rid']} | {miss['pool']} "
+                f"| {_seconds(miss['e2e_s'])} "
+                f"| {_seconds(miss['queue_s'])} "
+                f"| {_seconds(miss['service_s'])} "
+                f"| {_seconds(miss['preempt_s'])} "
+                f"| {_seconds(miss['switch_s'])} "
+                f"| {miss['dominant']} |"
+            )
+    else:
+        lines.append("No SLO violations.")
+    lines.append("")
+
+    alerts = report.get("alerts") or []
+    lines += ["## Alerts", ""]
+    if alerts:
+        lines += [
+            "| time (s) | rule | metric | value | threshold |",
+            "|---|---|---|---|---|",
+        ]
+        for alert in alerts:
+            lines.append(
+                f"| {alert['time']:.3f} | {alert['rule']} "
+                f"| {alert['metric']} | {alert['value']:.4g} "
+                f"| {alert['threshold']:.4g} |"
+            )
+    else:
+        lines.append("No alerts fired.")
+    lines.append("")
+
+    return "\n".join(lines)

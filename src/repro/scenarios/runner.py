@@ -109,6 +109,13 @@ class SweepConfig:
     #: violations, ... sampled on this grid).  Purely additive and — like
     #: every cell number — bit-identical for any worker count.
     telemetry_interval: Optional[float] = None
+    #: Evaluate the default alert rule set (SLO burn rate, queue
+    #: saturation — see :func:`repro.obs.alerts.default_rules`) on every
+    #: cell's telemetry grid and record the firings in a per-cell
+    #: ``alerts`` column.  Requires ``telemetry_interval``; alert streams
+    #: are a pure function of the cell, so they are bit-identical for any
+    #: worker count.
+    alerts: bool = False
 
     def __post_init__(self) -> None:
         if not self.scenarios or not self.schedulers or not self.seeds:
@@ -170,6 +177,11 @@ class SweepConfig:
             raise SchedulingError(
                 f"telemetry interval must be positive, got "
                 f"{self.telemetry_interval}"
+            )
+        if self.alerts and self.telemetry_interval is None:
+            raise SchedulingError(
+                "alerts are evaluated on the telemetry grid; set "
+                "telemetry_interval as well"
             )
 
     @property
@@ -313,7 +325,12 @@ def _run_cell(args: Tuple) -> Tuple[str, Dict]:
     if accountant is not None:
         cell.update({key: float(result.metrics[key]) for key in ENERGY_KEYS})
     if obs is not None:
-        cell["timeseries"] = obs.telemetry.to_table()
+        table = obs.telemetry.to_table(nan_as_none=True)
+        cell["timeseries"] = table
+        if config.alerts:
+            from repro.obs.alerts import evaluate_alerts
+
+            cell["alerts"] = [a.to_dict() for a in evaluate_alerts(table)]
     return cell_key(scenario, scheduler_name, seed), cell
 
 
@@ -335,6 +352,7 @@ def _load_store(path: Path, workload_dict: Dict, force: bool) -> Dict:
         # pre-telemetry stores resume without time-series columns.
         store["workload"].setdefault("energy", False)
         store["workload"].setdefault("telemetry_interval", None)
+        store["workload"].setdefault("alerts", False)
     if store.get("workload") != workload_dict:
         raise SchedulingError(
             f"{path} holds a sweep under different workload parameters "

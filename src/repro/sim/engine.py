@@ -38,8 +38,10 @@ from repro.obs.bus import (
     KIND_ARRIVE,
     KIND_COMPLETE,
     KIND_EXECUTE,
+    KIND_PREEMPT,
     KIND_QUEUE,
     KIND_SELECT,
+    KIND_SWITCH,
     KIND_VIOLATE,
 )
 from repro.obs.profile import (
@@ -265,11 +267,21 @@ def _simulate_scalar(pending, scheduler, switch_cost, block_size, obs=None) -> S
             if tracer is not None:
                 tracer.emit(KIND_QUEUE, chosen.arrival, now - chosen.arrival,
                             rid=chosen.rid)
+        elif (tracer is not None and chosen.next_layer > 0
+                and now > chosen.last_run_end):
+            # Stall span: the gap since this request's previous execute
+            # span ended (emitted retroactively — the stall length is only
+            # known once the request is re-dispatched).
+            tracer.emit(KIND_PREEMPT, chosen.last_run_end,
+                        now - chosen.last_run_end, npu=0, rid=chosen.rid)
         if prof is not None:
             t0 = perf_counter()
         exec_start = now
         if chosen is not resident_request:
             if switch_cost > 0.0:
+                if tracer is not None:
+                    tracer.emit(KIND_SWITCH, now, switch_cost, npu=0,
+                                rid=chosen.rid, args={"key": chosen._key})
                 now += switch_cost
             resident_request = chosen
             if chosen._key != resident_key:
@@ -410,11 +422,19 @@ def _simulate_batch(pending, scheduler, switch_cost, block_size, obs=None) -> Si
             if tracer is not None:
                 tracer.emit(KIND_QUEUE, chosen.arrival, now - chosen.arrival,
                             rid=chosen.rid)
+        elif (tracer is not None and chosen.next_layer > 0
+                and now > chosen.last_run_end):
+            # Stall span: gap since this rid's previous execute span ended.
+            tracer.emit(KIND_PREEMPT, chosen.last_run_end,
+                        now - chosen.last_run_end, npu=0, rid=chosen.rid)
         if prof is not None:
             t0 = perf_counter()
         exec_start = now
         if chosen is not resident_request:
             if has_switch_cost:
+                if tracer is not None:
+                    tracer.emit(KIND_SWITCH, now, switch_cost, npu=0,
+                                rid=chosen.rid, args={"key": chosen._key})
                 now += switch_cost
             resident_request = chosen
             if chosen._key != resident_key:

@@ -35,8 +35,10 @@ from repro.obs.bus import (
     KIND_ARRIVE,
     KIND_COMPLETE,
     KIND_EXECUTE,
+    KIND_PREEMPT,
     KIND_QUEUE,
     KIND_SELECT,
+    KIND_SWITCH,
     KIND_VIOLATE,
 )
 from repro.obs.profile import (
@@ -194,9 +196,19 @@ def simulate_multi(
                 if tracer is not None:
                     tracer.emit(KIND_QUEUE, chosen.arrival,
                                 now - chosen.arrival, rid=chosen.rid)
+            elif (tracer is not None and chosen.next_layer > 0
+                    and now > chosen.last_run_end):
+                # Stall span: gap since this rid's previous execute span
+                # ended (emitted retroactively at re-dispatch).
+                tracer.emit(KIND_PREEMPT, chosen.last_run_end,
+                            now - chosen.last_run_end, npu=npu,
+                            rid=chosen.rid)
             start = now
             if chosen is not resident[npu]:
                 if switch_cost > 0.0:
+                    if tracer is not None:
+                        tracer.emit(KIND_SWITCH, now, switch_cost, npu=npu,
+                                    rid=chosen.rid, args={"key": chosen._key})
                     start += switch_cost
                 resident[npu] = chosen
                 if chosen._key != resident_key[npu]:

@@ -1,0 +1,328 @@
+#!/usr/bin/env python
+"""Perf-trajectory dashboard: render BENCH_perf.json as SVG + markdown.
+
+``repro perf`` appends one entry per run to ``BENCH_perf.json``; this tool
+turns that history into a small static dashboard:
+
+* **cluster_throughput.svg** — cluster streaming throughput (requests/s)
+  per router, across recorded entries;
+* **engine_speedup.svg** — vectorized-vs-scalar engine speedup per
+  scheduler (plus the deep-queue stress case), across entries;
+* **profile_phases.svg** — stacked wall-clock phase attribution for the
+  latest entry's engine self-profiles;
+* **index.md** — the charts inlined, plus latest-entry summary tables.
+
+Entries have no timestamps (runs are environment-dependent anyway), so the
+x-axis is the entry index: the *trajectory* across commits is the signal,
+not absolute dates.  Everything is hand-rolled stdlib SVG — no plotting
+dependency — and the output directory (``docs/_dashboard/`` by default) is
+gitignored; CI regenerates it from the committed benchmark file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Okabe-Ito palette: colorblind-safe, high-contrast on white.
+PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7",
+           "#E69F00", "#56B4E9", "#F0E442", "#000000")
+
+WIDTH, HEIGHT = 640, 360
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 60, 150, 40, 40
+
+
+def load_entries(path: str) -> List[Dict]:
+    """Benchmark entries, oldest first, across both on-disk schemas.
+
+    Schema 1 was a bare single-run dict; schema 2 wraps a history as
+    ``{"schema": 2, "entries": [...]}``.
+    """
+    with open(path) as fh:
+        doc = json.load(fh)
+    if isinstance(doc, list):
+        return doc
+    if isinstance(doc, dict) and isinstance(doc.get("entries"), list):
+        return doc["entries"]
+    return [doc]
+
+
+def _esc(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    """A few round-ish axis ticks covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / max(n - 1, 1)
+    mag = 10.0 ** int(f"{raw:e}".split("e")[1])
+    step = next(s * mag for s in (1, 2, 2.5, 5, 10) if s * mag >= raw)
+    start = int(lo / step) * step
+    out = []
+    value = start
+    while value <= hi + 1e-12:
+        if value >= lo - 1e-12:
+            out.append(value)
+        value += step
+    return out or [lo, hi]
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def line_chart(series: Dict[str, List[Optional[float]]], *, title: str,
+               ylabel: str, n_points: int) -> str:
+    """One SVG line chart: x = entry index, one polyline per series.
+
+    ``None`` values are gaps (an entry that lacks that section); the
+    polyline breaks around them instead of interpolating.
+    """
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    plot_h = HEIGHT - MARGIN_T - MARGIN_B
+    values = [v for vs in series.values() for v in vs if v is not None]
+    lo, hi = 0.0, max(values) * 1.08 if values else 1.0
+    xs = ([MARGIN_L + plot_w / 2.0] if n_points <= 1 else
+          [MARGIN_L + plot_w * i / (n_points - 1) for i in range(n_points)])
+
+    def y_of(value: float) -> float:
+        return MARGIN_T + plot_h * (1.0 - (value - lo) / (hi - lo or 1.0))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        f'<text x="{MARGIN_L}" y="20" font-size="15" font-weight="bold">'
+        f'{_esc(title)}</text>',
+        f'<text x="14" y="{MARGIN_T + plot_h / 2:.1f}" '
+        f'transform="rotate(-90 14 {MARGIN_T + plot_h / 2:.1f})" '
+        f'text-anchor="middle">{_esc(ylabel)}</text>',
+    ]
+    for tick in _ticks(lo, hi):
+        ty = y_of(tick)
+        parts.append(f'<line x1="{MARGIN_L}" y1="{ty:.1f}" '
+                     f'x2="{WIDTH - MARGIN_R}" y2="{ty:.1f}" '
+                     f'stroke="#ddd"/>')
+        parts.append(f'<text x="{MARGIN_L - 6}" y="{ty + 4:.1f}" '
+                     f'text-anchor="end">{_fmt(tick)}</text>')
+    for i, x in enumerate(xs):
+        parts.append(f'<text x="{x:.1f}" y="{HEIGHT - MARGIN_B + 16}" '
+                     f'text-anchor="middle">{i}</text>')
+    parts.append(f'<text x="{MARGIN_L + plot_w / 2:.1f}" '
+                 f'y="{HEIGHT - 8}" text-anchor="middle">entry</text>')
+    parts.append(f'<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" '
+                 f'y2="{HEIGHT - MARGIN_B}" stroke="#333"/>')
+    parts.append(f'<line x1="{MARGIN_L}" y1="{HEIGHT - MARGIN_B}" '
+                 f'x2="{WIDTH - MARGIN_R}" y2="{HEIGHT - MARGIN_B}" '
+                 f'stroke="#333"/>')
+
+    for idx, (name, points) in enumerate(sorted(series.items())):
+        color = PALETTE[idx % len(PALETTE)]
+        run: List[Tuple[float, float]] = []
+        segments: List[List[Tuple[float, float]]] = []
+        for i, value in enumerate(points[:n_points]):
+            if value is None:
+                if run:
+                    segments.append(run)
+                run = []
+            else:
+                run.append((xs[i], y_of(value)))
+        if run:
+            segments.append(run)
+        for seg in segments:
+            if len(seg) == 1:
+                parts.append(f'<circle cx="{seg[0][0]:.1f}" '
+                             f'cy="{seg[0][1]:.1f}" r="3" fill="{color}"/>')
+            else:
+                path = " ".join(f"{x:.1f},{y:.1f}" for x, y in seg)
+                parts.append(f'<polyline points="{path}" fill="none" '
+                             f'stroke="{color}" stroke-width="2"/>')
+                for x, y in seg:
+                    parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" '
+                                 f'r="2.5" fill="{color}"/>')
+        ly = MARGIN_T + 14 * idx
+        lx = WIDTH - MARGIN_R + 12
+        parts.append(f'<rect x="{lx}" y="{ly}" width="10" height="10" '
+                     f'fill="{color}"/>')
+        parts.append(f'<text x="{lx + 14}" y="{ly + 9}">{_esc(name)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def stacked_bars(groups: Dict[str, Dict[str, float]], *, title: str) -> str:
+    """Stacked horizontal bars: one bar per group, segments per phase."""
+    phases = sorted({p for fractions in groups.values() for p in fractions})
+    colors = {p: PALETTE[i % len(PALETTE)] for i, p in enumerate(phases)}
+    bar_h, gap, top = 34, 22, 50
+    height = top + len(groups) * (bar_h + gap) + 30
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{height}" viewBox="0 0 {WIDTH} {height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{WIDTH}" height="{height}" fill="white"/>',
+        f'<text x="{MARGIN_L}" y="20" font-size="15" font-weight="bold">'
+        f'{_esc(title)}</text>',
+    ]
+    for row, (name, fractions) in enumerate(sorted(groups.items())):
+        y = top + row * (bar_h + gap)
+        parts.append(f'<text x="{MARGIN_L - 6}" y="{y + bar_h / 2 + 4:.1f}" '
+                     f'text-anchor="end">{_esc(name)}</text>')
+        x = float(MARGIN_L)
+        for phase in phases:
+            frac = max(float(fractions.get(phase, 0.0)), 0.0)
+            w = plot_w * frac
+            if w <= 0.0:
+                continue
+            parts.append(f'<rect x="{x:.1f}" y="{y}" width="{w:.1f}" '
+                         f'height="{bar_h}" fill="{colors[phase]}"/>')
+            if w > 46:
+                parts.append(f'<text x="{x + w / 2:.1f}" '
+                             f'y="{y + bar_h / 2 + 4:.1f}" fill="white" '
+                             f'text-anchor="middle">'
+                             f'{100 * frac:.0f}%</text>')
+            x += w
+    for i, phase in enumerate(phases):
+        ly = top + 14 * i
+        lx = WIDTH - MARGIN_R + 12
+        parts.append(f'<rect x="{lx}" y="{ly}" width="10" height="10" '
+                     f'fill="{colors[phase]}"/>')
+        parts.append(f'<text x="{lx + 14}" y="{ly + 9}">{_esc(phase)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def _series(entries: Sequence[Dict], *path_and_leaf) -> Dict[str, List[Optional[float]]]:
+    """Per-key trajectory of ``entry[path...][key][leaf]`` across entries."""
+    *path, leaf = path_and_leaf
+    out: Dict[str, List[Optional[float]]] = {}
+    keys: set = set()
+    for entry in entries:
+        node = entry
+        for part in path:
+            node = node.get(part, {}) if isinstance(node, dict) else {}
+        if isinstance(node, dict):
+            keys.update(k for k, v in node.items()
+                        if isinstance(v, dict) and leaf in v)
+    for key in sorted(keys):
+        points: List[Optional[float]] = []
+        for entry in entries:
+            node = entry
+            for part in path:
+                node = node.get(part, {}) if isinstance(node, dict) else {}
+            value = node.get(key, {}).get(leaf) if isinstance(node, dict) else None
+            points.append(float(value) if value is not None else None)
+        out[key] = points
+    return out
+
+
+def build_dashboard(entries: Sequence[Dict], out_dir: str) -> List[str]:
+    """Write the SVG charts + index.md; returns the written paths."""
+    os.makedirs(out_dir, exist_ok=True)
+    written: List[str] = []
+    n = len(entries)
+    latest = entries[-1]
+
+    def write(name: str, content: str) -> None:
+        path = os.path.join(out_dir, name)
+        with open(path, "w") as fh:
+            fh.write(content)
+        written.append(path)
+
+    cluster = _series(entries, "cluster_stream", "requests_per_s")
+    if cluster:
+        write("cluster_throughput.svg", line_chart(
+            cluster, title="Cluster streaming throughput by router",
+            ylabel="requests / s", n_points=n))
+
+    speedups = _series(entries, "engine_200req_rate30", "speedup")
+    deep = [e.get("deep_queue_400req_rate120", {}).get("speedup")
+            for e in entries]
+    if any(v is not None for v in deep):
+        speedups["deep_queue"] = [float(v) if v is not None else None
+                                  for v in deep]
+    if speedups:
+        write("engine_speedup.svg", line_chart(
+            speedups, title="Engine vectorization speedup by scheduler",
+            ylabel="speedup (x)", n_points=n))
+
+    profiles = {
+        name: {phase: stats.get("fraction", 0.0)
+               for phase, stats in prof.get("phases", {}).items()}
+        for name, prof in latest.get("profile", {}).items()
+    }
+    profiles = {k: v for k, v in profiles.items() if v}
+    if profiles:
+        write("profile_phases.svg", stacked_bars(
+            profiles, title="Engine wall-clock phase attribution (latest)"))
+
+    lines = [
+        "# Performance dashboard",
+        "",
+        f"Rendered from `BENCH_perf.json` ({n} "
+        f"entr{'y' if n == 1 else 'ies'}; x-axis = entry index). "
+        "Regenerate with `python tools/perf_dashboard.py`.",
+        "",
+    ]
+    if cluster:
+        lines += ["## Cluster throughput trajectory", "",
+                  "![cluster throughput](cluster_throughput.svg)", ""]
+        lines += ["| router | requests/s (latest) | p99 (norm) | violation rate |",
+                  "|---|---|---|---|"]
+        for router, stats in sorted(latest.get("cluster_stream", {}).items()):
+            lines.append(
+                f"| {router} | {stats.get('requests_per_s', 0.0):.0f} "
+                f"| {stats.get('p99', 0.0):.0f} "
+                f"| {100 * stats.get('violation_rate', 0.0):.1f}% |")
+        lines.append("")
+    if speedups:
+        lines += ["## Engine speedup trajectory", "",
+                  "![engine speedup](engine_speedup.svg)", ""]
+    if profiles:
+        lines += ["## Phase profile (latest entry)", "",
+                  "![phase profile](profile_phases.svg)", "",
+                  "| engine | wall (s) | coverage |", "|---|---|---|"]
+        for name, prof in sorted(latest.get("profile", {}).items()):
+            lines.append(f"| {name} | {prof.get('wall_s', 0.0):.3f} "
+                         f"| {100 * prof.get('coverage', 0.0):.0f}% |")
+        lines.append("")
+    host = latest.get("host", {})
+    if host:
+        lines += [f"Latest host: `{host.get('hostname', '?')}` "
+                  f"({host.get('machine', '?')}, "
+                  f"python {host.get('python', '?')}, "
+                  f"numpy {host.get('numpy', '?')})", ""]
+    write("index.md", "\n".join(lines))
+    return written
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", default="BENCH_perf.json",
+                        help="benchmark history file to render")
+    parser.add_argument("--out", default=os.path.join("docs", "_dashboard"),
+                        help="output directory for SVG + markdown")
+    args = parser.parse_args(argv)
+    if not os.path.exists(args.bench):
+        print(f"error: no benchmark file at {args.bench}", file=sys.stderr)
+        return 1
+    entries = load_entries(args.bench)
+    if not entries:
+        print(f"error: {args.bench} holds no entries", file=sys.stderr)
+        return 1
+    for path in build_dashboard(entries, args.out):
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
