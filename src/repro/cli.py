@@ -8,6 +8,7 @@ Installed as the ``repro`` console script::
     repro compare --family attnn --rate 30             # Table-5-style table
     repro cluster --pools eyeriss:2,sanger:2 --router jsq   # cluster tier
     repro scenario --scenarios diurnal flash_crowd     # parallel sweep
+    repro fuzz --scheduler dysta --budget 50           # adversarial search
     repro energy --family attnn                        # joule models + EDP
     repro trace --scheduler dysta --out timeline.json  # Perfetto timeline
     repro predictor-rmse                               # Table-4-style table
@@ -38,6 +39,7 @@ from repro.cluster import (
 from repro.core.lut import ModelInfoLUT
 from repro.core.predictor import rmse_by_strategy
 from repro.errors import ReproError
+from repro.faults import available_fault_presets, build_faults
 from repro.hw.report import normalized_usage, overhead_table
 from repro.profiling.profiler import benchmark_suite
 from repro.profiling.store import TraceStore
@@ -332,11 +334,15 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         stream = (iter_workload(traces, wspec) if args.streaming
                   else generate_workload(traces, wspec))
         traffic_desc = args.traffic
+    faults = None
+    if args.faults:
+        faults = build_faults(args.faults, duration=args.duration,
+                              seed=args.seed)
     obs = _build_obs(args)
     result = simulate_cluster(stream, pools, router, admission=admission,
                               autoscaler=autoscaler,
                               retain_requests=not args.streaming,
-                              energy=accountant, obs=obs)
+                              energy=accountant, obs=obs, faults=faults)
     _export_obs(obs, args, {"command": "cluster", "router": router.name,
                             "scheduler": args.scheduler, "seed": args.seed})
 
@@ -350,6 +356,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             "slo_multiplier": args.slo,
             "seed": args.seed,
             "autoscale": args.autoscale,
+            "faults": args.faults,
             "num_offered": result.num_offered,
             "num_completed": result.num_completed,
             "num_shed": result.num_shed,
@@ -395,6 +402,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
           + (f"  {result.shed_reasons}" if result.shed_reasons else ""))
     print(f"p99 turnaround  : {result.p99:.2f}x isolated "
           f"(p50 {result.p50:.2f}  p95 {result.p95:.2f})")
+    if args.faults:
+        print(f"faults          : preset {args.faults}, "
+              f"{result.metrics['num_faults']:g} injected, "
+              f"{result.metrics['requests_requeued_by_fault']:g} requeued, "
+              f"{result.metrics['requests_shed_by_blackout']:g} blackout sheds, "
+              f"{result.metrics['acc_seconds_lost']:.1f} acc-s lost")
     if args.autoscale:
         print(f"autoscaling     : policy {args.autoscale}, "
               f"{len(result.scale_events)} scale events, "
@@ -460,6 +473,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         energy=args.energy,
         telemetry_interval=args.telemetry_interval,
         alerts=args.alerts,
+        faults=args.faults,
     )
 
     def progress(key: str, done: int, total: int) -> None:
@@ -499,6 +513,78 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     if result.out_path is not None:
         print(f"\nwrote {result.out_path} "
               f"({len(result.cells)} cells; re-runs skip completed cells)")
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Adversarial scenario search (or replay of a saved reproducer)."""
+    from repro.scenarios.fuzz import FuzzConfig, fuzz, fuzz_to_json, replay
+
+    if args.replay:
+        try:
+            doc = json.loads(Path(args.replay).read_text())
+        except OSError as exc:
+            raise ReproError(f"cannot read reproducer {args.replay}: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"{args.replay} is not valid JSON: {exc}") from None
+        # Accept a bare reproducer or a full fuzz-result document (the
+        # minimized reproducer wins when present).
+        if not isinstance(doc, dict):
+            raise ReproError(f"{args.replay}: expected a JSON object")
+        rep = doc if "genome" in doc else (doc.get("minimized") or doc.get("worst"))
+        if not isinstance(rep, dict):
+            raise ReproError(
+                f"{args.replay}: no reproducer found (expected a 'genome' "
+                "or a 'minimized'/'worst' entry)")
+        outcome = replay(rep)
+        match = outcome["score"] == rep["score"]
+        print(f"replayed {args.replay}: score {outcome['score']:.6f} "
+              f"(recorded {rep['score']:.6f}) -> "
+              f"{'MATCH' if match else 'MISMATCH'}")
+        if args.json:
+            print(json.dumps(outcome, indent=2, sort_keys=True))
+        return 0 if match else 1
+
+    config = FuzzConfig(
+        scheduler=args.scheduler,
+        budget=args.budget,
+        seed=args.seed,
+        objective=args.objective,
+        family=args.family,
+        base_rate=args.rate,
+        duration=args.duration,
+        slo_multiplier=args.slo,
+        n_profile_samples=args.samples,
+        pool_size=args.pool_size,
+        block_size=args.block_size,
+        switch_cost=args.switch_cost,
+        router=args.router,
+        max_queue_depth=args.max_queue_depth,
+        max_fault_events=args.max_fault_events,
+        minimize=not args.no_minimize,
+    )
+    doc = fuzz(config, workers=args.workers)
+    search = doc["search"]
+    worst = doc["worst"]
+    print(f"fuzz            : {config.scheduler} on {config.family}, "
+          f"objective {config.objective}, budget {config.budget} "
+          f"({search['evaluations']} evals, {search['generations']} "
+          f"generations)")
+    print(f"worst case      : score {worst['score']:.4f} "
+          f"(generation {search['best_generation']}, "
+          f"index {search['best_index']}; "
+          f"{len(worst['genome']['faults'])} fault events)")
+    if "minimized" in doc:
+        minimized = doc["minimized"]
+        print(f"minimized       : score {minimized['score']:.4f} "
+              f"({len(minimized['genome']['faults'])} fault events, "
+              f"{search['minimize_evaluations']} extra evals)")
+    baselines = ", ".join(f"{name} {entry['score']:.4f}"
+                          for name, entry in sorted(doc["baselines"].items()))
+    print(f"baselines       : {baselines}")
+    if args.out:
+        Path(args.out).write_text(fuzz_to_json(doc))
+        print(f"wrote {args.out} (replay with: repro fuzz --replay {args.out})")
     return 0
 
 
@@ -943,6 +1029,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--max-queue-depth", type=int, default=None,
                            help="shed when a pool holds this many outstanding "
                                 "requests per accelerator")
+    p_cluster.add_argument("--faults", choices=available_fault_presets(),
+                           default=None,
+                           help="inject a named fault preset (outages, "
+                                "stragglers, blackouts, spot revocations) "
+                                "over --duration seconds, seeded by --seed")
     p_cluster.add_argument("--slo-guard", action="store_true",
                            help="shed requests whose SLO is already infeasible")
     p_cluster.add_argument("--streaming", action="store_true",
@@ -1013,7 +1104,63 @@ def build_parser() -> argparse.ArgumentParser:
                         help="evaluate the default alert rules on each "
                              "cell's telemetry grid and record the fired "
                              "alerts (requires --telemetry-interval)")
+    p_scen.add_argument("--faults", choices=available_fault_presets(),
+                        default=None,
+                        help="inject a named fault preset into every cell "
+                             "(requires --engine cluster; the timeline is "
+                             "seeded by the cell's workload seed)")
     p_scen.set_defaults(func=_cmd_scenario)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="adversarial scenario search: find the traffic shape and fault "
+             "timeline that maximize SLO violations (or EDP)",
+    )
+    p_fuzz.add_argument("--scheduler", default="dysta",
+                        choices=available_schedulers())
+    p_fuzz.add_argument("--budget", type=int, default=50,
+                        help="search evaluations (each one full simulation)")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="search seed; same seed + budget => "
+                             "byte-identical results for any --workers")
+    p_fuzz.add_argument("--objective", choices=("violation_rate", "edp"),
+                        default="violation_rate",
+                        help="metric the search maximizes")
+    p_fuzz.add_argument("--family", choices=("attnn", "cnn"), default="attnn")
+    p_fuzz.add_argument("--rate", type=float, default=None,
+                        help="base arrival rate in req/s (default: family's)")
+    p_fuzz.add_argument("--duration", type=float, default=10.0,
+                        help="candidate scenario length in seconds")
+    p_fuzz.add_argument("--slo", type=float, default=10.0,
+                        help="baseline latency SLO multiplier")
+    p_fuzz.add_argument("--samples", type=int, default=60,
+                        help="profiling samples per (model, pattern)")
+    p_fuzz.add_argument("--pool-size", type=int, default=2,
+                        help="accelerators in the evaluated cluster pool")
+    p_fuzz.add_argument("--router", default="round-robin",
+                        choices=available_routers(),
+                        help="cluster router for candidate evaluations")
+    p_fuzz.add_argument("--max-queue-depth", type=int, default=None,
+                        help="admission queue-depth limit during evaluations")
+    p_fuzz.add_argument("--max-fault-events", type=int, default=4,
+                        help="fault-timeline length cap per candidate")
+    p_fuzz.add_argument("--block-size", type=int, default=1)
+    p_fuzz.add_argument("--switch-cost", type=float, default=0.0)
+    p_fuzz.add_argument("--workers", type=int,
+                        default=max(1, min(4, os.cpu_count() or 1)),
+                        help="worker processes (results identical for any count)")
+    p_fuzz.add_argument("--out", default="fuzz_result.json",
+                        help="result JSON path (empty string to skip writing)")
+    p_fuzz.add_argument("--no-minimize", action="store_true",
+                        help="skip the greedy reproducer minimization pass")
+    p_fuzz.add_argument("--replay", default=None, metavar="PATH",
+                        help="re-evaluate a saved reproducer (or fuzz result) "
+                             "instead of searching; exits nonzero unless the "
+                             "replayed score matches the recorded one")
+    p_fuzz.add_argument("--json", action="store_true",
+                        help="with --replay: also print the replayed metrics "
+                             "as JSON")
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_energy = sub.add_parser(
         "energy",

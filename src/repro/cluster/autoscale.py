@@ -197,7 +197,9 @@ def cost_summary(
     time (what the work needed); their ratio is the provisioned-capacity
     utilization.  ``shed_under_scale_lag`` counts requests shed while the
     target pool had capacity warming — load a zero-latency scaler would
-    have absorbed.
+    have absorbed.  ``acc_seconds_lost`` is downtime under fault injection:
+    capacity that stayed on the bill while an injected outage kept it from
+    serving (0.0 on fault-free runs).
     """
     provisioned = sum(p.acc_seconds_provisioned for p in pools)
     used = sum(p.busy_time for p in pools)
@@ -209,6 +211,7 @@ def cost_summary(
         "shed_under_scale_lag": float(
             sum(p.shed_during_scale_lag for p in pools)
         ),
+        "acc_seconds_lost": sum(p.acc_seconds_lost for p in pools),
     }
 
 

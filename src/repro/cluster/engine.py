@@ -43,6 +43,7 @@ from repro.sim.request import Request
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from repro.energy.accounting import EnergyAccountant
+    from repro.faults.spec import FaultSpec
 
 from repro.cluster.admission import AdmissionController
 from repro.cluster.autoscale import Autoscaler, ScaleEvent, cost_summary
@@ -58,6 +59,7 @@ _BLOCK = 0   # a layer block finished on (pool, npu)
 _WAKE = 1    # an idle accelerator wakes for a pending arrival
 _TICK = 2    # autoscaler decision point
 _WARM = 3    # scaled-up capacity finished warming in a pool
+_FAULT = 4   # an injected-fault boundary is due (FaultInjector.advance)
 
 
 @dataclass(frozen=True)
@@ -92,6 +94,11 @@ class PoolStats:
     joules_busy: float = 0.0
     #: Idle-power joules over provisioned-but-unused accelerator-seconds.
     joules_idle: float = 0.0
+    #: In-flight layer blocks killed by injected outages (work redone).
+    fault_kills: int = 0
+    #: Integral of failed capacity over time — provisioned, paid for, and
+    #: serving nothing (0.0 without fault injection).
+    acc_seconds_lost: float = 0.0
 
     @property
     def joules_total(self) -> float:
@@ -226,6 +233,7 @@ def simulate_cluster(
     retain_requests: bool = True,
     energy: Optional["EnergyAccountant"] = None,
     obs: Optional[Observability] = None,
+    faults: Optional["FaultSpec"] = None,
 ) -> ClusterResult:
     """Replay a request stream against a cluster of accelerator pools.
 
@@ -257,6 +265,18 @@ def simulate_cluster(
             scale decisions appear as instants; telemetry samples per-pool
             queue depth / occupancy (and metered joules under ``energy``).
             Passive, like ``energy``.
+        faults: Optional :class:`~repro.faults.spec.FaultSpec` timeline.
+            Its boundaries fire as first-class events: outages kill the
+            in-flight blocks of failed accelerators (the requests re-enter
+            the ready queue ticket-preserving), slowdown windows stretch
+            service time, blackout windows shed arrivals at admission
+            (reason ``fault_blackout``), and revocations remove capacity
+            via the graceful drain path.  The result metrics gain
+            ``num_faults`` / ``requests_requeued_by_fault`` /
+            ``requests_shed_by_blackout``, and ``fault``/``recover`` spans
+            land on the trace bus.  Faults fire only while the workload is
+            live — boundaries after the last completion are discarded, so
+            a timeline never stretches the makespan.
     """
     pools = list(pools)
     check_unique_names(pools)
@@ -275,6 +295,14 @@ def simulate_cluster(
     track_work = router.tracks_work
     if autoscaler is not None:
         autoscaler.reset(pools)
+    injector = None
+    blackout_reason = None
+    if faults is not None and len(faults):
+        from repro.faults.inject import SHED_FAULT_BLACKOUT, FaultInjector
+
+        injector = FaultInjector(faults)
+        injector.reset(pools, tracer)
+        blackout_reason = SHED_FAULT_BLACKOUT
 
     c_completed = c_violations = c_shed = None
     if telem is not None:
@@ -296,6 +324,11 @@ def simulate_cluster(
                     f"{pool.name}_joules_busy",
                     (lambda p: lambda: p.joules_busy)(pool),
                 )
+            if injector is not None:
+                telem.registry.gauge(
+                    f"{pool.name}_failed",
+                    (lambda p: lambda: p.num_failed)(pool),
+                )
         c_completed = telem.registry.counter("completed")
         c_violations = telem.registry.counter("violations")
         c_shed = telem.registry.counter("shed")
@@ -304,7 +337,7 @@ def simulate_cluster(
     completed: List[Request] = []
     shed: List[Request] = []
     scale_events: List[ScaleEvent] = []
-    events: List = []  # (time, tiebreak, kind, pool, npu, request, layers, dt)
+    events: List = []  # (time, tiebreak, kind, pool, npu, request, layers, dt, epoch)
     counter = itertools.count()
     stream = _request_stream(requests)
     now = 0.0
@@ -321,14 +354,24 @@ def simulate_cluster(
     if next_req is None:
         raise SchedulingError("cannot simulate an empty workload")
 
-    def push_event(time: float, pool: Pool, npu: int, req: Request,
-                   layers: int, dt: float) -> None:
-        heapq.heappush(
-            events, (time, next(counter), _BLOCK, pool, npu, req, layers, dt)
-        )
+    if injector is None:
+        def push_event(time: float, pool: Pool, npu: int, req: Request,
+                       layers: int, dt: float) -> None:
+            heapq.heappush(
+                events, (time, next(counter), _BLOCK, pool, npu, req, layers, dt, 0)
+            )
+    else:
+        # Block events carry the dispatch-time kill epoch so a completion
+        # whose accelerator failed mid-block is discarded when it pops.
+        def push_event(time: float, pool: Pool, npu: int, req: Request,
+                       layers: int, dt: float) -> None:
+            heapq.heappush(
+                events, (time, next(counter), _BLOCK, pool, npu, req, layers,
+                         dt, pool.block_epoch(npu))
+            )
 
     def push_control(time: float, kind: int, pool: Optional[Pool] = None) -> None:
-        heapq.heappush(events, (time, next(counter), kind, pool, -1, None, 0, 0.0))
+        heapq.heappush(events, (time, next(counter), kind, pool, -1, None, 0, 0.0, 0))
 
     # Run-level phase accumulators (flushed into the profiler once at the
     # end of the run: per-event ``PhaseProfiler.add`` calls would cost more
@@ -360,6 +403,13 @@ def simulate_cluster(
                 tracer.emit(KIND_ROUTE, now, pool=pool.name, rid=req.rid,
                             args={"router": router.name})
             reason = admission.admit(req, pool, now) if admission is not None else None
+            if (reason is None and injector is not None
+                    and injector.in_blackout(req.arrival, pool.name)):
+                # Admission blackout: the decision keys on the *arrival*
+                # time (half-open window), so it is independent of which
+                # event's admit pass happened to process this request.
+                reason = blackout_reason
+                injector.note_blackout()
             if reason is not None:
                 pool.shed += 1
                 if pool.num_warming:
@@ -433,6 +483,9 @@ def simulate_cluster(
     arm_wake()
     if autoscaler is not None:
         push_control(autoscaler.interval, _TICK)
+    if injector is not None:
+        for t_fault in injector.boundary_times():
+            push_control(t_fault, _FAULT)
 
     # The loop's brackets are chained: each closing ``perf_counter`` read
     # doubles as the next segment's opening stamp, so profiler bookkeeping
@@ -440,9 +493,10 @@ def simulate_cluster(
     # coverage gap.
     t_heap = perf_counter() if prof is not None else 0.0
     t_seg = 0.0
+    skip_admit = False
     while events:
-        time, _, kind, pool, npu, req, layers, dt = heapq.heappop(events)
-        if kind in (_TICK, _WARM) and not work_remains():
+        time, _, kind, pool, npu, req, layers, dt, epoch = heapq.heappop(events)
+        if kind in (_TICK, _WARM, _FAULT) and not work_remains():
             # The stream is exhausted and every request served: discard
             # trailing control events instead of stretching the makespan.
             if prof is not None:
@@ -466,6 +520,17 @@ def simulate_cluster(
         elif kind == _TICK:
             admit_arrivals(now)  # measure the queues the tick acts on
             run_autoscaler(now)
+        elif kind == _FAULT:
+            # A boundary that changed nothing must also skip the trailing
+            # admit/dispatch pass: the fault-free run has no event at this
+            # timestamp, and admitting arrivals here would perturb
+            # admission-controller / work-estimating-router decisions (the
+            # instantly-recovered lockstep guarantee).
+            skip_admit = not injector.advance(now)
+        elif injector is not None and not pool.block_live(npu, epoch):
+            # Stale completion: the accelerator failed mid-block and the
+            # request was already requeued.  Nothing to fold.
+            pass
         else:
             done = pool.complete_block(now, npu, req, layers, dt,
                                        t_entry=t_seg if prof is not None else None)
@@ -501,6 +566,13 @@ def simulate_cluster(
                 if prof is not None:
                     p_metrics_s += perf_counter() - t_met
                     p_metrics_c += 1
+        if skip_admit:
+            # No-op fault boundary: leave queues, admission and wake state
+            # exactly as the fault-free run would at this timestamp.
+            skip_admit = False
+            if prof is not None:
+                t_heap = perf_counter()
+            continue
         # Same inline guard as dispatch_all: most events have no pending
         # arrival, and the no-op admit pass is pure call overhead.
         if next_req is not None and next_req.arrival <= now + _EPS:
@@ -546,6 +618,8 @@ def simulate_cluster(
     else:
         summary = metrics.summary()
     summary.update(cost_summary(pools, scale_events))
+    if injector is not None:
+        summary.update(injector.summary())
     pool_joules_idle: Dict[str, float] = {p.name: 0.0 for p in pools}
     if energy is not None:
         from repro.energy.accounting import energy_cost_summary, pool_idle_joules
@@ -578,6 +652,8 @@ def simulate_cluster(
             shed_during_scale_lag=p.shed_during_scale_lag,
             joules_busy=p.joules_busy,
             joules_idle=pool_joules_idle[p.name],
+            fault_kills=p.fault_kills,
+            acc_seconds_lost=p.acc_seconds_lost,
         )
         for p in pools
     }

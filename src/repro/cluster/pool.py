@@ -190,6 +190,17 @@ class Pool:
         #: Joules drawn by executed work (per-block dynamic + static energy,
         #: plus weight reloads); 0.0 unless an accountant is bound.
         self.joules_busy = 0.0
+        # -- fault injection (armed by FaultInjector.reset) ------------------
+        # All of this is inert on fault-free runs: _fault_mode stays False,
+        # _slowdown stays 1.0, and the dicts stay empty.
+        self._fault_mode = False
+        self._slowdowns: List[float] = []
+        self._slowdown = 1.0
+        self._block_epoch: Dict[int, int] = {}
+        self._inflight_charge: Dict[int, float] = {}
+        self._failed: Dict[int, float] = {}  # npu -> time it went down
+        self.fault_kills = 0  # in-flight blocks killed by outages
+        self.acc_seconds_lost = 0.0  # integral of failed capacity over time
 
     def bind_energy(self, accountant) -> None:
         """Attach (or detach, with ``None``) an
@@ -344,6 +355,127 @@ class Pool:
     def finalize_cost(self, now: float) -> None:
         """Close the provisioned-capacity integral at the end of a run."""
         self._accrue_cost(now)
+        # Close the downtime integral for accelerators still failed at the
+        # end of the run (their outage window outlived the workload).
+        for failed_at in self._failed.values():
+            self.acc_seconds_lost += now - failed_at
+        self._failed.clear()
+
+    # -- fault injection (driven by repro.faults.FaultInjector) --------------
+
+    def enable_fault_mode(self) -> None:
+        """Arm the per-dispatch bookkeeping kills and slowdowns need.
+
+        Called by the injector after reset; fault-free runs never pay for
+        it (the flag gates one dict write per dispatch).
+        """
+        self._fault_mode = True
+
+    @property
+    def num_failed(self) -> int:
+        """Accelerators currently down from an injected outage."""
+        return len(self._failed)
+
+    def block_epoch(self, npu: int) -> int:
+        """Kill-generation of one accelerator (stamped into block events)."""
+        return self._block_epoch.get(npu, 0)
+
+    def block_live(self, npu: int, epoch: int) -> bool:
+        """Whether a block event stamped at ``epoch`` is still valid — a
+        mid-block kill bumps the epoch so the stale completion event is
+        discarded when it pops."""
+        return self._block_epoch.get(npu, 0) == epoch
+
+    def push_slowdown(self, factor: float) -> None:
+        """Enter a straggler window: service time multiplied by ``factor``
+        for blocks dispatched while it is active (windows stack)."""
+        self._slowdowns.append(factor)
+        self._recompute_slowdown()
+
+    def pop_slowdown(self, factor: float) -> None:
+        """Leave a straggler window (in-flight blocks keep their speed)."""
+        self._slowdowns.remove(factor)
+        self._recompute_slowdown()
+
+    def _recompute_slowdown(self) -> None:
+        combined = 1.0
+        for factor in self._slowdowns:
+            combined *= factor
+        self._slowdown = combined
+
+    def fail_accelerators(
+        self, now: float, count: Optional[int] = None
+    ) -> Tuple[List[int], List[Tuple[int, Request]]]:
+        """Take warm accelerators down hard (injected outage).
+
+        Unlike :meth:`remove_accelerators` (graceful drain), a failure
+        kills the in-flight layer block: the request re-enters the ready
+        queue ticket-preserving (its scheduler row was stashed at dispatch
+        and is restored by the re-append; no completion callbacks fire),
+        the optimistic ``busy_time`` charge is rolled back, and the stale
+        block event is invalidated via the kill epoch.  Failed capacity
+        stays provisioned — the bill keeps running — but is invisible to
+        dispatch and to :meth:`remove_accelerators` until recovery.
+
+        Victims are the highest-id warm accelerators (deterministic, and
+        the inverse of NPU allocation order).  Draining victims retire
+        permanently instead of entering the failed set.  Returns
+        ``(failed_npus, killed)`` where ``failed_npus`` lists accelerators
+        to hand back to :meth:`recover_accelerators` and ``killed`` pairs
+        each killed npu with the request it was serving.
+        """
+        warm = sorted(set(self.idle) | set(self.running), reverse=True)
+        if count is not None:
+            warm = warm[:count]
+        if not warm:
+            return [], []
+        self._accrue_cost(now)
+        victims = set(warm)
+        self.idle = [npu for npu in self.idle if npu not in victims]
+        heapq.heapify(self.idle)
+        failed: List[int] = []
+        killed: List[Tuple[int, Request]] = []
+        for npu in warm:
+            request = self.running.pop(npu, None)
+            if request is not None:
+                self._block_epoch[npu] = self._block_epoch.get(npu, 0) + 1
+                self.busy_time -= self._inflight_charge.pop(npu, 0.0)
+                self.queue.append(request)
+                self.fault_kills += 1
+                killed.append((npu, request))
+            self._last_on_npu.pop(npu, None)
+            self._resident.pop(npu, None)
+            self._resident_key.pop(npu, None)
+            if npu in self._draining:
+                # The drain completes by dying: the accelerator leaves the
+                # pool for good and never enters the failed set.
+                self._draining.discard(npu)
+                self._provisioned -= 1
+            else:
+                self._failed[npu] = now
+                failed.append(npu)
+        return failed, killed
+
+    def recover_accelerators(self, npus: Sequence[int], now: float) -> int:
+        """Bring failed accelerators back into service (outage ended).
+
+        Recovered accelerators come back cold (no resident weights) and
+        idle; the downtime integral ``acc_seconds_lost`` absorbs their
+        outage.  Returns how many actually came back (an npu may have
+        left the failed set, e.g. via a run that ended first).
+        """
+        restored = 0
+        for npu in sorted(npus):
+            failed_at = self._failed.pop(npu, None)
+            if failed_at is None:
+                continue
+            self.acc_seconds_lost += now - failed_at
+            self._last_on_npu[npu] = None
+            self._resident[npu] = None
+            self._resident_key[npu] = None
+            heapq.heappush(self.idle, npu)
+            restored += 1
+        return restored
 
     # -- placement-visible state (read by routers / admission) --------------
 
@@ -453,6 +585,9 @@ class Pool:
             nl = chosen.next_layer
             layers = min(self.block_size, chosen.num_layers - nl)
             speed = self.service_speed(chosen)
+            if self._slowdown != 1.0:
+                # Straggler window: multiplicative service-*time* factor.
+                speed /= self._slowdown
             if layers == 1:
                 dt = chosen.layer_latencies[nl] / speed
             else:
@@ -461,6 +596,10 @@ class Pool:
                 ) / speed
             self.running[npu] = chosen
             self.busy_time += (start - now) + dt
+            if self._fault_mode:
+                # Remember the optimistic charge so a mid-block kill can
+                # subtract the work that never happened.
+                self._inflight_charge[npu] = (start - now) + dt
             if tracer is not None:
                 # Span from decision to block end: switch cost included.
                 tracer.emit(KIND_EXECUTE, now, (start + dt) - now,

@@ -33,3 +33,7 @@ class HardwareModelError(ReproError):
 
 class ObservabilityError(ReproError):
     """Trace/metrics/profile invariant violated or bad obs configuration."""
+
+
+class FaultError(ReproError):
+    """Invalid fault-injection timeline or fuzzer configuration."""

@@ -1,0 +1,42 @@
+"""Deterministic fault injection for the cluster tier.
+
+Public surface:
+
+* :class:`FaultEvent` / :class:`FaultSpec` — immutable fault timelines
+  (outages, slowdown stragglers, admission blackouts, spot revocations)
+  with canonical JSON serialization;
+* :func:`sample_fault_spec` — seeded random timelines (fuzzer raw
+  material);
+* :func:`build_faults` / :func:`available_fault_presets` — the named
+  preset registry behind ``SweepConfig(faults=...)`` and the CLI;
+* :class:`FaultInjector` — replays a spec against a live cluster run
+  (constructed by :func:`repro.cluster.engine.simulate_cluster` when
+  given ``faults=``).
+"""
+
+from repro.faults.inject import SHED_FAULT_BLACKOUT, FaultInjector
+from repro.faults.spec import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSpec,
+    available_fault_presets,
+    build_faults,
+    fault_preset_descriptions,
+    fault_seed,
+    sample_fault_event,
+    sample_fault_spec,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSpec",
+    "SHED_FAULT_BLACKOUT",
+    "available_fault_presets",
+    "build_faults",
+    "fault_preset_descriptions",
+    "fault_seed",
+    "sample_fault_event",
+    "sample_fault_spec",
+]

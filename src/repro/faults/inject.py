@@ -1,0 +1,269 @@
+"""FaultInjector: replay a :class:`~repro.faults.spec.FaultSpec` against a
+live cluster.
+
+The injector turns a fault timeline into sorted *boundaries* (an outage
+has a start and an end; a revocation is a single permanent boundary; a
+zero-duration window collapses to one "observe" boundary that applies
+nothing but is still counted and emitted).  The cluster engine pushes one
+``_FAULT`` control event per boundary time and calls :meth:`advance` when
+it pops; everything the injector does goes through the pools' public
+fault hooks (``fail_accelerators`` / ``recover_accelerators`` /
+``push_slowdown`` / ``remove_accelerators``), so fault semantics live in
+one place.
+
+:meth:`advance` returns whether the boundary *changed* simulator state.
+No-op boundaries (zero-duration windows, blackout edges — blackout
+shedding is keyed on arrival time, not wall time) return ``False`` and the
+engine then skips its post-event admit/dispatch pass: this is what makes
+an instantly-recovered timeline bit-identical to a fault-free run (the
+lockstep property test) — admitting arrivals at a timestamp the fault-free
+run has no event for would perturb admission-controller and
+work-estimating-router decisions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FaultError
+from repro.obs.bus import KIND_FAULT, KIND_RECOVER
+from repro.faults.spec import (
+    FaultEvent,
+    FaultSpec,
+    KIND_BLACKOUT,
+    KIND_OUTAGE,
+    KIND_REVOKE,
+    KIND_SLOWDOWN,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.cluster.pool import Pool
+
+#: Shed reason recorded for arrivals inside an admission blackout window.
+SHED_FAULT_BLACKOUT = "fault_blackout"
+
+_EPS = 1e-12
+
+# Boundary actions, in same-time processing order: ends before starts so a
+# window that closes exactly when another opens hands over cleanly.
+_END = 0
+_START = 1
+_OBSERVE = 2
+_REVOKE = 3
+
+
+class FaultInjector:
+    """Drives one fault timeline through a cluster run.
+
+    Construct with a spec, then :meth:`reset` with the run's pools and
+    trace bus; the engine calls :meth:`advance` at every fault boundary
+    and :meth:`in_blackout` per admitted arrival.
+    """
+
+    def __init__(self, spec: FaultSpec):
+        if not isinstance(spec, FaultSpec):
+            raise FaultError(
+                f"expected a FaultSpec, got {type(spec).__name__}"
+            )
+        self.spec = spec
+        self._pools: List["Pool"] = []
+        self._tracer = None
+        self._boundaries: List[Tuple[float, int, int, int, FaultEvent]] = []
+        self._cursor = 0
+        self._outage_npus: Dict[int, List[Tuple["Pool", List[int]]]] = {}
+        self._blackouts: Dict[str, List[Tuple[float, float]]] = {}
+        self.num_faults = 0
+        self.requests_requeued = 0
+        self.blackout_sheds = 0
+
+    # -- run binding ---------------------------------------------------------
+
+    def reset(self, pools: Sequence["Pool"], tracer=None) -> None:
+        """Bind to one run: validate pool references, arm the pools' fault
+        hooks, and lay out the sorted boundary schedule."""
+        self._pools = list(pools)
+        self._tracer = tracer
+        names = {pool.name for pool in self._pools}
+        for event in self.spec.events:
+            if event.pool is not None and event.pool not in names:
+                raise FaultError(
+                    f"fault targets unknown pool {event.pool!r}; "
+                    f"cluster has {sorted(names)}"
+                )
+        for pool in self._pools:
+            pool.enable_fault_mode()
+        boundaries: List[Tuple[float, int, int, int, FaultEvent]] = []
+        self._blackouts = {name: [] for name in names}
+        for idx, event in enumerate(self.spec.events):
+            if event.kind == KIND_REVOKE:
+                boundaries.append((event.time, _REVOKE, idx, idx, event))
+            elif event.duration <= 0.0:
+                boundaries.append((event.time, _OBSERVE, idx, idx, event))
+            else:
+                boundaries.append((event.time, _START, idx, idx, event))
+                boundaries.append((event.end, _END, idx, idx, event))
+                if event.kind == KIND_BLACKOUT:
+                    for pool in self._targets(event):
+                        self._blackouts[pool.name].append(
+                            (event.time, event.end)
+                        )
+        # Sort by (time, action, index): at equal times, ends run before
+        # starts, and equal-action boundaries keep spec order.
+        boundaries.sort(key=lambda b: (b[0], b[1], b[2]))
+        self._boundaries = boundaries
+        self._cursor = 0
+        self._outage_npus = {}
+        self.num_faults = 0
+        self.requests_requeued = 0
+        self.blackout_sheds = 0
+
+    def _targets(self, event: FaultEvent) -> List["Pool"]:
+        if event.pool is None:
+            return self._pools
+        return [pool for pool in self._pools if pool.name == event.pool]
+
+    def boundary_times(self) -> List[float]:
+        """Distinct boundary timestamps, sorted — one engine control event
+        is scheduled per entry."""
+        return sorted({b[0] for b in self._boundaries})
+
+    # -- engine hooks --------------------------------------------------------
+
+    def advance(self, now: float) -> bool:
+        """Apply every boundary due at ``now``.
+
+        Returns True when simulator state changed (accelerators failed,
+        recovered, revoked, or a slowdown window toggled) — the engine only
+        runs its post-event admit/dispatch pass in that case, so no-op
+        boundaries leave the schedule bit-identical to a fault-free run.
+        """
+        changed = False
+        while (self._cursor < len(self._boundaries)
+               and self._boundaries[self._cursor][0] <= now + _EPS):
+            _, action, _, idx, event = self._boundaries[self._cursor]
+            self._cursor += 1
+            if action == _OBSERVE:
+                # Zero-duration window: counted and emitted, nothing applied.
+                self.num_faults += 1
+                self._emit_noop(event, now)
+            elif action == _REVOKE:
+                self.num_faults += 1
+                changed = self._apply_revoke(event, now) or changed
+            elif action == _START:
+                self.num_faults += 1
+                changed = self._apply_start(event, idx, now) or changed
+            else:
+                changed = self._apply_end(event, idx, now) or changed
+        return changed
+
+    def in_blackout(self, arrival: float, pool_name: str) -> bool:
+        """Whether an arrival at ``arrival`` routed to ``pool_name`` falls
+        inside an admission blackout window (half-open ``[t, t+d)``, so the
+        decision depends only on the arrival time — never on when the
+        engine got around to admitting it)."""
+        for start, end in self._blackouts.get(pool_name, ()):
+            if start <= arrival < end:
+                return True
+        return False
+
+    def note_blackout(self) -> None:
+        self.blackout_sheds += 1
+
+    # -- boundary actions ----------------------------------------------------
+
+    def _emit_noop(self, event: FaultEvent, now: float) -> None:
+        if self._tracer is None:
+            return
+        for pool in self._targets(event):
+            self._tracer.emit(KIND_FAULT, now, pool=pool.name,
+                              args={"fault": event.kind, "noop": True})
+
+    def _apply_start(self, event: FaultEvent, idx: int, now: float) -> bool:
+        changed = False
+        if event.kind == KIND_OUTAGE:
+            per_pool: List[Tuple["Pool", List[int]]] = []
+            for pool in self._targets(event):
+                failed, killed = pool.fail_accelerators(now, count=event.count)
+                if failed:
+                    per_pool.append((pool, failed))
+                    changed = True
+                self.requests_requeued += len(killed)
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        KIND_FAULT, now, event.duration, pool=pool.name,
+                        args={"fault": event.kind, "failed": len(failed),
+                              "killed": len(killed)},
+                    )
+                    for npu, req in killed:
+                        # rid-carrying kill marker: the attribution ledger
+                        # truncates the victim's optimistic execute span here.
+                        self._tracer.emit(KIND_FAULT, now, pool=pool.name,
+                                          npu=npu, rid=req.rid,
+                                          args={"fault": "kill"})
+            self._outage_npus[idx] = per_pool
+        elif event.kind == KIND_SLOWDOWN:
+            for pool in self._targets(event):
+                pool.push_slowdown(event.factor)
+                changed = True
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        KIND_FAULT, now, event.duration, pool=pool.name,
+                        args={"fault": event.kind, "factor": event.factor},
+                    )
+        else:  # blackout: shedding is keyed on arrival time in the engine
+            if self._tracer is not None:
+                for pool in self._targets(event):
+                    self._tracer.emit(
+                        KIND_FAULT, now, event.duration, pool=pool.name,
+                        args={"fault": event.kind},
+                    )
+        return changed
+
+    def _apply_end(self, event: FaultEvent, idx: int, now: float) -> bool:
+        changed = False
+        if event.kind == KIND_OUTAGE:
+            for pool, npus in self._outage_npus.pop(idx, ()):
+                restored = pool.recover_accelerators(npus, now)
+                if restored:
+                    changed = True
+                if self._tracer is not None:
+                    self._tracer.emit(KIND_RECOVER, now, pool=pool.name,
+                                      args={"fault": event.kind,
+                                            "restored": restored})
+        elif event.kind == KIND_SLOWDOWN:
+            for pool in self._targets(event):
+                pool.pop_slowdown(event.factor)
+                changed = True
+                if self._tracer is not None:
+                    self._tracer.emit(KIND_RECOVER, now, pool=pool.name,
+                                      args={"fault": event.kind})
+        else:  # blackout end: bus-only, nothing to undo
+            if self._tracer is not None:
+                for pool in self._targets(event):
+                    self._tracer.emit(KIND_RECOVER, now, pool=pool.name,
+                                      args={"fault": event.kind})
+        return changed
+
+    def _apply_revoke(self, event: FaultEvent, now: float) -> bool:
+        changed = False
+        for pool in self._targets(event):
+            before = pool.provision_target
+            pool.remove_accelerators(event.count or 1, now)
+            revoked = before - pool.provision_target
+            if revoked:
+                changed = True
+            if self._tracer is not None:
+                self._tracer.emit(KIND_FAULT, now, pool=pool.name,
+                                  args={"fault": event.kind,
+                                        "revoked": revoked})
+        return changed
+
+    # -- result folding ------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        """Fault counters merged into the cluster result metrics."""
+        return {
+            "num_faults": float(self.num_faults),
+            "requests_requeued_by_fault": float(self.requests_requeued),
+            "requests_shed_by_blackout": float(self.blackout_sheds),
+        }

@@ -1,0 +1,330 @@
+"""Deterministic fault timelines: what breaks, when, and for how long.
+
+A :class:`FaultSpec` is an immutable list of :class:`FaultEvent` entries —
+accelerator outages, slowdown stragglers, admission blackouts and spot
+revocations — that the cluster engine replays as first-class simulation
+events (see :mod:`repro.faults.inject`).  The spec is pure data: it can be
+serialized to JSON byte-for-byte (the fuzzer's reproducer format), built
+from a seeded RNG stream (:func:`sample_fault_spec`), or taken from the
+named preset registry (:func:`build_faults`) that ``SweepConfig(faults=...)``
+and the CLI expose.
+
+Window semantics are half-open: a fault with ``time=t`` and ``duration=d``
+is active over ``[t, t+d)``.  A zero-duration window is therefore a
+semantic no-op — it is still counted and emitted on the trace bus, which
+is what makes the lockstep property test possible: injecting a timeline
+and instantly recovering it (:meth:`FaultSpec.instantly_recovered`) must be
+bit-identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import zlib
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import FaultError
+
+#: Fault kinds, in docs order.
+KIND_OUTAGE = "outage"       # warm accelerators go down, then recover
+KIND_SLOWDOWN = "slowdown"   # straggler window: service time x factor
+KIND_BLACKOUT = "blackout"   # arrivals inside the window are shed
+KIND_REVOKE = "revoke"       # spot revocation: permanent graceful removal
+
+FAULT_KINDS = (KIND_OUTAGE, KIND_SLOWDOWN, KIND_BLACKOUT, KIND_REVOKE)
+
+_FIELD_ORDER = ("kind", "time", "duration", "pool", "count", "factor")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One entry of a fault timeline.
+
+    Attributes:
+        kind: One of :data:`FAULT_KINDS`.
+        time: Fault start, simulated seconds (>= 0).
+        duration: Window length; the fault is active over
+            ``[time, time + duration)``.  Must be 0 for ``revoke``
+            (revocation is permanent).
+        pool: Target pool name; ``None`` targets every pool.
+        count: Accelerators affected (``outage``/``revoke``); ``None``
+            means every warm accelerator (``outage``) or one (``revoke``).
+        factor: Multiplicative service-*time* factor (``slowdown`` only;
+            2.0 makes every block dispatched inside the window twice as
+            slow).
+    """
+
+    kind: str
+    time: float
+    duration: float = 0.0
+    pool: Optional[str] = None
+    count: Optional[int] = None
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if not (math.isfinite(self.time) and self.time >= 0):
+            raise FaultError(f"fault time must be finite and >= 0, got {self.time}")
+        if not (math.isfinite(self.duration) and self.duration >= 0):
+            raise FaultError(
+                f"fault duration must be finite and >= 0, got {self.duration}"
+            )
+        if self.count is not None and self.count < 1:
+            raise FaultError(f"fault count must be >= 1, got {self.count}")
+        if self.kind == KIND_SLOWDOWN:
+            if not (math.isfinite(self.factor) and self.factor >= 1.0):
+                raise FaultError(
+                    f"slowdown factor must be >= 1.0, got {self.factor}"
+                )
+        elif self.factor != 1.0:
+            raise FaultError(f"factor only applies to slowdown faults")
+        if self.kind == KIND_REVOKE and self.duration != 0.0:
+            raise FaultError(
+                "revocation is permanent; duration must be 0, "
+                f"got {self.duration}"
+            )
+        if self.kind in (KIND_SLOWDOWN, KIND_BLACKOUT) and self.count is not None:
+            raise FaultError(f"count does not apply to {self.kind} faults")
+
+    @property
+    def end(self) -> float:
+        return self.time + self.duration
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly dict; ``None``/default fields are kept explicit so
+        round-trips are byte-stable."""
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "duration": self.duration,
+            "pool": self.pool,
+            "count": self.count,
+            "factor": self.factor,
+        }
+
+    @classmethod
+    def from_dict(cls, row: Dict) -> "FaultEvent":
+        unknown = sorted(set(row) - set(_FIELD_ORDER))
+        if unknown:
+            raise FaultError(f"unknown fault-event fields {unknown}")
+        if "kind" not in row or "time" not in row:
+            raise FaultError(f"fault event needs 'kind' and 'time': {row}")
+        return cls(
+            kind=row["kind"],
+            time=float(row["time"]),
+            duration=float(row.get("duration", 0.0)),
+            pool=row.get("pool"),
+            count=None if row.get("count") is None else int(row["count"]),
+            factor=float(row.get("factor", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """An immutable fault timeline (any order; the injector sorts it)."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise FaultError(
+                    f"FaultSpec events must be FaultEvent, got {type(event).__name__}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def instantly_recovered(self) -> "FaultSpec":
+        """The same timeline with every window collapsed to zero duration.
+
+        Revocations are dropped (they cannot be recovered).  Because fault
+        windows are half-open, the result is a semantic no-op timeline:
+        running it must be bit-identical to a fault-free run — the
+        property the lockstep tests pin down.
+        """
+        return FaultSpec(tuple(
+            replace(event, duration=0.0)
+            for event in self.events
+            if event.kind != KIND_REVOKE
+        ))
+
+    def to_dicts(self) -> List[Dict]:
+        return [event.to_dict() for event in self.events]
+
+    @classmethod
+    def from_dicts(cls, rows: Sequence[Dict]) -> "FaultSpec":
+        return cls(tuple(FaultEvent.from_dict(row) for row in rows))
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys): same timeline => same bytes."""
+        return json.dumps(self.to_dicts(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSpec":
+        rows = json.loads(text)
+        if not isinstance(rows, list):
+            raise FaultError(
+                f"fault spec JSON must be a list, got {type(rows).__name__}"
+            )
+        return cls.from_dicts(rows)
+
+
+# --------------------------------------------------------------------------
+# Seeded random timelines (the fuzzer's raw material)
+# --------------------------------------------------------------------------
+
+
+def sample_fault_event(rng: np.random.Generator, duration: float, *,
+                       pool: Optional[str] = None,
+                       kinds: Sequence[str] = FAULT_KINDS) -> FaultEvent:
+    """Draw one random fault event inside a run of length ``duration``."""
+    kind = kinds[int(rng.integers(len(kinds)))]
+    t = float(rng.uniform(0.05, 0.8) * duration)
+    if kind == KIND_OUTAGE:
+        return FaultEvent(kind, t, duration=float(rng.uniform(0.05, 0.2) * duration),
+                          pool=pool, count=int(rng.integers(1, 3)))
+    if kind == KIND_SLOWDOWN:
+        return FaultEvent(kind, t, duration=float(rng.uniform(0.1, 0.3) * duration),
+                          pool=pool, factor=float(rng.uniform(1.5, 4.0)))
+    if kind == KIND_BLACKOUT:
+        return FaultEvent(kind, t, duration=float(rng.uniform(0.02, 0.1) * duration),
+                          pool=pool)
+    return FaultEvent(KIND_REVOKE, t, pool=pool, count=1)
+
+
+def sample_fault_spec(seed: Union[int, np.random.Generator], duration: float, *,
+                      pools: Sequence[Optional[str]] = (None,),
+                      kinds: Sequence[str] = FAULT_KINDS,
+                      max_events: int = 4) -> FaultSpec:
+    """A random timeline of 1..``max_events`` faults from a seeded stream."""
+    if duration <= 0:
+        raise FaultError(f"duration must be positive, got {duration}")
+    if max_events < 1:
+        raise FaultError(f"max_events must be >= 1, got {max_events}")
+    rng = (seed if isinstance(seed, np.random.Generator)
+           else np.random.default_rng(seed))
+    n = int(rng.integers(1, max_events + 1))
+    events = tuple(
+        sample_fault_event(rng, duration,
+                           pool=pools[int(rng.integers(len(pools)))],
+                           kinds=kinds)
+        for _ in range(n)
+    )
+    return FaultSpec(events)
+
+
+# --------------------------------------------------------------------------
+# Named preset registry (SweepConfig(faults=...) / repro scenario --faults)
+# --------------------------------------------------------------------------
+
+
+def fault_seed(name: str, seed: int) -> int:
+    """Stable per-preset seed (CRC-based, never ``hash()`` — that is salted
+    per process and would break cross-run sweep resume)."""
+    return (zlib.crc32(f"faults:{name}".encode()) + seed) & 0x7FFFFFFF
+
+
+def _outages(rng: np.random.Generator, duration: float) -> Tuple[FaultEvent, ...]:
+    """Two single-accelerator outages, early and late in the run."""
+    return (
+        FaultEvent(KIND_OUTAGE, float(rng.uniform(0.15, 0.3) * duration),
+                   duration=float(rng.uniform(0.1, 0.2) * duration), count=1),
+        FaultEvent(KIND_OUTAGE, float(rng.uniform(0.5, 0.65) * duration),
+                   duration=float(rng.uniform(0.1, 0.2) * duration), count=1),
+    )
+
+
+def _stragglers(rng: np.random.Generator, duration: float) -> Tuple[FaultEvent, ...]:
+    """Two pool-wide slowdown windows (2-4x service time)."""
+    return (
+        FaultEvent(KIND_SLOWDOWN, float(rng.uniform(0.1, 0.25) * duration),
+                   duration=float(rng.uniform(0.15, 0.25) * duration),
+                   factor=float(rng.uniform(2.0, 4.0))),
+        FaultEvent(KIND_SLOWDOWN, float(rng.uniform(0.55, 0.7) * duration),
+                   duration=float(rng.uniform(0.15, 0.25) * duration),
+                   factor=float(rng.uniform(2.0, 4.0))),
+    )
+
+
+def _spot(rng: np.random.Generator, duration: float) -> Tuple[FaultEvent, ...]:
+    """Two spot revocations (graceful drain, permanent)."""
+    return (
+        FaultEvent(KIND_REVOKE, float(rng.uniform(0.25, 0.35) * duration), count=1),
+        FaultEvent(KIND_REVOKE, float(rng.uniform(0.55, 0.65) * duration), count=1),
+    )
+
+
+def _blackouts(rng: np.random.Generator, duration: float) -> Tuple[FaultEvent, ...]:
+    """Two short admission blackouts (arrivals inside them are shed)."""
+    return (
+        FaultEvent(KIND_BLACKOUT, float(rng.uniform(0.2, 0.3) * duration),
+                   duration=float(rng.uniform(0.04, 0.08) * duration)),
+        FaultEvent(KIND_BLACKOUT, float(rng.uniform(0.6, 0.7) * duration),
+                   duration=float(rng.uniform(0.04, 0.08) * duration)),
+    )
+
+
+def _chaos(rng: np.random.Generator, duration: float) -> Tuple[FaultEvent, ...]:
+    """One of everything: outage, straggler, blackout, spot revocation."""
+    return (
+        FaultEvent(KIND_OUTAGE, float(rng.uniform(0.15, 0.25) * duration),
+                   duration=float(rng.uniform(0.1, 0.2) * duration), count=1),
+        FaultEvent(KIND_SLOWDOWN, float(rng.uniform(0.35, 0.45) * duration),
+                   duration=float(rng.uniform(0.15, 0.25) * duration),
+                   factor=float(rng.uniform(2.0, 3.5))),
+        FaultEvent(KIND_BLACKOUT, float(rng.uniform(0.55, 0.65) * duration),
+                   duration=float(rng.uniform(0.04, 0.08) * duration)),
+        FaultEvent(KIND_REVOKE, float(rng.uniform(0.7, 0.8) * duration), count=1),
+    )
+
+
+_PRESETS: Dict[str, Callable[[np.random.Generator, float], Tuple[FaultEvent, ...]]] = {
+    "outages": _outages,
+    "stragglers": _stragglers,
+    "spot": _spot,
+    "blackouts": _blackouts,
+    "chaos": _chaos,
+}
+
+
+def available_fault_presets() -> List[str]:
+    """Registered fault-preset names, sorted."""
+    return sorted(_PRESETS)
+
+
+def fault_preset_descriptions() -> Dict[str, str]:
+    """Name → one-line description (the factory docstring's first line)."""
+    return {
+        name: next(iter((factory.__doc__ or "").strip().splitlines()), "")
+        for name, factory in sorted(_PRESETS.items())
+    }
+
+
+def build_faults(name: str, *, duration: float, seed: int = 0) -> FaultSpec:
+    """Instantiate a named fault preset over a run of length ``duration``.
+
+    Deterministic: the timeline is a pure function of (name, duration,
+    seed), so sweep cells with faults stay bit-identical for any worker
+    count.
+    """
+    if name not in _PRESETS:
+        raise FaultError(
+            f"unknown fault preset {name!r}; available: {available_fault_presets()}"
+        )
+    if duration <= 0:
+        raise FaultError(f"duration must be positive, got {duration}")
+    rng = np.random.default_rng(fault_seed(name, seed))
+    return FaultSpec(_PRESETS[name](rng, duration))

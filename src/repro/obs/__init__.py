@@ -56,9 +56,11 @@ from repro.obs.bus import (
     KIND_ARRIVE,
     KIND_COMPLETE,
     KIND_EXECUTE,
+    KIND_FAULT,
     KIND_POWERCAP,
     KIND_PREEMPT,
     KIND_QUEUE,
+    KIND_RECOVER,
     KIND_ROUTE,
     KIND_SCALE,
     KIND_SELECT,
@@ -204,6 +206,8 @@ __all__ = [
     "KIND_VIOLATE",
     "KIND_SCALE",
     "KIND_POWERCAP",
+    "KIND_FAULT",
+    "KIND_RECOVER",
     "KIND_ALERT",
     "PHASE_ARRIVALS",
     "PHASE_SELECT",

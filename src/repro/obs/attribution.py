@@ -40,6 +40,7 @@ from repro.obs.bus import (
     KIND_ARRIVE,
     KIND_COMPLETE,
     KIND_EXECUTE,
+    KIND_FAULT,
     KIND_QUEUE,
     KIND_ROUTE,
     KIND_SHED,
@@ -219,6 +220,14 @@ class RequestLedger:
             rec.pool = event.pool
         elif kind == KIND_ARRIVE:
             rec.arrival = event.time
+        elif kind == KIND_FAULT:
+            # A rid-carrying fault marks a mid-block kill: the engine emits
+            # execute spans optimistically at dispatch, so the victim's last
+            # span lies past the kill.  Truncate it at the kill instant; the
+            # rest of the stall lands in the inter-execute gap (preempt).
+            if rec._last_exec_end is not None and rec._last_exec_end > event.time:
+                rec.exec_s -= rec._last_exec_end - event.time
+                rec._last_exec_end = event.time
         elif kind in (KIND_COMPLETE, KIND_VIOLATE, KIND_SHED):
             self._close(rec, kind, event.time)
 

@@ -48,6 +48,8 @@ KIND_VIOLATE = "violate"        # finished past its SLO (terminal)
 KIND_SCALE = "scale"            # autoscaler applied a capacity change
 KIND_POWERCAP = "powercap_defer"  # powercap scheduler deferred hot work
 KIND_ALERT = "alert"            # an alert rule fired on the telemetry grid
+KIND_FAULT = "fault"            # injected fault fired (with rid: block killed)
+KIND_RECOVER = "recover"        # an injected fault's window ended
 
 #: Kinds that end a request's lifecycle.
 TERMINAL_KINDS = (KIND_SHED, KIND_COMPLETE, KIND_VIOLATE)

@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.bus import (
     KIND_EXECUTE,
+    KIND_FAULT,
     KIND_PREEMPT,
     KIND_QUEUE,
     KIND_SWITCH,
@@ -123,6 +124,19 @@ def to_chrome_trace(events: Iterable[TraceEvent],
                 "dur": event.dur * _S_TO_US,
                 "pid": pid,
                 "tid": QUEUE_TID,
+                "args": args,
+            })
+        elif event.kind == KIND_FAULT and event.dur > 0.0:
+            # Outage / straggler / blackout window: a span on the control
+            # lane so the faulted interval reads as a lane, not a tick.
+            out.append({
+                "name": f"fault:{args.get('fault', 'fault')}",
+                "cat": event.kind,
+                "ph": "X",
+                "ts": event.time * _S_TO_US,
+                "dur": event.dur * _S_TO_US,
+                "pid": pid,
+                "tid": CONTROL_TID,
                 "args": args,
             })
         else:

@@ -9,7 +9,11 @@ Three layers, each usable on its own:
   duration x SLO/priority/model mix) stitched into one lazy request stream
   that drives every simulation engine;
 * :mod:`repro.scenarios.runner` — a multiprocessing sweep over the
-  scenario x scheduler x seed grid with a resumable JSON results store.
+  scenario x scheduler x seed grid with a resumable JSON results store;
+* :mod:`repro.scenarios.fuzz` — adversarial scenario search: a seeded
+  hill-climb over traffic shapes and fault timelines that returns the
+  violation-rate- (or EDP-) maximizing scenario plus a minimized
+  reproducer spec.
 """
 
 from repro.scenarios.shapes import (
@@ -41,6 +45,7 @@ from repro.scenarios.spec import (
 from repro.scenarios.runner import (
     ENERGY_COST_KEYS,
     ENERGY_KEYS,
+    FAULT_KEYS,
     METRIC_KEYS,
     SweepConfig,
     SweepResult,
@@ -48,6 +53,13 @@ from repro.scenarios.runner import (
     cell_key,
     run_sweep,
     workload_seed,
+)
+from repro.scenarios.fuzz import (
+    FuzzConfig,
+    evaluate_named_scenario,
+    fuzz,
+    fuzz_to_json,
+    replay,
 )
 
 __all__ = [
@@ -78,8 +90,14 @@ __all__ = [
     "METRIC_KEYS",
     "ENERGY_KEYS",
     "ENERGY_COST_KEYS",
+    "FAULT_KEYS",
     "aggregate",
     "cell_key",
     "run_sweep",
     "workload_seed",
+    "FuzzConfig",
+    "evaluate_named_scenario",
+    "fuzz",
+    "fuzz_to_json",
+    "replay",
 ]

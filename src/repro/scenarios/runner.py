@@ -61,6 +61,14 @@ COST_KEYS = (
 #: Per-cell energy metrics recorded when ``SweepConfig(energy=True)``.
 ENERGY_KEYS = ("energy_per_request", "total_joules", "edp")
 
+#: Per-cell fault metrics recorded when ``SweepConfig(faults=...)`` is set.
+FAULT_KEYS = (
+    "num_faults",
+    "requests_requeued_by_fault",
+    "requests_shed_by_blackout",
+    "acc_seconds_lost",
+)
+
 #: Joule-denominated capacity cost, recorded for energy cluster cells.
 ENERGY_COST_KEYS = ("joules_used", "joules_idle", "joules_provisioned")
 
@@ -116,6 +124,13 @@ class SweepConfig:
     #: are a pure function of the cell, so they are bit-identical for any
     #: worker count.
     alerts: bool = False
+    #: Fault-preset name (see
+    #: :func:`repro.faults.spec.available_fault_presets`) injected into
+    #: every cell.  The timeline is a pure function of (preset, duration,
+    #: workload seed), so faulted cells keep the determinism contract.
+    #: Requires ``engine="cluster"``; cells gain the :data:`FAULT_KEYS`
+    #: columns.
+    faults: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.scenarios or not self.schedulers or not self.seeds:
@@ -183,6 +198,16 @@ class SweepConfig:
                 "alerts are evaluated on the telemetry grid; set "
                 "telemetry_interval as well"
             )
+        if self.faults is not None:
+            from repro.faults.spec import available_fault_presets
+
+            if self.engine != "cluster":
+                raise SchedulingError("faults require engine='cluster'")
+            if self.faults not in available_fault_presets():
+                raise SchedulingError(
+                    f"unknown fault preset {self.faults!r}; available: "
+                    f"{available_fault_presets()}"
+                )
 
     @property
     def rate(self) -> float:
@@ -299,13 +324,25 @@ def _run_cell(args: Tuple) -> Tuple[str, Dict]:
         admission = None
         if config.max_queue_depth is not None:
             admission = AdmissionController(max_queue_depth=config.max_queue_depth)
+        faults = None
+        if config.faults is not None:
+            from repro.faults.spec import build_faults
+
+            # Seeded with the cell's workload seed: a faulted grid varies
+            # the timeline across seeds but never across workers.
+            faults = build_faults(config.faults, duration=config.duration,
+                                  seed=wseed)
         result = simulate_cluster(
             requests, [pool], "round-robin",
             admission=admission, autoscaler=autoscaler,
-            energy=accountant, obs=obs,
+            energy=accountant, obs=obs, faults=faults,
         )
         cell["num_shed"] = result.num_shed
         cell.update({key: float(result.metrics[key]) for key in COST_KEYS})
+        if faults is not None:
+            cell.update(
+                {key: float(result.metrics[key]) for key in FAULT_KEYS}
+            )
         if accountant is not None:
             cell.update(
                 {key: float(result.metrics[key]) for key in ENERGY_COST_KEYS}
@@ -353,6 +390,7 @@ def _load_store(path: Path, workload_dict: Dict, force: bool) -> Dict:
         store["workload"].setdefault("energy", False)
         store["workload"].setdefault("telemetry_interval", None)
         store["workload"].setdefault("alerts", False)
+        store["workload"].setdefault("faults", None)
     if store.get("workload") != workload_dict:
         raise SchedulingError(
             f"{path} holds a sweep under different workload parameters "

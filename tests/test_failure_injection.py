@@ -1,14 +1,22 @@
 """Failure-injection tests: the engine and schedulers must fail loudly and
-leave diagnosable state when components misbehave."""
+leave diagnosable state when components misbehave, and every fault the
+``repro.faults`` injector introduces must be fully accounted for — once in
+``ClusterResult.metrics`` and at least once on the trace bus."""
 
 import pytest
 
+from repro.cluster import Pool, simulate_cluster
 from repro.core.dysta import DystaScheduler
 from repro.errors import SchedulingError
+from repro.faults import FaultEvent, FaultSpec, sample_fault_spec
+from repro.faults.spec import KIND_OUTAGE
+from repro.obs import KIND_FAULT, KIND_RECOVER, Observability
 from repro.schedulers.base import Scheduler, make_scheduler
 from repro.sim.engine import simulate
+from repro.sim.workload import generate_workload
 
 from conftest import make_request
+from test_obs import toy_world
 
 
 class ExplodingScheduler(Scheduler):
@@ -89,6 +97,53 @@ class TestPredictorFaults:
         req.next_layer = 3
         with pytest.raises(SchedulingError):
             sched.remaining_estimate(req)
+
+
+class TestInjectedFaultAccounting:
+    """Nothing the injector does is silent: every fault event of a spec is
+    counted exactly once in the result metrics and visible on the bus."""
+
+    def _run(self, spec, *, seed=1):
+        traces, lut, wspec = toy_world(rate=300.0, n_requests=300, seed=seed)
+        pools = [Pool("a", make_scheduler("dysta", lut), 2),
+                 Pool("b", make_scheduler("sjf", lut), 2)]
+        obs = Observability(trace=True)
+        result = simulate_cluster(generate_workload(traces, wspec), pools,
+                                  "jsq", obs=obs, faults=spec)
+        return result, obs.bus
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_every_sampled_fault_is_counted_and_on_the_bus(self, seed):
+        # Timelines inside the busy window (arrivals span ~1 s at rate 300)
+        # so no trailing fault is discarded with the drained event heap.
+        spec = sample_fault_spec(seed, 0.9)
+        result, bus = self._run(spec)
+        assert result.metrics["num_faults"] == float(len(spec))
+        assert "requests_requeued_by_fault" in result.metrics
+        assert bus.counts[KIND_FAULT] >= len(spec)
+
+    def test_requeue_metric_matches_pool_kill_counters(self):
+        spec = FaultSpec((
+            FaultEvent(KIND_OUTAGE, 0.2, duration=0.2, pool="a", count=2),
+            FaultEvent(KIND_OUTAGE, 0.5, duration=0.2, pool="b", count=2),
+        ))
+        result, bus = self._run(spec)
+        kills = sum(s.fault_kills for s in result.pool_stats.values())
+        assert result.metrics["requests_requeued_by_fault"] == float(kills)
+        assert kills >= 1                     # busy pools: something died
+        assert bus.counts[KIND_RECOVER] == 2  # both outages healed
+        # Killed work was requeued, not lost: everything still completes.
+        assert result.num_completed == result.num_offered
+
+    def test_faults_beyond_the_workload_never_fire(self):
+        # The heap discards control events once no work remains: a fault
+        # scheduled after the last completion is a non-event, not a hang.
+        spec = FaultSpec((
+            FaultEvent(KIND_OUTAGE, 500.0, duration=1.0, pool="a", count=1),
+        ))
+        result, bus = self._run(spec)
+        assert result.metrics["num_faults"] == 0.0
+        assert bus.counts.get(KIND_FAULT, 0) == 0
 
 
 class TestStaticOnlyVariant:

@@ -1,0 +1,142 @@
+"""Adversarial fuzzer tests: determinism, minimization, reproducer replay.
+
+The contract under test: a fuzz run is a pure function of (config, seed) —
+byte-identical result JSON for any worker count — and every reproducer it
+emits replays to exactly the score it recorded.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import FaultError, SchedulingError
+from repro.scenarios.fuzz import (
+    FuzzConfig,
+    evaluate_named_scenario,
+    fuzz,
+    fuzz_to_json,
+    replay,
+)
+
+#: Small-but-real search config shared across tests (one lru-cached
+#: profiling pass per process).
+QUICK = dict(budget=6, duration=4.0, n_profile_samples=30)
+
+
+@pytest.fixture(scope="module")
+def quick_doc():
+    """One shared serial fuzz run (dysta, seed 0) with minimization."""
+    return fuzz(FuzzConfig(scheduler="dysta", seed=0, **QUICK))
+
+
+class TestConfigValidation:
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SchedulingError, match="unknown scheduler"):
+            FuzzConfig(scheduler="crystal_ball")
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(FaultError, match="budget"):
+            FuzzConfig(scheduler="sjf", budget=0)
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(FaultError, match="objective"):
+            FuzzConfig(scheduler="sjf", objective="latency")
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SchedulingError, match="family"):
+            FuzzConfig(scheduler="sjf", family="rnn")
+
+    def test_eval_dict_drops_search_only_knobs(self):
+        cfg = FuzzConfig(scheduler="sjf", budget=9).eval_dict()
+        assert "budget" not in cfg and "minimize" not in cfg
+        assert cfg["workload_seed"] == FuzzConfig(
+            scheduler="dysta", budget=2
+        ).eval_dict()["workload_seed"]  # seed-derived, scheduler-free
+
+
+class TestDeterminism:
+    def test_worker_count_invariance(self):
+        config = FuzzConfig(scheduler="sjf", seed=2, minimize=False, **QUICK)
+        serial = fuzz_to_json(fuzz(config, workers=1))
+        fanned = fuzz_to_json(fuzz(config, workers=2))
+        assert serial == fanned
+
+    def test_same_seed_same_bytes(self, quick_doc):
+        again = fuzz(FuzzConfig(scheduler="dysta", seed=0, **QUICK))
+        assert fuzz_to_json(again) == fuzz_to_json(quick_doc)
+
+    def test_different_seed_different_search(self, quick_doc):
+        other = fuzz(FuzzConfig(scheduler="dysta", seed=1, **QUICK))
+        assert (fuzz_to_json(other) != fuzz_to_json(quick_doc))
+
+    def test_document_is_json_canonical(self, quick_doc):
+        text = fuzz_to_json(quick_doc)
+        assert json.dumps(json.loads(text), indent=2, sort_keys=True) + "\n" == text
+
+
+class TestSearch:
+    def test_budget_is_respected(self, quick_doc):
+        assert quick_doc["search"]["evaluations"] == QUICK["budget"]
+
+    def test_worst_beats_the_named_baselines(self, quick_doc):
+        # Adversarial shapes + faults must at least match the curated
+        # scenarios; with this seed they strictly dominate.
+        worst = quick_doc["worst"]["score"]
+        for entry in quick_doc["baselines"].values():
+            assert worst > entry["score"]
+
+    def test_baselines_match_standalone_evaluation(self, quick_doc):
+        config = FuzzConfig(scheduler="dysta", seed=0, **QUICK)
+        fresh = evaluate_named_scenario("steady", config)
+        assert fresh == quick_doc["baselines"]["steady"]
+
+
+class TestReproducers:
+    def test_minimized_replays_to_recorded_score(self, quick_doc):
+        minimized = quick_doc["minimized"]
+        outcome = replay(minimized)
+        assert outcome["score"] == minimized["score"]
+        assert outcome == minimized["metrics"]
+
+    def test_worst_replays_to_recorded_score(self, quick_doc):
+        worst = quick_doc["worst"]
+        assert replay(worst)["score"] == worst["score"]
+
+    def test_minimized_never_scores_below_worst(self, quick_doc):
+        # The greedy shrink only keeps changes that do not lower the score.
+        assert (quick_doc["minimized"]["score"]
+                >= quick_doc["worst"]["score"])
+
+    def test_reproducer_survives_json_roundtrip(self, quick_doc):
+        text = json.dumps(quick_doc["minimized"], sort_keys=True)
+        outcome = replay(json.loads(text))
+        assert outcome["score"] == quick_doc["minimized"]["score"]
+
+    def test_replay_rejects_malformed_documents(self):
+        with pytest.raises(FaultError, match="config"):
+            replay({"genome": {"params": {}, "faults": []}})
+        with pytest.raises(FaultError, match="genome"):
+            replay({"config": {}})
+
+
+class TestCliReplayErrors:
+    """`repro fuzz --replay` must fail with `error: ...`, never a traceback."""
+
+    def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["fuzz", "--replay", str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_json_is_a_clean_error(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "broken.json"
+        path.write_text("not json")
+        assert main(["fuzz", "--replay", str(path)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_document_without_reproducer_is_a_clean_error(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "empty.json"
+        path.write_text('{"hello": 1}')
+        assert main(["fuzz", "--replay", str(path)]) == 1
+        assert "no reproducer found" in capsys.readouterr().err

@@ -269,6 +269,44 @@ class TestEngineAttribution:
         for row in pools.values():
             assert abs(sum(row["blame"].values()) - 1.0) < 1e-9
 
+    def test_cluster_10k_with_outages_conservative(self):
+        # Fault-injection regression: conservation must survive outages
+        # that kill in-flight blocks (their optimistic execute spans are
+        # truncated at the kill), stragglers, blackouts and a revocation.
+        from repro.faults import FaultEvent, FaultSpec
+        from repro.faults.spec import (
+            KIND_BLACKOUT,
+            KIND_OUTAGE,
+            KIND_REVOKE,
+            KIND_SLOWDOWN,
+        )
+
+        faults = FaultSpec((
+            FaultEvent(KIND_OUTAGE, 1.0, duration=0.8, pool="a", count=2),
+            FaultEvent(KIND_SLOWDOWN, 2.0, duration=1.0, factor=3.0),
+            FaultEvent(KIND_BLACKOUT, 3.0, duration=0.4, pool="b"),
+            FaultEvent(KIND_REVOKE, 3.5, pool="b", count=1),
+        ))
+        traces, lut, spec = toy_world(rate=2000.0, n_requests=10_000, seed=3)
+        ledger = RequestLedger(keep_records=False)
+        obs = Observability(sinks=[ledger])
+        result = simulate_cluster(
+            generate_workload(traces, spec),
+            [Pool("a", make_scheduler("dysta", lut), 2, switch_cost=0.002),
+             Pool("b", make_scheduler("sjf", lut), 1, switch_cost=0.002)],
+            make_router("jsq"),
+            admission=AdmissionController(max_queue_depth=64),
+            obs=obs,
+            faults=faults,
+        )
+        ledger.check_conservation()          # relative 1e-9, every request
+        summary = ledger.summary()
+        assert summary["n_closed"] == 10_000
+        assert result.metrics["num_faults"] == 4.0
+        assert result.metrics["requests_requeued_by_fault"] >= 1.0
+        assert result.metrics["requests_shed_by_blackout"] >= 1.0
+        assert result.metrics["acc_seconds_lost"] > 0.0
+
     def test_cluster_golden_parity_with_attribution(self):
         traces, lut, spec = toy_world(rate=150.0, n_requests=200)
 
