@@ -13,8 +13,6 @@ from __future__ import annotations
 import json
 import os
 import platform
-import resource
-import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -22,6 +20,7 @@ import numpy as np
 
 from repro.cluster import Pool, build_heterogeneous_world, build_router, simulate_cluster
 from repro.core.lut import ModelInfoLUT
+from repro.obs.hostmem import peak_rss_mb, reset_peak_rss
 from repro.profiling.profiler import benchmark_suite
 from repro.schedulers.base import make_scheduler
 from repro.sim.engine import simulate
@@ -39,41 +38,10 @@ def _best_of(fn, rounds: int) -> float:
     return best
 
 
-def _reset_peak_rss() -> bool:
-    """Reset the kernel's peak-RSS high-water mark (Linux only).
-
-    ``ru_maxrss`` / ``VmHWM`` is a *process-lifetime* high-water mark, so
-    back-to-back measurements after the first big replay all report a delta
-    of 0.0 — the mark never comes back down.  Writing ``"5"`` to
-    ``/proc/self/clear_refs`` resets it so the next measurement tracks the
-    next peak.  Returns True when the reset took effect.
-    """
-    try:
-        with open("/proc/self/clear_refs", "w") as fh:
-            fh.write("5\n")
-        return True
-    except OSError:  # pragma: no cover - non-Linux / restricted kernels
-        return False
-
-
-def _rss_mb() -> float:
-    """Peak resident set size of this process, in MiB.
-
-    Reads ``VmHWM`` from ``/proc/self/status`` (the mark
-    :func:`_reset_peak_rss` resets); falls back to ``ru_maxrss`` — KiB on
-    Linux, bytes on macOS — where /proc is unavailable.
-    """
-    try:
-        with open("/proc/self/status") as fh:
-            for line in fh:
-                if line.startswith("VmHWM:"):
-                    return float(line.split()[1]) / 1024  # KiB -> MiB
-    except OSError:  # pragma: no cover - non-Linux
-        pass
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    if sys.platform == "darwin":  # pragma: no cover - platform-specific
-        return peak / (1024 * 1024)
-    return peak / 1024
+# Shared with the sweep runner's per-cell cost columns; see
+# repro.obs.hostmem for the clear_refs/VmHWM technique.
+_reset_peak_rss = reset_peak_rss
+_rss_mb = peak_rss_mb
 
 
 def time_engine_suite(

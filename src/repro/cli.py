@@ -8,6 +8,8 @@ Installed as the ``repro`` console script::
     repro compare --family attnn --rate 30             # Table-5-style table
     repro cluster --pools eyeriss:2,sanger:2 --router jsq   # cluster tier
     repro scenario --scenarios diurnal flash_crowd     # parallel sweep
+    repro warehouse info scenario_results              # inspect sweep store
+    repro regress scenario_results --baseline base.json  # CI quality gate
     repro fuzz --scheduler dysta --budget 50           # adversarial search
     repro energy --family attnn                        # joule models + EDP
     repro trace --scheduler dysta --out timeline.json  # Perfetto timeline
@@ -476,15 +478,26 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         faults=args.faults,
     )
 
+    from repro.warehouse import SweepTelemetry
+
+    telemetry = SweepTelemetry()
+
     def progress(key: str, done: int, total: int) -> None:
-        print(f"  [{done}/{total}] {key}")
+        print(f"  {telemetry.progress_line(key, done, total)}")
 
     result = run_sweep(config, out_path=args.out, workers=args.workers,
-                       force=args.force, progress=progress)
+                       force=args.force, progress=progress,
+                       telemetry=telemetry)
     grid = (f"{len(config.scenarios)} scenarios x "
             f"{len(config.schedulers)} schedulers x {len(config.seeds)} seeds")
     print(f"sweep           : {grid} = {len(config.cells())} cells "
           f"({result.n_run} run, {result.n_skipped} skipped)")
+    if result.n_run:
+        summary = telemetry.summary()
+        print(f"fleet           : {summary['throughput_cells_per_s']:.2f} "
+              f"cells/s over {len(summary['workers']) or 1} worker(s), "
+              f"cell wall p95 {summary['cell_wall_s_p95']:.2f} s, "
+              f"peak worker RSS {summary['cell_peak_rss_mb_max']:.0f} MiB")
     print(f"workload        : {config.family} @ base {config.rate:g} req/s, "
           f"{config.duration:g} s per scenario, SLO {config.slo_multiplier:g}x")
     # Aggregate only this invocation's grid: a shared store may hold cells
@@ -513,6 +526,141 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     if result.out_path is not None:
         print(f"\nwrote {result.out_path} "
               f"({len(result.cells)} cells; re-runs skip completed cells)")
+    return 0
+
+
+def _cmd_warehouse(args: argparse.Namespace) -> int:
+    """Sweep-warehouse maintenance: inspect, import, compact, verify, query."""
+    from repro.warehouse import (
+        Warehouse,
+        aggregate,
+        distinct,
+        group_key,
+        import_legacy_json,
+    )
+
+    if args.action == "import":
+        wh = import_legacy_json(args.store, args.out,
+                                segment_rows=args.segment_rows,
+                                force=args.force)
+        with wh:
+            print(f"imported {args.store} -> {args.out} "
+                  f"({len(wh)} cells, {wh.num_segments} segments)")
+        return 0
+
+    with Warehouse.open(args.store) as wh:
+        for note in wh.recovered:
+            print(f"recovered: {note}")
+
+        if args.action == "info":
+            print(f"store           : {wh.root}")
+            print(f"cells           : {len(wh)} "
+                  f"({wh.num_segments} sealed segments x "
+                  f"{wh.segment_rows} rows, {wh.tail_rows} in the "
+                  f"journal tail)")
+            print(f"cost rows       : {len(wh.read_costs())}")
+            print(f"workload        : {json.dumps(wh.workload, sort_keys=True)}")
+            return 0
+
+        if args.action == "verify":
+            rows = wh.verify()
+            bad = [row for row in rows if not row["ok"]]
+            for row in rows:
+                status = "ok" if row["ok"] else "CORRUPT"
+                print(f"  {row['name']}  {row['rows']} rows  {status}")
+            print(f"{len(rows) - len(bad)}/{len(rows)} segments ok, "
+                  f"{len(wh)} cells total")
+            # Opening the store already healed any corruption by dropping
+            # the bad suffix; surface that as a failure too, so CI notices
+            # a store that lost rows even though what remains checks out.
+            return 1 if bad or wh.recovered else 0
+
+        if args.action == "compact":
+            stats = wh.compact(segment_rows=args.segment_rows)
+            print(f"compacted {wh.root}: {stats['segments_before']} -> "
+                  f"{stats['segments_after']} segments ({stats['rows']} "
+                  f"rows, {stats['tail_rows']} in the tail)")
+            return 0
+
+        # action == "query"
+        where = {}
+        for clause in args.where or []:
+            name, sep, value = clause.partition("=")
+            if not sep or not name:
+                raise ReproError(
+                    f"bad --where clause {clause!r}: expected column=value")
+            try:
+                where[name] = json.loads(value)
+            except ValueError:
+                where[name] = value
+        if args.distinct:
+            for value in distinct(wh, args.distinct, where=where or None):
+                print(value)
+            return 0
+        table = aggregate(wh, group_by=tuple(args.group_by),
+                          metrics=tuple(args.metrics), where=where or None)
+        if args.json:
+            print(json.dumps(
+                {group_key(group): stats for group, stats in table.items()},
+                indent=2, sort_keys=True))
+            return 0
+        columns = [f"{metric} {stat}" for metric in args.metrics
+                   for stat in ("mean", "std", "n")]
+        print(render_table(
+            f"aggregate over {wh.root}",
+            columns,
+            {
+                group_key(group): [
+                    stats[metric][stat]
+                    for metric in args.metrics
+                    for stat in ("mean", "std", "n")
+                ]
+                for group, stats in table.items()
+            },
+            float_fmt="{:.4f}",
+        ))
+        return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    """Gate sweep quality metrics against a committed baseline."""
+    from repro.warehouse import (
+        build_baseline,
+        compare,
+        format_rows,
+        load_baseline,
+        load_store_cells,
+        regressions,
+        write_baseline,
+    )
+
+    workload, cells = load_store_cells(args.store)
+    current = build_baseline(workload, cells.values())
+
+    if args.write_baseline:
+        path = write_baseline(args.write_baseline, current)
+        n_groups = len(current["groups"])
+        print(f"wrote {path} ({n_groups} cell groups, {len(cells)} cells)")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    rows = compare(current, baseline, rel_tol=args.rel_tol,
+                   noise_mult=args.noise_mult,
+                   check_workload=not args.allow_workload_mismatch)
+    failed = regressions(rows)
+    if args.json:
+        print(json.dumps({"rows": rows, "regressions": len(failed)},
+                         indent=2, sort_keys=True))
+    else:
+        print(f"regression check: {args.store} vs {args.baseline} "
+              f"({len(rows)} gated group-metrics)")
+        for line in format_rows(rows):
+            print(f"  {line}")
+    if failed:
+        print(f"SWEEP REGRESSION: {len(failed)} group-metric(s) worse than "
+              f"baseline beyond the noise gate", file=sys.stderr)
+        return 1
+    print("regression check passed: no gated metric regressed")
     return 0
 
 
@@ -1075,9 +1223,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_scen.add_argument("--workers", type=int,
                         default=max(1, min(4, os.cpu_count() or 1)),
                         help="worker processes (results identical for any count)")
-    p_scen.add_argument("--out", default="scenario_results.json",
-                        help="JSON results store; completed cells are "
-                             "skipped on re-runs")
+    p_scen.add_argument("--out", default="scenario_results",
+                        help="results store: a warehouse directory (columnar "
+                             "segments, O(1) appends, crash recovery), or a "
+                             "legacy monolithic JSON store when the path "
+                             "ends in .json; completed cells are skipped "
+                             "on re-runs")
     p_scen.add_argument("--force", action="store_true",
                         help="discard an existing results store")
     p_scen.add_argument("--list", action="store_true",
@@ -1110,6 +1261,89 @@ def build_parser() -> argparse.ArgumentParser:
                              "(requires --engine cluster; the timeline is "
                              "seeded by the cell's workload seed)")
     p_scen.set_defaults(func=_cmd_scenario)
+
+    p_wh = sub.add_parser(
+        "warehouse",
+        help="inspect, import, compact, verify or query a sweep warehouse",
+    )
+    wh_sub = p_wh.add_subparsers(dest="action", required=True)
+
+    w_info = wh_sub.add_parser("info", help="cells, segments, workload")
+    w_info.add_argument("store", help="warehouse directory")
+
+    w_import = wh_sub.add_parser(
+        "import",
+        help="import a legacy run_sweep JSON store into a warehouse",
+    )
+    w_import.add_argument("store", help="legacy JSON results file")
+    w_import.add_argument("--out", required=True,
+                          help="warehouse directory to create or resume")
+    w_import.add_argument("--segment-rows", type=int, default=256,
+                          help="rows per columnar segment (new stores only)")
+    w_import.add_argument("--force", action="store_true",
+                          help="discard an existing warehouse at --out")
+
+    w_compact = wh_sub.add_parser(
+        "compact",
+        help="merge undersized segments into the standard chunking",
+    )
+    w_compact.add_argument("store", help="warehouse directory")
+    w_compact.add_argument("--segment-rows", type=int, default=None,
+                           help="also re-chunk to this many rows per segment")
+
+    w_verify = wh_sub.add_parser(
+        "verify",
+        help="checksum every sealed segment; exit nonzero on corruption",
+    )
+    w_verify.add_argument("store", help="warehouse directory")
+
+    w_query = wh_sub.add_parser(
+        "query",
+        help="streaming filter/aggregate over the store's columns",
+    )
+    w_query.add_argument("store", help="warehouse directory")
+    w_query.add_argument("--group-by", nargs="+",
+                         default=["scenario", "scheduler"],
+                         help="grouping columns")
+    w_query.add_argument("--metrics", nargs="+",
+                         default=["stp", "violation_rate"],
+                         help="numeric columns to aggregate")
+    w_query.add_argument("--where", nargs="+", default=None,
+                         metavar="COLUMN=VALUE",
+                         help="equality filters (values parsed as JSON when "
+                              "possible: seed=0 is the int, scenario=diurnal "
+                              "the string)")
+    w_query.add_argument("--distinct", default=None, metavar="COLUMN",
+                         help="print the sorted distinct values of one "
+                              "column instead of aggregating")
+    w_query.add_argument("--json", action="store_true",
+                         help="emit the aggregate as JSON instead of a table")
+    p_wh.set_defaults(func=_cmd_warehouse)
+
+    p_regress = sub.add_parser(
+        "regress",
+        help="compare a sweep store against a committed baseline on req/s, "
+             "EDP, violation and shed rates; exit nonzero on regression",
+    )
+    p_regress.add_argument("store",
+                           help="warehouse directory or legacy sweep JSON")
+    p_regress.add_argument("--baseline",
+                           default="benchmarks/sweep_baseline.json",
+                           help="committed baseline file to gate against")
+    p_regress.add_argument("--write-baseline", default=None, metavar="PATH",
+                           help="write the store's group statistics as a new "
+                                "baseline instead of comparing")
+    p_regress.add_argument("--rel-tol", type=float, default=0.05,
+                           help="relative tolerance of the baseline mean")
+    p_regress.add_argument("--noise-mult", type=float, default=3.0,
+                           help="standard errors of seed noise a delta must "
+                                "exceed before it counts")
+    p_regress.add_argument("--allow-workload-mismatch", action="store_true",
+                           help="compare even when the store and baseline "
+                                "record different workload parameters")
+    p_regress.add_argument("--json", action="store_true",
+                           help="emit the delta rows as JSON")
+    p_regress.set_defaults(func=_cmd_regress)
 
     p_fuzz = sub.add_parser(
         "fuzz",

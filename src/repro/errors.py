@@ -37,3 +37,7 @@ class ObservabilityError(ReproError):
 
 class FaultError(ReproError):
     """Invalid fault-injection timeline or fuzzer configuration."""
+
+
+class WarehouseError(ReproError):
+    """Sweep-warehouse invariant violated (corrupt store, bad query...)."""

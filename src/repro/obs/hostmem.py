@@ -1,0 +1,52 @@
+"""Host process memory measurement: resettable peak-RSS high-water mark.
+
+Shared by the perf runner (``repro perf``, per-phase peak memory) and the
+sweep runner (per-cell cost columns in the warehouse sidecar).  The
+technique: ``VmHWM`` in ``/proc/self/status`` is a *process-lifetime*
+high-water mark, so back-to-back measurements after the first big
+allocation all report zero delta — the mark never comes back down.
+Writing ``"5"`` to ``/proc/self/clear_refs`` resets it, making
+``reset_peak_rss(); work(); peak_rss_mb()`` an honest per-measurement
+peak on Linux.  Elsewhere the reset is a no-op and ``peak_rss_mb`` falls
+back to ``ru_maxrss`` (lifetime peak).
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+
+def reset_peak_rss() -> bool:
+    """Reset the kernel's peak-RSS high-water mark (Linux only).
+
+    Returns True when the reset took effect; False on non-Linux hosts or
+    restricted kernels, where subsequent :func:`peak_rss_mb` reads report
+    the process-lifetime peak instead.
+    """
+    try:
+        with open("/proc/self/clear_refs", "w") as fh:
+            fh.write("5\n")
+        return True
+    except OSError:  # pragma: no cover - non-Linux / restricted kernels
+        return False
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB.
+
+    Reads ``VmHWM`` from ``/proc/self/status`` (the mark
+    :func:`reset_peak_rss` resets); falls back to ``ru_maxrss`` — KiB on
+    Linux, bytes on macOS — where /proc is unavailable.
+    """
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return float(line.split()[1]) / 1024  # KiB -> MiB
+    except OSError:  # pragma: no cover - non-Linux
+        pass
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return peak / (1024 * 1024)
+    return peak / 1024

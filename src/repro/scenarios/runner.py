@@ -1,16 +1,28 @@
-"""Parallel scenario sweep runner with a resumable JSON results store.
+"""Parallel scenario sweep runner with a resumable results store.
 
 A sweep is the cartesian grid **scenario x scheduler x seed**.  Every cell
 is an independent deterministic simulation: its workload seed derives only
 from (scenario, seed) — never from the scheduler — so competing policies
 see bit-identical request streams, and never from the process that happens
-to run it — so the results JSON is identical whatever ``workers`` is.
+to run it — so the results store is identical whatever ``workers`` is.
 
 Cells are keyed ``scenario/scheduler/seed<N>`` in the store; re-running a
 sweep against an existing store skips completed cells (crash-safe,
 incremental grids: add a scheduler or seed and only the new cells run).
 The store refuses to mix grids generated under different workload
 configurations.
+
+Results land in a :class:`~repro.warehouse.store.Warehouse` directory by
+default — appends are O(1) per cell and every byte is deterministic, so
+interrupted sweeps resume to the exact store an uninterrupted run would
+have produced, for any worker count.  An ``out_path`` with a ``.json``
+suffix selects the legacy monolithic JSON store instead (kept for
+compatibility; it rewrites the whole file per cell, which is O(cells²)
+I/O over a sweep).  Alongside the deterministic results, warehouse sweeps
+record per-cell *cost* rows (wall-clock seconds, peak worker RSS) in the
+store's non-deterministic sidecar, and an optional
+:class:`~repro.warehouse.telemetry.SweepTelemetry` publishes live
+throughput / ETA / failure metrics while the grid runs.
 
 Cells run on the single-NPU engine by default; ``engine="cluster"`` runs
 each cell through :func:`repro.cluster.engine.simulate_cluster` instead —
@@ -31,6 +43,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import time
 import zlib
 from dataclasses import asdict, dataclass
 from functools import lru_cache
@@ -371,6 +384,36 @@ def _run_cell(args: Tuple) -> Tuple[str, Dict]:
     return cell_key(scenario, scheduler_name, seed), cell
 
 
+def _run_cell_costed(args: Tuple) -> Tuple[int, str, Optional[Dict], Dict, Optional[str]]:
+    """Run one indexed cell, measuring its cost and capturing failures.
+
+    Returns ``(index, key, cell, cost, error)``: ``index`` restores the
+    deterministic grid order in the parent whatever order workers finish
+    in; ``cost`` carries the wall-clock seconds, peak worker RSS (VmHWM,
+    reset per cell) and worker pid for the warehouse cost sidecar; a
+    failed cell comes back with ``cell=None`` and the error message
+    instead of tearing down the whole pool mid-grid.
+    """
+    index, scenario, scheduler_name, seed, config = args
+    from repro.obs.hostmem import peak_rss_mb, reset_peak_rss
+
+    rss_ok = reset_peak_rss()
+    t0 = time.perf_counter()
+    key = cell_key(scenario, scheduler_name, seed)
+    cell: Optional[Dict] = None
+    error: Optional[str] = None
+    try:
+        key, cell = _run_cell((scenario, scheduler_name, seed, config))
+    except Exception as exc:  # noqa: BLE001 - reported, then re-raised in parent
+        error = f"{type(exc).__name__}: {exc}"
+    cost = {
+        "wall_s": time.perf_counter() - t0,
+        "peak_rss_mb": peak_rss_mb() if rss_ok else 0.0,
+        "worker": os.getpid(),
+    }
+    return index, key, cell, cost, error
+
+
 def _load_store(path: Path, workload_dict: Dict, force: bool) -> Dict:
     if force or not path.exists():
         return {"workload": workload_dict, "cells": {}}
@@ -416,19 +459,27 @@ def run_sweep(
     workers: int = 1,
     force: bool = False,
     progress: Optional[Callable[[str, int, int], None]] = None,
+    telemetry=None,
 ) -> SweepResult:
     """Run (or resume) the sweep grid, optionally in parallel.
 
     Args:
-        out_path: JSON results store.  When it already exists with the same
-            configuration, completed cells are skipped and only the missing
-            ones run; the store is rewritten after every completed cell, so
-            an interrupted sweep resumes where it stopped.  ``None`` keeps
+        out_path: Results store.  A path ending in ``.json`` is the legacy
+            monolithic JSON store; anything else is a
+            :class:`~repro.warehouse.store.Warehouse` directory (O(1)
+            appends, crash recovery, per-cell cost sidecar).  When the
+            store already exists with the same configuration, completed
+            cells are skipped and only the missing ones run, so an
+            interrupted sweep resumes where it stopped.  ``None`` keeps
             the results in memory only.
         workers: Worker processes; <= 1 runs inline (no multiprocessing).
             Results are bit-identical for every worker count.
         force: Discard an existing store instead of resuming it.
-        progress: Optional callback ``(cell_key, n_done, n_total)``.
+        progress: Optional callback ``(cell_key, n_done, n_total)``, fired
+            in deterministic grid order for any worker count.
+        telemetry: Optional
+            :class:`~repro.warehouse.telemetry.SweepTelemetry` publishing
+            live throughput / ETA / failure metrics while the grid runs.
     """
     # The store is keyed by workload parameters only: the grid axes
     # (scenarios, schedulers, seeds) may grow across runs — new cells run,
@@ -446,43 +497,104 @@ def run_sweep(
     workload_params["base_rate"] = config.rate
     workload_dict = json.loads(json.dumps(workload_params))
     out = Path(out_path) if out_path is not None else None
-    store = (_load_store(out, workload_dict, force) if out is not None
-             else {"workload": workload_dict, "cells": {}})
+
+    wh = None
+    if out is not None and out.suffix != ".json":
+        from repro.warehouse.store import Warehouse
+
+        wh = Warehouse.open_or_create(out, workload_dict, force=force)
+        store = {"workload": wh.workload, "cells": {}}
+        completed = wh.completed_keys()
+    else:
+        store = (_load_store(out, workload_dict, force) if out is not None
+                 else {"workload": workload_dict, "cells": {}})
+        completed = frozenset(store["cells"])
 
     grid = config.cells()
-    todo = [c for c in grid if cell_key(*c) not in store["cells"]]
+    todo = [c for c in grid if cell_key(*c) not in completed]
     n_skipped = len(grid) - len(todo)
     done = n_skipped
+    if telemetry is not None:
+        telemetry.begin(len(grid), n_skipped)
 
-    def record(key: str, cell: Dict) -> None:
+    def record(key: str, cell: Dict, cost: Dict) -> None:
         nonlocal done
         store["cells"][key] = cell
         done += 1
-        if out is not None:
+        if wh is not None:
+            wh.append(key, cell)
+            wh.record_cost(key, **cost)
+        elif out is not None:
             _write_store(out, store)
+        if telemetry is not None:
+            telemetry.on_cell(key, worker=cost.get("worker"),
+                              wall_s=cost.get("wall_s"),
+                              peak_rss_mb=cost.get("peak_rss_mb"))
         if progress is not None:
             progress(key, done, len(grid))
 
     args_list = [
-        (scenario, scheduler, seed, config)
-        for scenario, scheduler, seed in todo
+        (index, scenario, scheduler, seed, config)
+        for index, (scenario, scheduler, seed) in enumerate(todo)
     ]
-    if workers > 1 and len(args_list) > 1:
-        # Warm the trace-suite cache in the parent: under the default fork
-        # start method the workers inherit it copy-on-write instead of each
-        # re-profiling the suite (a no-op cost shift on spawn platforms).
-        _profiled_suite(config.family, config.n_profile_samples)
-        with multiprocessing.get_context().Pool(
-            processes=min(workers, len(args_list))
-        ) as pool:
-            for key, cell in pool.imap_unordered(_run_cell, args_list):
-                record(key, cell)
-    else:
-        for args in args_list:
-            key, cell = _run_cell(args)
-            record(key, cell)
+    # Workers finish in any order; appends must not.  Results wait in a
+    # reorder buffer and are recorded strictly in grid order, which is
+    # what makes the warehouse bytes (and the progress/telemetry streams)
+    # identical for every worker count.
+    pending: Dict[int, Tuple] = {}
+    next_index = 0
+    failure: Optional[Tuple[str, str]] = None
 
-    if out is not None and (todo or not out.exists()):
+    def fold(result: Tuple) -> bool:
+        """Buffer one worker result; record the contiguous prefix."""
+        nonlocal next_index, failure
+        pending[result[0]] = result
+        while next_index in pending:
+            _, key, cell, cost, error = pending.pop(next_index)
+            next_index += 1
+            if error is not None:
+                if telemetry is not None:
+                    telemetry.on_cell(key, worker=cost.get("worker"),
+                                      wall_s=cost.get("wall_s"), failed=True)
+                failure = (key, error)
+                return False
+            record(key, cell, cost)
+        return True
+
+    try:
+        if workers > 1 and len(args_list) > 1:
+            # Warm the trace-suite cache in the parent: under the default
+            # fork start method the workers inherit it copy-on-write instead
+            # of each re-profiling the suite (a no-op cost shift on spawn
+            # platforms).
+            _profiled_suite(config.family, config.n_profile_samples)
+            with multiprocessing.get_context().Pool(
+                processes=min(workers, len(args_list))
+            ) as pool:
+                for result in pool.imap_unordered(_run_cell_costed, args_list):
+                    if not fold(result):
+                        break
+        else:
+            for args in args_list:
+                if not fold(_run_cell_costed(args)):
+                    break
+        if failure is None and wh is not None:
+            # The result exposes the requested grid — including resumed
+            # cells the warehouse already held (it may hold a larger grid).
+            store["cells"] = wh.read_cells(
+                key for key in (cell_key(*c) for c in grid) if key in wh
+            )
+    finally:
+        if wh is not None:
+            wh.close()
+    if failure is not None:
+        key, error = failure
+        raise SchedulingError(
+            f"sweep cell {key} failed: {error} (completed cells up to the "
+            f"failure are stored; re-run to resume)"
+        )
+
+    if wh is None and out is not None and (todo or not out.exists()):
         _write_store(out, store)
     return SweepResult(store=store, n_run=len(todo), n_skipped=n_skipped,
                        out_path=out)

@@ -1,0 +1,145 @@
+"""Live sweep telemetry: fleet progress through the ``repro.obs`` registry.
+
+A :class:`SweepTelemetry` rides :func:`repro.scenarios.runner.run_sweep`
+and publishes, on the standard metrics registry, what a fleet operator
+watches during a 10k-cell grid:
+
+* ``sweep.cells_completed`` / ``sweep.cells_failed`` /
+  ``sweep.cells_skipped`` counters;
+* ``sweep.throughput_cells_per_s`` and ``sweep.eta_s`` pull-gauges
+  (recomputed at read time from the wall clock);
+* per-worker completion counters ``sweep.worker.<pid>.cells``;
+* ``sweep.cell_wall_s`` / ``sweep.cell_peak_rss_mb`` histograms over the
+  per-cell cost measurements.
+
+Unlike the simulated-time telemetry inside each cell (which is
+deterministic and lands in the store), this is *wall-clock* telemetry
+about the sweep itself — it feeds progress output and the cost sidecar,
+never the checksummed result files.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+
+class SweepTelemetry:
+    """Progress metrics for one ``run_sweep`` invocation."""
+
+    def __init__(self, registry=None, clock=time.perf_counter):
+        # Local import: repro.obs reaches the engines; keep the warehouse
+        # importable without dragging them in until telemetry is used.
+        from repro.obs import MetricsRegistry
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._clock = clock
+        self._t0 = clock()
+        self.total = 0
+        self._completed = self.registry.counter("sweep.cells_completed")
+        self._failed = self.registry.counter("sweep.cells_failed")
+        self._skipped = self.registry.counter("sweep.cells_skipped")
+        self.registry.gauge("sweep.throughput_cells_per_s",
+                            lambda: self.throughput)
+        self.registry.gauge("sweep.eta_s", lambda: self.eta_s)
+        self._wall = self.registry.histogram("sweep.cell_wall_s")
+        self._rss = self.registry.histogram("sweep.cell_peak_rss_mb")
+        self._rss_max = 0.0
+        self._workers: Dict[int, object] = {}
+        self.failures: List[str] = []
+
+    def begin(self, total: int, skipped: int) -> None:
+        """Announce the grid: total cells and how many resume as done."""
+        self.total = int(total)
+        self._t0 = self._clock()
+        self._skipped.inc(int(skipped))
+
+    # -- event hooks ---------------------------------------------------------
+
+    def on_cell(self, key: str, *, worker: Optional[int] = None,
+                wall_s: Optional[float] = None,
+                peak_rss_mb: Optional[float] = None,
+                failed: bool = False) -> None:
+        """Fold one finished cell (successful or failed) into the metrics."""
+        if failed:
+            self._failed.inc()
+            self.failures.append(key)
+        else:
+            self._completed.inc()
+        if worker is not None:
+            counter = self._workers.get(worker)
+            if counter is None:
+                counter = self._workers[worker] = self.registry.counter(
+                    f"sweep.worker.{worker}.cells")
+            counter.inc()
+        if wall_s is not None:
+            self._wall.observe(float(wall_s))
+        if peak_rss_mb is not None and peak_rss_mb > 0:
+            self._rss.observe(float(peak_rss_mb))
+            self._rss_max = max(self._rss_max, float(peak_rss_mb))
+
+    # -- derived figures -----------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        return self._completed.value
+
+    @property
+    def failed(self) -> int:
+        return self._failed.value
+
+    @property
+    def skipped(self) -> int:
+        return self._skipped.value
+
+    @property
+    def elapsed_s(self) -> float:
+        return max(self._clock() - self._t0, 1e-9)
+
+    @property
+    def throughput(self) -> float:
+        """Completed cells per wall-clock second, this invocation."""
+        done = self.completed + self.failed
+        return done / self.elapsed_s if done else 0.0
+
+    @property
+    def remaining(self) -> int:
+        return max(self.total - self.skipped - self.completed - self.failed, 0)
+
+    @property
+    def eta_s(self) -> float:
+        """Seconds to grid completion at the current throughput."""
+        rate = self.throughput
+        return self.remaining / rate if rate > 0 else float("inf")
+
+    # -- rendering -----------------------------------------------------------
+
+    def progress_line(self, key: str, done: int, total: int) -> str:
+        """One live progress line: counts, throughput, ETA, failures."""
+        eta = self.eta_s
+        eta_text = "--" if eta == float("inf") else f"{eta:.0f}s"
+        line = (f"[{done}/{total}] {key}  "
+                f"{self.throughput:.2f} cells/s  ETA {eta_text}")
+        if self.failed:
+            line += f"  [{self.failed} FAILED]"
+        return line
+
+    def summary(self) -> Dict:
+        """Final fleet accounting (the CLI's post-sweep report)."""
+        per_worker = {
+            str(worker): counter.value
+            for worker, counter in sorted(self._workers.items())
+        }
+        return {
+            "total_cells": self.total,
+            "completed": self.completed,
+            "failed": self.failed,
+            "skipped": self.skipped,
+            "elapsed_s": self.elapsed_s,
+            "throughput_cells_per_s": self.throughput,
+            "workers": per_worker,
+            "cell_wall_s_mean": self._wall.mean if self._wall.count else 0.0,
+            "cell_wall_s_p95": (self._wall.percentile(95)
+                                if self._wall.count else 0.0),
+            "cell_peak_rss_mb_max": self._rss_max,
+        }

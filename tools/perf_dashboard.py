@@ -12,6 +12,15 @@ turns that history into a small static dashboard:
   latest entry's engine self-profiles;
 * **index.md** — the charts inlined, plus latest-entry summary tables.
 
+With ``--sweep STORE`` (a warehouse directory or legacy sweep JSON) it
+additionally renders **fleet views** of the scheduling-quality grid:
+
+* **fleet_heatmap_<metric>.svg** — one scenario x scheduler heatmap per
+  gated metric (STP, violation rate, EDP, shed rate where present);
+* **fleet_regression.svg** — per-group relative deltas against the
+  committed ``--sweep-baseline``, regressed bars highlighted (the same
+  seed-noise-aware gate ``repro regress`` exits nonzero on).
+
 Entries have no timestamps (runs are environment-dependent anyway), so the
 x-axis is the entry index: the *trajectory* across commits is the signal,
 not absolute dates.  Everything is hand-rolled stdlib SVG — no plotting
@@ -201,6 +210,176 @@ def stacked_bars(groups: Dict[str, Dict[str, float]], *, title: str) -> str:
     return "\n".join(parts) + "\n"
 
 
+def _lerp_color(lo: Tuple[int, int, int], hi: Tuple[int, int, int],
+                t: float) -> str:
+    t = min(max(t, 0.0), 1.0)
+    return "#%02x%02x%02x" % tuple(
+        int(round(a + (b - a) * t)) for a, b in zip(lo, hi))
+
+
+def heatmap(row_labels: Sequence[str], col_labels: Sequence[str],
+            values: Dict[Tuple[str, str], float], *, title: str,
+            fmt: str = "{:.3g}") -> str:
+    """One SVG heatmap: rows x cols cells shaded by value (white -> blue)."""
+    cell_w, cell_h, left, top = 110, 44, 150, 60
+    width = left + cell_w * len(col_labels) + 20
+    height = top + cell_h * len(row_labels) + 30
+    finite = [v for v in values.values() if v == v]
+    lo = min(finite) if finite else 0.0
+    hi = max(finite) if finite else 1.0
+    span = (hi - lo) or 1.0
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{left}" y="24" font-size="15" font-weight="bold">'
+        f'{_esc(title)}</text>',
+    ]
+    for col, label in enumerate(col_labels):
+        parts.append(f'<text x="{left + cell_w * col + cell_w / 2:.1f}" '
+                     f'y="{top - 8}" text-anchor="middle">{_esc(label)}</text>')
+    for row, rlabel in enumerate(row_labels):
+        y = top + cell_h * row
+        parts.append(f'<text x="{left - 8}" y="{y + cell_h / 2 + 4:.1f}" '
+                     f'text-anchor="end">{_esc(rlabel)}</text>')
+        for col, clabel in enumerate(col_labels):
+            x = left + cell_w * col
+            value = values.get((rlabel, clabel))
+            if value is None or value != value:
+                parts.append(f'<rect x="{x}" y="{y}" width="{cell_w - 2}" '
+                             f'height="{cell_h - 2}" fill="#eee"/>')
+                continue
+            t = (value - lo) / span
+            fill = _lerp_color((247, 251, 255), (0, 114, 178), t)
+            text_fill = "white" if t > 0.6 else "#222"
+            parts.append(f'<rect x="{x}" y="{y}" width="{cell_w - 2}" '
+                         f'height="{cell_h - 2}" fill="{fill}"/>')
+            parts.append(f'<text x="{x + (cell_w - 2) / 2:.1f}" '
+                         f'y="{y + cell_h / 2 + 4:.1f}" fill="{text_fill}" '
+                         f'text-anchor="middle">{fmt.format(value)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def delta_bars(rows: Sequence[Dict], *, title: str) -> str:
+    """Horizontal relative-delta bars from ``repro regress`` comparison rows.
+
+    One bar per (group, metric); regressed rows render in the alarm color.
+    Positive x = metric got *worse* (direction-aware), so every bar
+    pointing right past its gate is a regression.
+    """
+    bar_h, gap, top, left = 18, 8, 56, 230
+    plot_w = WIDTH - left - 90
+    height = top + len(rows) * (bar_h + gap) + 30
+    worst = max((abs(_rel_delta(row)) for row in rows), default=0.0)
+    scale = max(worst, 0.10) or 1.0
+    mid = left + plot_w / 2.0
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{height}" viewBox="0 0 {WIDTH} {height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{WIDTH}" height="{height}" fill="white"/>',
+        f'<text x="{left}" y="24" font-size="15" font-weight="bold">'
+        f'{_esc(title)}</text>',
+        f'<text x="{mid:.1f}" y="{top - 16}" text-anchor="middle">'
+        f'&#8592; better    worse &#8594;</text>',
+        f'<line x1="{mid:.1f}" y1="{top - 8}" x2="{mid:.1f}" '
+        f'y2="{height - 24}" stroke="#333"/>',
+    ]
+    for i, row in enumerate(rows):
+        y = top + i * (bar_h + gap)
+        rel = _rel_delta(row)
+        w = plot_w / 2.0 * min(abs(rel) / scale, 1.0)
+        color = "#D55E00" if row["regressed"] else "#009E73"
+        x = mid if rel >= 0 else mid - w
+        label = f"{row['group']} {row['metric']}"
+        parts.append(f'<text x="{left - 8}" y="{y + bar_h - 4}" '
+                     f'text-anchor="end">{_esc(label)}</text>')
+        parts.append(f'<rect x="{x:.1f}" y="{y}" width="{max(w, 1.0):.1f}" '
+                     f'height="{bar_h}" fill="{color}"/>')
+        tx = mid + (w + 6 if rel >= 0 else -w - 6)
+        anchor = "start" if rel >= 0 else "end"
+        parts.append(f'<text x="{tx:.1f}" y="{y + bar_h - 4}" '
+                     f'text-anchor="{anchor}">{100 * rel:+.1f}%</text>')
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def _rel_delta(row: Dict) -> float:
+    """Direction-aware relative delta: positive = worse."""
+    base = row["baseline"]
+    raw = (row["delta"] / abs(base)) if base else (1.0 if row["delta"] else 0.0)
+    return raw if row["direction"] == "lower" else -raw
+
+
+def _load_repro():
+    """Import the repro package, bootstrapping src/ onto sys.path."""
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, os.path.join(os.path.dirname(
+            os.path.abspath(__file__)), os.pardir, "src"))
+    import repro.warehouse as warehouse
+
+    return warehouse
+
+
+def build_fleet_views(sweep_path: str, baseline_path: Optional[str],
+                      out_dir: str) -> Tuple[List[str], List[str]]:
+    """Render the sweep-grid heatmaps + regression deltas.
+
+    Returns ``(written_paths, markdown_lines)`` for the index.
+    """
+    warehouse = _load_repro()
+    workload, cells = warehouse.load_store_cells(sweep_path)
+    written: List[str] = []
+    lines: List[str] = ["## Fleet sweep", "",
+                        f"Grid of {len(cells)} cells from `{sweep_path}` "
+                        f"(mean across seeds).", ""]
+
+    def write(name: str, content: str) -> None:
+        path = os.path.join(out_dir, name)
+        with open(path, "w") as fh:
+            fh.write(content)
+        written.append(path)
+
+    scenarios = sorted({c["scenario"] for c in cells.values()})
+    schedulers = sorted({c["scheduler"] for c in cells.values()})
+    stats = warehouse.group_stats(cells.values())
+    for metric in warehouse.REGRESS_METRICS:
+        values = {}
+        for scenario in scenarios:
+            for scheduler in schedulers:
+                entry = stats.get(f"{scenario}/{scheduler}", {})
+                m = entry.get("metrics", {}).get(metric)
+                if m is not None:
+                    values[(scenario, scheduler)] = m["mean"]
+        if not values:
+            continue
+        name = f"fleet_heatmap_{metric}.svg"
+        write(name, heatmap(
+            scenarios, schedulers, values,
+            title=f"{metric} by scenario x scheduler (mean across seeds)"))
+        lines += [f"![{metric} heatmap]({name})", ""]
+
+    if baseline_path and os.path.exists(baseline_path):
+        baseline = warehouse.load_baseline(baseline_path)
+        rows = warehouse.compare(
+            warehouse.build_baseline(workload, cells.values()), baseline,
+            check_workload=False)
+        if rows:
+            n_reg = len(warehouse.regressions(rows))
+            write("fleet_regression.svg", delta_bars(
+                rows, title=f"Deltas vs {os.path.basename(baseline_path)} "
+                            f"({n_reg} regressed)"))
+            lines += ["![regression deltas](fleet_regression.svg)", "",
+                      f"{n_reg} of {len(rows)} gated group-metrics regressed "
+                      f"vs `{baseline_path}` "
+                      "(gate: see `repro regress --help`).", ""]
+    return written, lines
+
+
 def _series(entries: Sequence[Dict], *path_and_leaf) -> Dict[str, List[Optional[float]]]:
     """Per-key trajectory of ``entry[path...][key][leaf]`` across entries."""
     *path, leaf = path_and_leaf
@@ -225,7 +404,9 @@ def _series(entries: Sequence[Dict], *path_and_leaf) -> Dict[str, List[Optional[
     return out
 
 
-def build_dashboard(entries: Sequence[Dict], out_dir: str) -> List[str]:
+def build_dashboard(entries: Sequence[Dict], out_dir: str, *,
+                    sweep: Optional[str] = None,
+                    sweep_baseline: Optional[str] = None) -> List[str]:
     """Write the SVG charts + index.md; returns the written paths."""
     os.makedirs(out_dir, exist_ok=True)
     written: List[str] = []
@@ -287,6 +468,11 @@ def build_dashboard(entries: Sequence[Dict], out_dir: str) -> List[str]:
     if speedups:
         lines += ["## Engine speedup trajectory", "",
                   "![engine speedup](engine_speedup.svg)", ""]
+    if sweep is not None:
+        fleet_written, fleet_lines = build_fleet_views(
+            sweep, sweep_baseline, out_dir)
+        written.extend(fleet_written)
+        lines += fleet_lines
     if profiles:
         lines += ["## Phase profile (latest entry)", "",
                   "![phase profile](profile_phases.svg)", "",
@@ -311,6 +497,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="benchmark history file to render")
     parser.add_argument("--out", default=os.path.join("docs", "_dashboard"),
                         help="output directory for SVG + markdown")
+    parser.add_argument("--sweep", default=None, metavar="STORE",
+                        help="also render fleet views of this sweep store "
+                             "(warehouse directory or legacy JSON)")
+    parser.add_argument("--sweep-baseline",
+                        default=os.path.join("benchmarks",
+                                             "sweep_baseline.json"),
+                        help="committed baseline the fleet regression chart "
+                             "compares against (skipped when absent)")
     args = parser.parse_args(argv)
     if not os.path.exists(args.bench):
         print(f"error: no benchmark file at {args.bench}", file=sys.stderr)
@@ -319,7 +513,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not entries:
         print(f"error: {args.bench} holds no entries", file=sys.stderr)
         return 1
-    for path in build_dashboard(entries, args.out):
+    if args.sweep is not None and not os.path.exists(args.sweep):
+        print(f"error: no sweep store at {args.sweep}", file=sys.stderr)
+        return 1
+    for path in build_dashboard(entries, args.out, sweep=args.sweep,
+                                sweep_baseline=args.sweep_baseline):
         print(f"wrote {path}")
     return 0
 
