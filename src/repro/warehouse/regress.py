@@ -102,6 +102,26 @@ def load_baseline(path: Union[str, Path]) -> Dict:
     return doc
 
 
+def _metric_stats(entry, metric: str) -> Optional[Dict]:
+    """One group's ``{mean, std, n}`` for ``metric``, or ``None``.
+
+    Tolerates hand-edited / truncated baselines: a group entry without a
+    ``metrics`` key, or a metric missing any of the stat fields, is simply
+    ungated instead of crashing the CI gate with a raw ``KeyError``.
+    """
+    if not isinstance(entry, dict):
+        return None
+    metrics = entry.get("metrics")
+    stats = metrics.get(metric) if isinstance(metrics, dict) else None
+    if not isinstance(stats, dict):
+        return None
+    if not all(isinstance(stats.get(field), (int, float))
+               and not isinstance(stats.get(field), bool)
+               for field in ("mean", "std", "n")):
+        return None
+    return stats
+
+
 def compare(current: Dict, baseline: Dict, *, rel_tol: float = 0.05,
             noise_mult: float = 3.0,
             check_workload: bool = True) -> List[Dict]:
@@ -125,8 +145,8 @@ def compare(current: Dict, baseline: Dict, *, rel_tol: float = 0.05,
         if base_entry is None:
             continue
         for metric, (direction, abs_floor) in REGRESS_METRICS.items():
-            cur = cur_entry["metrics"].get(metric)
-            base = base_entry["metrics"].get(metric)
+            cur = _metric_stats(cur_entry, metric)
+            base = _metric_stats(base_entry, metric)
             if cur is None or base is None:
                 continue
             noise = noise_mult * math.sqrt(

@@ -36,10 +36,17 @@ Crash windows and how :meth:`Warehouse.open` heals them:
 * torn segment (killed mid-seal, or a later truncation) — the CRC-32 in
   the manifest fails; that segment, every later segment and the journal
   are discarded (suffix truncation keeps the deterministic order);
-* segment renamed but manifest not yet updated — the orphan segment file
-  is deleted; its rows are still in the journal;
+* segment written but manifest not yet updated — the orphan segment file
+  is deleted, its rows are still in the journal, and the now-full-size
+  journal tail is immediately re-sealed so segment boundaries stay where
+  an uninterrupted run would have put them;
 * manifest updated but journal not yet truncated — journal rows whose keys
   already live in sealed segments are dropped and the journal rewritten.
+
+:meth:`Warehouse.compact` follows the same discipline: rows leaving the
+sealed prefix are spilled to the journal before the manifest stops
+referencing their old segments, so a crash mid-compact recovers to either
+the old or the compacted layout — never a truncated one.
 """
 
 from __future__ import annotations
@@ -95,11 +102,12 @@ def encode_segment(rows: List[Tuple[str, Dict]]) -> bytes:
     """Encode ``(key, cell)`` rows as one immutable columnar segment.
 
     Column order is sorted by name (the key column first), kinds are
-    derived from the present values — ``i8`` when every one is an int,
-    ``f8`` when ints and floats mix, ``json`` otherwise — and rows where a
-    column is absent are listed in the header's ``missing`` indices, so
-    decoding reconstructs each cell dict exactly.  Every byte is a pure
-    function of the rows: same rows, same segment.
+    derived from the present values — ``i8`` when every one is an int and
+    no row is missing, ``f8`` when ints and floats mix, ``json`` otherwise
+    (including gappy int columns, keeping their values int) — and rows
+    where a column is absent are listed in the header's ``missing``
+    indices, so decoding reconstructs each cell dict exactly.  Every byte
+    is a pure function of the rows: same rows, same segment.
     """
     if not rows:
         raise WarehouseError("cannot encode an empty segment")
@@ -109,21 +117,23 @@ def encode_segment(rows: List[Tuple[str, Dict]]) -> bytes:
     for name, values, missing in _iter_columns(names, rows):
         present = [v for i, v in enumerate(values) if i not in missing]
         entry: Dict = {"name": name}
-        if present and all(
+        numeric = present and all(
             isinstance(v, (int, float)) and not isinstance(v, bool)
             for v in present
-        ):
-            if all(isinstance(v, int) for v in present):
-                entry["kind"] = "i8"
-                filled = [0 if i in missing else v
-                          for i, v in enumerate(values)]
-                payload = np.asarray(filled, dtype="<i8").tobytes()
-            else:
-                entry["kind"] = "f8"
-                filled = [np.nan if i in missing else float(v)
-                          for i, v in enumerate(values)]
-                payload = np.asarray(filled, dtype="<f8").tobytes()
+        )
+        all_int = numeric and all(isinstance(v, int) for v in present)
+        if all_int and not missing:
+            entry["kind"] = "i8"
+            payload = np.asarray(values, dtype="<i8").tobytes()
+        elif numeric and not all_int:
+            entry["kind"] = "f8"
+            filled = [np.nan if i in missing else float(v)
+                      for i, v in enumerate(values)]
+            payload = np.asarray(filled, dtype="<f8").tobytes()
         else:
+            # json carries strings/nested values — and int columns with
+            # gaps: a numeric payload has no int-preserving hole marker,
+            # so it would come back float and re-encode to different bytes.
             entry["kind"] = "json"
             filled = [None if i in missing else v
                       for i, v in enumerate(values)]
@@ -155,10 +165,10 @@ def decode_segment(data: bytes,
                    columns: Optional[Iterable[str]] = None) -> Dict[str, object]:
     """Decode a segment buffer into ``{name: values}`` columns.
 
-    ``i8``/``f8`` columns come back as numpy arrays (missing rows as NaN,
-    promoting ``i8`` to float when it has gaps), ``json`` columns as
-    Python lists.  ``columns`` restricts decoding; unnamed payloads are
-    skipped without parsing.  The key column is always included.
+    ``i8``/``f8`` columns come back as numpy arrays (missing rows as
+    NaN), ``json`` columns as Python lists with ``None`` holes.
+    ``columns`` restricts decoding; unnamed payloads are skipped without
+    parsing.  The key column is always included.
     """
     newline = data.find(b"\n")
     if newline < 0:
@@ -269,7 +279,14 @@ class Warehouse:
         if segment_rows < 1:
             raise WarehouseError(f"segment_rows must be >= 1, got {segment_rows}")
         if force and root.exists():
-            shutil.rmtree(root)
+            if (root / MANIFEST_NAME).exists():
+                shutil.rmtree(root)
+            elif not root.is_dir() or any(root.iterdir()):
+                raise WarehouseError(
+                    f"{root} exists but is not a warehouse; refusing to "
+                    f"overwrite it — delete it manually if that is really "
+                    f"what you want"
+                )
         (root / SEGMENT_DIR).mkdir(parents=True, exist_ok=True)
         manifest = {
             "schema": MANIFEST_SCHEMA,
@@ -363,7 +380,17 @@ class Warehouse:
             pos = end + 1
         if bytes(kept) != raw:
             _atomic_write(journal_path, bytes(kept))
-        return cls(root, manifest, tail, keys, recovered)
+        wh = cls(root, manifest, tail, keys, recovered)
+        # A crash between the segment write and the manifest update leaves
+        # a full-size journal tail (the orphan segment's rows).  Complete
+        # the interrupted seal now — deferring it would shift every later
+        # segment boundary and break byte-identity with an uninterrupted
+        # run.
+        while len(wh._tail) >= wh.segment_rows:
+            name = wh._seal_rows(wh.segment_rows)
+            recovered.append(
+                f"completed an interrupted seal into segment {name}")
+        return wh
 
     @classmethod
     def open_or_create(cls, root: Union[str, Path], workload: Dict, *,
@@ -472,15 +499,27 @@ class Warehouse:
         """
         if not self._tail:
             return None
+        return self._seal_rows(len(self._tail))
+
+    def _seal_rows(self, count: int) -> str:
+        """Seal the first ``count`` tail rows into the next segment.
+
+        Three atomic file writes, ordered so a crash between any two of
+        them recovers losslessly on :meth:`open`: segment first (crash ->
+        orphan file, rows still journalled, seal re-runs), manifest second
+        (crash -> journal rows duplicate sealed ones and are dropped),
+        journal rewrite last.
+        """
+        chunk, rest = self._tail[:count], self._tail[count:]
         name = segment_name(len(self._manifest["segments"]))
-        data = encode_segment(self._tail)
+        data = encode_segment(chunk)
         _atomic_write(self.root / SEGMENT_DIR / name, data)
         self._manifest["segments"].append(
-            {"crc32": _crc(data), "name": name, "rows": len(self._tail)}
+            {"crc32": _crc(data), "name": name, "rows": len(chunk)}
         )
         self._write_manifest()
-        self._truncate_journal()
-        self._tail = []
+        self._rewrite_journal(rest)
+        self._tail = rest
         return name
 
     def _write_manifest(self) -> None:
@@ -488,9 +527,13 @@ class Warehouse:
                       (json.dumps(self._manifest, indent=2, sort_keys=True)
                        + "\n").encode())
 
-    def _truncate_journal(self) -> None:
+    def _rewrite_journal(self, rows: List[Tuple[str, Dict]]) -> None:
+        """Atomically replace the journal with frames for ``rows``."""
         self._journal_fh.close()
-        self._journal_fh = open(self.root / JOURNAL_NAME, "wb")
+        _atomic_write(self.root / JOURNAL_NAME,
+                      b"".join(frame_journal_line(key, cell)
+                               for key, cell in rows))
+        self._journal_fh = open(self.root / JOURNAL_NAME, "ab")
 
     def compact(self, *, segment_rows: Optional[int] = None) -> Dict[str, int]:
         """Re-chunk every row into full-size segments, preserving order.
@@ -498,7 +541,11 @@ class Warehouse:
         Merges undersized segments (from :meth:`seal_tail` or historical
         smaller ``segment_rows``) into the standard chunking — the exact
         layout a fresh uninterrupted run would have produced.  Offline
-        operation: don't run it concurrently with a sweep.
+        operation (don't run it concurrently with a sweep), but crash-safe:
+        rows leaving the sealed prefix are spilled to the journal before
+        the manifest stops referencing their old segments, so at every
+        point the store's recoverable state holds every row — a crash
+        mid-compact resumes to either the old or the compacted layout.
         """
         rows = list(self.iter_cells())
         if segment_rows is not None:
@@ -508,28 +555,32 @@ class Warehouse:
             self._manifest["segment_rows"] = int(segment_rows)
         chunk = self.segment_rows
         before = len(self._manifest["segments"])
-        entries = []
-        n_full = len(rows) // chunk
-        for index in range(n_full):
+        # Longest prefix of sealed segments already in final form; only
+        # the suffix is rewritten, which also makes the aligned case a
+        # byte-for-byte no-op.
+        keep = 0
+        for index, entry in enumerate(self._manifest["segments"]):
+            if entry["rows"] != chunk or entry["name"] != segment_name(index):
+                break
             data = encode_segment(rows[index * chunk:(index + 1) * chunk])
-            name = segment_name(index)
-            _atomic_write(self.root / SEGMENT_DIR / name, data)
-            entries.append({"crc32": _crc(data), "name": name, "rows": chunk})
-        self._manifest["segments"] = entries
+            if entry["crc32"] != _crc(data):
+                break
+            keep += 1
+        spill = rows[keep * chunk:]
+        self._rewrite_journal(spill)
+        self._manifest["segments"] = self._manifest["segments"][:keep]
         self._write_manifest()
-        self._truncate_journal()
-        self._tail = []
-        for key, cell in rows[n_full * chunk:]:
-            self._journal_fh.write(frame_journal_line(key, cell))
-            self._tail.append((key, cell))
-        self._journal_fh.flush()
+        self._tail = spill
+        while len(self._tail) >= chunk:
+            self._seal_rows(chunk)
         seg_dir = self.root / SEGMENT_DIR
-        listed = {entry["name"] for entry in entries}
+        listed = {entry["name"] for entry in self._manifest["segments"]}
         for path in sorted(seg_dir.iterdir()):
             if path.name not in listed:
                 path.unlink()
         return {"rows": len(rows), "segments_before": before,
-                "segments_after": len(entries), "tail_rows": len(self._tail)}
+                "segments_after": len(self._manifest["segments"]),
+                "tail_rows": len(self._tail)}
 
     # -- reads ---------------------------------------------------------------
 

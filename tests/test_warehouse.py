@@ -115,11 +115,19 @@ class TestSegmentCodec:
     def test_missing_rows_round_trip(self):
         rows = [("a", {"x": 1}), ("b", {}), ("c", {"x": 3, "y": "only-c"})]
         batch = decode_segment(encode_segment(rows))
-        # An i8 column with gaps is promoted to float with NaN holes...
-        assert batch["x"].dtype.kind == "f"
-        assert np.isnan(batch["x"][1])
-        # ...and the row inversion drops the holes again.
-        assert list(rows_from_columns(batch)) == rows
+        # An int column with gaps rides the json payload (a float payload
+        # would turn 1 into 1.0 and break canonical re-encoding)...
+        assert batch["x"] == [1, None, 3]
+        # ...and the row inversion drops the holes again, values still int.
+        out = list(rows_from_columns(batch))
+        assert out == rows
+        assert all(type(cell["x"]) is int for _, cell in out if "x" in cell)
+
+    def test_gappy_int_column_reencodes_identically(self):
+        rows = [("a", {"x": 1}), ("b", {}), ("c", {"x": 3})]
+        data = encode_segment(rows)
+        round_tripped = list(rows_from_columns(decode_segment(data)))
+        assert encode_segment(round_tripped) == data
 
     def test_same_rows_same_bytes(self):
         rows = [(synth_key(i), synth_cell(i)) for i in range(5)]
@@ -188,6 +196,25 @@ class TestStoreBasics:
         with pytest.raises(WarehouseError, match="already holds"):
             Warehouse.create(tmp_path / "wh", WORKLOAD)
         with Warehouse.create(tmp_path / "wh", WORKLOAD, force=True) as wh:
+            assert len(wh) == 0
+
+    def test_force_never_deletes_a_non_warehouse(self, tmp_path):
+        # --force on a mistyped path must not rmtree arbitrary directories.
+        victim = tmp_path / "precious"
+        victim.mkdir()
+        (victim / "data.txt").write_text("do not delete")
+        with pytest.raises(WarehouseError, match="not a warehouse"):
+            Warehouse.create(victim, WORKLOAD, force=True)
+        assert (victim / "data.txt").read_text() == "do not delete"
+        plain_file = tmp_path / "file"
+        plain_file.write_text("x")
+        with pytest.raises(WarehouseError, match="not a warehouse"):
+            Warehouse.create(plain_file, WORKLOAD, force=True)
+        assert plain_file.exists()
+        # An empty directory is fine: nothing to lose.
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with Warehouse.create(empty, WORKLOAD, force=True) as wh:
             assert len(wh) == 0
 
     def test_open_or_create_checks_workload(self, tmp_path):
@@ -295,6 +322,23 @@ class TestDeterminism:
             fill(wh, 10)
             # Compaction restores the exact layout of an uninterrupted run.
             assert wh.fingerprint() == frag_fp
+
+    def test_compact_preserves_fingerprint_with_gappy_int_columns(self, tmp_path):
+        # An int metric absent in some cells must survive the decode ->
+        # re-encode cycle compact performs, or compaction silently changes
+        # the store's bytes (and turns 3 into 3.0 on read).
+        with Warehouse.create(tmp_path / "wh", WORKLOAD, segment_rows=4) as wh:
+            for i in range(10):
+                cell = synth_cell(i)
+                if i % 3 == 0:
+                    cell["retries"] = i  # int column with gaps
+                wh.append(synth_key(i), cell)
+            before = wh.fingerprint()
+            cells = wh.read_cells()
+            wh.compact()
+            assert wh.fingerprint() == before
+            assert wh.read_cells() == cells
+            assert type(wh.read_cells()[synth_key(3)]["retries"]) is int
 
     def test_compact_rechunks_and_validates(self, tmp_path):
         with Warehouse.create(tmp_path / "wh", WORKLOAD, segment_rows=4) as wh:
@@ -404,6 +448,59 @@ class TestCrashRecovery:
             fill(wh, 10)
             assert wh.fingerprint() == build_store(tmp_path / "ref")
 
+    @staticmethod
+    def build_fragmented(root):
+        wh = Warehouse.create(root, WORKLOAD, segment_rows=4)
+        for i in range(10):
+            wh.append(synth_key(i), synth_cell(i))
+            if i in (1, 6):
+                wh.seal_tail()  # force undersized segments
+        return wh
+
+    def test_compact_crash_before_manifest_loses_nothing(self, tmp_path):
+        # Crash after the journal spill but before the manifest shrink:
+        # the old layout must survive intact — not be truncated to a
+        # prefix by CRC mismatches against half-rewritten segments.
+        root = tmp_path / "frag"
+        wh = self.build_fragmented(root)
+        cells = wh.read_cells()
+        fp = wh.fingerprint()
+
+        def boom():
+            raise RuntimeError("killed mid-compact")
+
+        wh._write_manifest = boom
+        with pytest.raises(RuntimeError, match="mid-compact"):
+            wh.compact()
+        wh.close()
+        with Warehouse.open(root) as wh:
+            assert wh.read_cells() == cells
+            assert wh.fingerprint() == fp  # old layout, byte for byte
+
+    def test_compact_crash_mid_seal_recovers_compacted(self, tmp_path):
+        # Crash while sealing the rewritten suffix: recovery completes
+        # the compaction from the journal spill.
+        with self.build_fragmented(tmp_path / "clean") as ref:
+            ref.compact()
+            want_fp = ref.fingerprint()
+        wh = self.build_fragmented(tmp_path / "torn")
+        cells = wh.read_cells()
+        real, calls = wh._seal_rows, []
+
+        def flaky(count):
+            calls.append(count)
+            if len(calls) > 1:
+                raise RuntimeError("killed mid-compact")
+            return real(count)
+
+        wh._seal_rows = flaky
+        with pytest.raises(RuntimeError, match="mid-compact"):
+            wh.compact()
+        wh.close()
+        with Warehouse.open(tmp_path / "torn") as wh:
+            assert wh.read_cells() == cells
+            assert wh.fingerprint() == want_fp
+
     def test_orphan_segment_file_deleted(self, tmp_path):
         root = tmp_path / "wh"
         fp = build_store(root)
@@ -413,6 +510,49 @@ class TestCrashRecovery:
             assert any("orphan" in note for note in wh.recovered)
             assert not orphan.exists()
             assert wh.fingerprint() == fp
+
+    def test_crash_between_segment_write_and_manifest(self, tmp_path):
+        # The seal-crash window: segment file on disk, manifest not yet
+        # updated.  Recovery must *complete* the seal, not defer it —
+        # otherwise the next append makes an oversized segment and the
+        # store's layout diverges from an uninterrupted run forever.
+        root = tmp_path / "wh"
+        wh = Warehouse.create(root, WORKLOAD, segment_rows=4)
+        fill(wh, 3)
+
+        def boom():
+            raise RuntimeError("killed mid-seal")
+
+        wh._write_manifest = boom
+        with pytest.raises(RuntimeError, match="mid-seal"):
+            wh.append(synth_key(3), synth_cell(3))
+        wh.close()
+        assert (root / SEGMENT_DIR / "seg-00000.seg").exists()
+        with Warehouse.open(root) as wh:
+            assert any("completed an interrupted seal" in note
+                       for note in wh.recovered)
+            assert wh.num_segments == 1 and len(wh) == 4
+            fill(wh, 10, start=4)
+            assert wh.fingerprint() == build_store(tmp_path / "ref")
+
+    def test_crash_between_manifest_and_journal_truncate(self, tmp_path):
+        # Sealed and recorded, but the journal still holds the rows.
+        root = tmp_path / "wh"
+        wh = Warehouse.create(root, WORKLOAD, segment_rows=4)
+        fill(wh, 3)
+
+        def boom(rows):
+            raise RuntimeError("killed mid-seal")
+
+        wh._rewrite_journal = boom
+        with pytest.raises(RuntimeError, match="mid-seal"):
+            wh.append(synth_key(3), synth_cell(3))
+        wh._journal_fh.close()
+        with Warehouse.open(root) as wh:
+            assert any("already sealed" in note for note in wh.recovered)
+            assert wh.num_segments == 1 and len(wh) == 4
+            fill(wh, 10, start=4)
+            assert wh.fingerprint() == build_store(tmp_path / "ref")
 
     def test_stale_journal_rows_already_sealed(self, tmp_path):
         root = tmp_path / "wh"
@@ -586,6 +726,20 @@ class TestRegress:
         assert regressions(compare(cur, quiet))
         # ...but is within 3 standard errors of a seed-noisy one.
         assert not regressions(compare(cur, noisy))
+
+    def test_malformed_baseline_entries_are_ungated_not_fatal(self):
+        # Hand-edited / truncated baselines must hit the friendly error
+        # path (or simply be ungated), never a raw KeyError in CI.
+        base = stats_doc({"a/x": {"stp": (100.0, 0.0, 3)}})
+        cur = stats_doc({"a/x": {"stp": (100.0, 0.0, 3)},
+                         "b/y": {"stp": (1.0, 0.0, 3)}})
+        base["groups"]["b/y"] = {"n_cells": 3}  # no metrics key
+        rows = compare(cur, base)
+        assert [(r["group"], r["metric"]) for r in rows] == [("a/x", "stp")]
+        base["groups"]["a/x"]["metrics"]["stp"] = {"mean": 100.0}  # no std/n
+        assert compare(cur, base) == []
+        base["groups"]["a/x"] = "garbage"
+        assert compare(cur, base) == []
 
     def test_workload_mismatch(self):
         base = stats_doc({"a/x": {"stp": (100.0, 0.0, 3)}})
